@@ -1,0 +1,422 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§6).  Each [figN] function prints the same
+   rows/series the paper reports; EXPERIMENTS.md records the
+   paper-vs-measured comparison.
+
+   Usage:   dune exec bench/main.exe [-- fig4 fig6 ... micro]
+   Scale:   ATUM_BENCH_SCALE=quick|default|full  (default: default)   *)
+
+module Params = Atum_core.Params
+module Atum = Atum_core.Atum
+module W = Atum_workload
+
+let scale =
+  match Sys.getenv_opt "ATUM_BENCH_SCALE" with
+  | Some ("quick" | "QUICK") -> `Quick
+  | Some ("full" | "FULL") -> `Full
+  | _ -> `Default
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: system parameters                                          *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1: system parameters (defaults in this reproduction)";
+  let show label (p : Params.t) =
+    Printf.printf "  %-22s hc=%-2d rwl=%-2d gmin=%-2d gmax=%-2d round=%.1fs\n" label p.Params.hc
+      p.rwl p.gmin p.gmax p.round_duration
+  in
+  show "sync default" Params.default;
+  show "async default" Params.default_async;
+  List.iter
+    (fun n -> show (Printf.sprintf "sized for N=%d" n) (Params.for_system_size n))
+    [ 50; 200; 800; 1400 ];
+  Printf.printf "  typical ranges (paper): hc 2..12, rwl 4..15, gmin = gmax/2, k 3..7\n%!"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 4: configuration guideline                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig4 () =
+  section "Fig 4: optimal random-walk length (rwl) per overlay density (hc)";
+  let vgroup_counts =
+    match scale with
+    | `Quick -> [ 8; 32; 128 ]
+    | `Default -> [ 8; 32; 128; 512; 2048 ]
+    | `Full -> [ 8; 32; 128; 512; 2048; 8192 ]
+  in
+  let hc_values = [ 2; 4; 6; 8; 10; 12 ] in
+  Printf.printf "  %-10s" "vgroups";
+  List.iter (fun hc -> Printf.printf " hc=%-3d" hc) hc_values;
+  print_newline ();
+  let rows, dt =
+    wall (fun () -> Atum_overlay.Guideline.figure4 ~vgroup_counts ~hc_values ~seed:42 ())
+  in
+  List.iter
+    (fun (vg, cols) ->
+      Printf.printf "  %-10d" vg;
+      List.iter
+        (fun (_, rwl) ->
+          match rwl with
+          | Some r -> Printf.printf " %-6d" r
+          | None -> Printf.printf " %-6s" "-")
+        cols;
+      print_newline ())
+    rows;
+  Printf.printf "  (chi-squared uniformity at 0.99 confidence; %.1fs)\n%!" dt
+
+(* ------------------------------------------------------------------ *)
+(* Fig 6: growth speed                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section "Fig 6: growth speed (system size over simulated time)";
+  let targets =
+    match scale with `Quick -> [ 200 ] | `Default -> [ 800; 1400 ] | `Full -> [ 800; 1400 ]
+  in
+  let protocols =
+    match scale with `Quick -> [ Params.Sync ] | _ -> [ Params.Sync; Params.Async ]
+  in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun target ->
+          let params = Params.for_system_size ~protocol ~seed:7 target in
+          let r, dt =
+            wall (fun () ->
+                W.Growth.run ~params ~target ~seed:7 ~sample_every:250.0 ())
+          in
+          Printf.printf
+            "  %s target=%d: reached %d in %.0f simulated s; join latency p50=%.1fs p90=%.1fs (wall %.1fs)\n"
+            (match protocol with Params.Sync -> "SYNC " | Params.Async -> "ASYNC")
+            target r.W.Growth.final_size r.duration r.join_latency_p50 r.join_latency_p90 dt;
+          Printf.printf "    curve (t, size): ";
+          List.iter
+            (fun (p : W.Growth.point) ->
+              Printf.printf "(%.0f, %d) " p.W.Growth.time p.W.Growth.size)
+            r.curve;
+          Printf.printf "\n%!")
+        targets)
+    protocols
+
+(* ------------------------------------------------------------------ *)
+(* Fig 7: churn tolerance                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  section "Fig 7: maximal tolerated churn (re-joins/minute)";
+  let sizes =
+    match scale with
+    | `Quick -> [ 50; 100 ]
+    | `Default -> [ 50; 100; 200 ]
+    | `Full -> [ 50; 100; 200; 400; 800 ]
+  in
+  let configs =
+    [
+      ("SYNC (rwl=6, hc=8)", fun n -> { (Params.for_system_size n) with Params.rwl = 6; hc = 8 });
+      ("SYNC (rwl=11, hc=5)", fun n -> { (Params.for_system_size n) with Params.rwl = 11; hc = 5 });
+      ( "ASYNC (guideline)",
+        fun n -> Params.for_system_size ~protocol:Params.Async n );
+    ]
+  in
+  List.iter
+    (fun (label, mk) ->
+      Printf.printf "  %s\n" label;
+      List.iter
+        (fun n ->
+          let params = { (mk n) with Params.seed = 19 + n } in
+          let (rate, probes), dt =
+            wall (fun () ->
+                let built = W.Builder.grow ~params ~n ~seed:(19 + n) () in
+                W.Churn.max_sustained built ~seed:(23 + n))
+          in
+          Printf.printf
+            "    N=%-4d max sustained %.0f re-joins/min (%.1f%%/min), probes=%d (wall %.1fs)\n%!"
+            n rate
+            (100.0 *. rate /. float_of_int n)
+            (List.length probes) dt)
+        sizes)
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* Fig 8: group communication latency                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_cdf_line label latencies =
+  if latencies = [] then Printf.printf "    %-24s (no samples)\n" label
+  else begin
+    let p q = Atum_util.Stats.percentile latencies q in
+    Printf.printf
+      "    %-24s n=%-7d p10=%6.2f p50=%6.2f p90=%6.2f p99=%6.2f max=%7.2f\n" label
+      (List.length latencies) (p 10.0) (p 50.0) (p 90.0) (p 99.0)
+      (List.fold_left max 0.0 latencies)
+  end
+
+let fig8 () =
+  section "Fig 8: group communication latency CDF (seconds)";
+  let messages = match scale with `Quick -> 30 | `Default -> 100 | `Full -> 300 in
+  let sizes = match scale with `Quick -> [ 200 ] | _ -> [ 200; 400; 800 ] in
+  let run_one label ~protocol ~n ~byz =
+    let params =
+      { (Params.for_system_size ~protocol n) with Params.seed = 47 + n; round_duration = 1.5 }
+    in
+    let r, dt =
+      wall (fun () ->
+          let built = W.Builder.grow ~params ~byzantine:byz ~n:(n + byz) ~seed:(47 + n) () in
+          W.Latency_exp.run built ~messages ~gap:2.0 ~seed:(53 + n))
+    in
+    pp_cdf_line label r.W.Latency_exp.latencies;
+    Printf.printf "      delivery fraction %.4f (wall %.1fs)\n%!" r.delivery_fraction dt
+  in
+  Printf.printf "  Atum SYNC (rounds of 1.5s):\n";
+  List.iter (fun n -> run_one (Printf.sprintf "N = %d" n) ~protocol:Params.Sync ~n ~byz:0) sizes;
+  run_one "N = 850* (50 Byz)" ~protocol:Params.Sync ~n:800 ~byz:50;
+  Printf.printf "  Atum ASYNC (WAN):\n";
+  List.iter (fun n -> run_one (Printf.sprintf "N = %d" n) ~protocol:Params.Async ~n ~byz:0) sizes;
+  run_one "N = 850* (50 Byz)" ~protocol:Params.Async ~n:800 ~byz:50;
+  Printf.printf "  Baselines (N = 850):\n";
+  let g = Atum_baselines.Gossip.run ~n:850 ~fanout:10 ~seed:3 in
+  pp_cdf_line "S.Gossip" (Atum_baselines.Gossip.latencies g ~round_duration:1.5);
+  let smr = Atum_baselines.Global_smr.run ~n:850 ~faults:50 ~round_duration:1.5 in
+  pp_cdf_line "S.SMR (850*, 50 faults)" (Atum_baselines.Global_smr.latencies smr ~n:850);
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
+(* Fig 9: AShare read performance                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  section "Fig 9: AShare read performance (latency per MB, seconds)";
+  let rows, dt = wall (fun () -> W.Ashare_exp.fig9 ~seed:61 ()) in
+  Printf.printf "  %-10s %-8s %-14s %-16s\n" "size (MB)" "NFS4" "AShare simple" "AShare parallel";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10.0f %-8.3f %-14.3f %-16.3f\n" r.W.Ashare_exp.size_mb r.nfs r.simple
+        r.parallel)
+    rows;
+  Printf.printf "  (wall %.1fs)\n%!" dt
+
+(* ------------------------------------------------------------------ *)
+(* Figs 10 & 11: Byzantine impact on AShare reads                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_11 () =
+  let run ~fig ~n ~files =
+    section
+      (Printf.sprintf "Fig %d: AShare read latency with Byzantine replicas (%d nodes, %d files)"
+         fig n files);
+    let rows, dt =
+      wall (fun () -> W.Ashare_exp.byzantine_reads ~n ~files ~byzantine:7 ~rho:8 ~seed:67)
+    in
+    Printf.printf "  %-10s %-22s %-22s\n" "replicas" "all correct (s/MB)" "1-6 faulty (s/MB)";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-10d %-22.3f %-22.3f\n" r.W.Ashare_exp.replicas
+          r.clean_latency_per_mb r.faulty_latency_per_mb)
+      rows;
+    Printf.printf "  (wall %.1fs)\n%!" dt
+  in
+  let files = match scale with `Quick -> 65 | `Default -> 260 | `Full -> 520 in
+  run ~fig:10 ~n:50 ~files;
+  run ~fig:11 ~n:100 ~files
+
+(* ------------------------------------------------------------------ *)
+(* Fig 12: AStream latency                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig12 () =
+  section "Fig 12: AStream tier-2 latency for a 1 MB/s stream (milliseconds)";
+  let rows, dt = wall (fun () -> W.Astream_exp.run ~seed:71 ()) in
+  Printf.printf "  %-8s %-16s %-16s %-18s %-18s\n" "N" "Single (model)" "Double (model)"
+    "Single (push-pull)" "Double (push-pull)";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-8d %-16.0f %-16.0f %-18.0f %-18.0f\n" r.W.Astream_exp.n r.single_ms
+        r.double_ms r.single_sim_ms r.double_sim_ms)
+    rows;
+  Printf.printf "  (wall %.1fs)\n%!" dt
+
+(* ------------------------------------------------------------------ *)
+(* Fig 13: exchange completion under aggressive growth                 *)
+(* ------------------------------------------------------------------ *)
+
+let fig13 () =
+  section "Fig 13: exchange completion rate vs. join rate (growth to N=400)";
+  let target = match scale with `Quick -> 150 | _ -> 400 in
+  Printf.printf "  %-10s %-12s %-12s %-12s %-10s\n" "join rate" "completed" "suppressed"
+    "completion" "time (s)";
+  List.iter
+    (fun rate ->
+      let r, dt =
+        wall (fun () ->
+            W.Growth.run
+              ~params:(Params.for_system_size ~seed:73 target)
+              ~join_rate_per_min:rate ~target ~seed:73 ())
+      in
+      Printf.printf "  %-10s %-12d %-12d %-12.3f %-10.0f (wall %.1fs)\n%!"
+        (Printf.sprintf "%.0f%%/min" (100.0 *. rate))
+        r.W.Growth.exchanges_completed r.exchanges_suppressed r.completion_rate r.duration dt)
+    [ 0.08; 0.20; 0.24 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation 1: random-walk shuffling vs. a join-leave attack";
+  Printf.printf
+    "  an adversary re-joins its nodes to concentrate them in one vgroup;\n    \  'concentration' is the worst per-vgroup Byzantine fraction (0.5 = captured)\n";
+  List.iter
+    (fun shuffling ->
+      let r, dt =
+        wall (fun () -> W.Ablation.join_leave_attack ~shuffling ~seed:81 ())
+      in
+      Printf.printf
+        "  shuffling %-3s: %.1f%% attackers -> concentration %.2f%s (wall %.1fs)\n%!"
+        (if shuffling then "ON" else "OFF")
+        (100.0 *. r.W.Ablation.byzantine_fraction)
+        r.concentration
+        (if r.any_vgroup_captured then "  ** vgroup captured **" else "")
+        dt)
+    [ true; false ];
+  section "Ablation 2: forward-callback policies (latency vs. traffic, §3.3.4)";
+  let rows, dt = wall (fun () -> W.Ablation.forward_policies ~seed:83 ()) in
+  Printf.printf "  %-20s %-10s %-12s %-12s\n" "policy" "delivery" "p50 latency" "msgs/bcast";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-20s %-10.3f %-12.2f %-12.0f\n" r.W.Ablation.label
+        r.delivery_fraction r.p50_latency r.messages_per_broadcast)
+    rows;
+  Printf.printf "  (wall %.1fs)\n%!" dt
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the DHT alternative of footnote 5                        *)
+(* ------------------------------------------------------------------ *)
+
+let dht_bench () =
+  section "Extension (footnote 5): Chord DHT vs. AShare's broadcast-replicated index";
+  let module Dht = Atum_apps.Dht in
+  Printf.printf "  Lookup cost scales logarithmically:\n";
+  Printf.printf "    %-8s %-12s\n" "N" "mean hops";
+  List.iter
+    (fun n ->
+      let d = Dht.build ~node_ids:(List.init n Fun.id) () in
+      Printf.printf "    %-8d %-12.2f\n" n (Dht.mean_lookup_hops d ~samples:500 ~seed:3))
+    [ 64; 256; 1024; 4096 ];
+  Printf.printf
+    "  ...but quiet Byzantine routers silently swallow queries (N=512, 4 replicas,\n    \  3 retries), where Atum's broadcast index keeps a full copy at every node:\n";
+  Printf.printf "    %-12s %-22s %-22s\n" "byzantine" "DHT lookup success" "broadcast index";
+  List.iter
+    (fun pct ->
+      let n = 512 in
+      let d = Dht.build ~node_ids:(List.init n Fun.id) () in
+      let rng = Atum_util.Rng.create (100 + pct) in
+      let byz =
+        Atum_util.Rng.sample_without_replacement rng (n * pct / 100) (List.init n Fun.id)
+      in
+      List.iter (Dht.mark_byzantine d) byz;
+      Printf.printf "    %-12s %-22.3f %-22s\n"
+        (Printf.sprintf "%d%%" pct)
+        (Dht.lookup_success_rate d ~samples:600 ~seed:7)
+        "1.000 (local read)")
+    [ 0; 5; 10; 20; 30 ];
+  Printf.printf "  Churn: 20%% of 512 nodes leave between stabilizations:\n";
+  let d = Dht.build ~node_ids:(List.init 512 Fun.id) () in
+  let rng = Atum_util.Rng.create 11 in
+  List.iter (Dht.mark_dead d)
+    (Atum_util.Rng.sample_without_replacement rng 102 (List.init 512 Fun.id));
+  Printf.printf "    before stabilization: success %.3f, mean hops %.2f\n"
+    (Dht.lookup_success_rate d ~samples:500 ~seed:13)
+    (Dht.mean_lookup_hops d ~samples:500 ~seed:13);
+  let fresh = Dht.rebuild d in
+  Printf.printf "    after stabilization:  success %.3f, mean hops %.2f\n%!"
+    (Dht.lookup_success_rate fresh ~samples:500 ~seed:13)
+    (Dht.mean_lookup_hops fresh ~samples:500 ~seed:13)
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (Bechamel, ns/op)";
+  let open Bechamel in
+  let data_1k = String.make 1024 'x' in
+  let rng = Atum_util.Rng.create 1 in
+  let hg = Atum_overlay.Hgraph.create ~cycles:6 rng (List.init 128 Fun.id) in
+  let counts = Array.init 128 (fun i -> 40 + (i mod 7)) in
+  let kr = Atum_crypto.Signature.create_keyring ~seed:1 in
+  Atum_crypto.Signature.register kr "node-0";
+  let tests =
+    Test.make_grouped ~name:"atum"
+      [
+        Test.make ~name:"sha256-1KiB" (Staged.stage (fun () -> Atum_crypto.Sha256.digest data_1k));
+        Test.make ~name:"hmac-64B" (Staged.stage (fun () -> Atum_crypto.Hmac.mac ~key:"k" "datadatadatadata"));
+        Test.make ~name:"sign" (Staged.stage (fun () -> Atum_crypto.Signature.sign kr ~signer:"node-0" "msg"));
+        Test.make ~name:"walk-step" (Staged.stage (fun () -> Atum_overlay.Random_walk.step_fast hg rng 0));
+        Test.make ~name:"chi2-128cells" (Staged.stage (fun () -> Atum_util.Stats.chi2_uniform_test ~confidence:0.99 counts));
+        Test.make ~name:"rng-bits64" (Staged.stage (fun () -> Atum_util.Rng.bits64 rng));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let r = Hashtbl.find results name in
+      match Analyze.OLS.estimates r with
+      | Some (est :: _) -> Printf.printf "  %-24s %12.1f ns/op\n" name est
+      | _ -> Printf.printf "  %-24s (no estimate)\n" name)
+    (List.sort compare names);
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
+
+let all_figs =
+  [
+    ("table1", table1);
+    ("fig4", fig4);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10_11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("ablation", ablation);
+    ("dht", dht_bench);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_figs
+  in
+  Printf.printf "Atum benchmark harness — scale=%s\n"
+    (match scale with `Quick -> "quick" | `Default -> "default" | `Full -> "full");
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_figs with
+      | Some f -> f ()
+      | None ->
+        (match name with
+        | "fig11" -> () (* generated together with fig10 *)
+        | _ -> Printf.printf "unknown figure: %s\n" name))
+    requested;
+  Printf.printf "\nTotal wall time: %.1fs\n%!" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,190 @@
+(* atum-cli: drive Atum deployments from the command line.
+
+   Subcommands:
+     grow       grow a deployment and report overlay statistics
+     broadcast  measure broadcast latency on a fresh deployment
+     churn      probe a churn rate for sustainability
+     guideline  print the optimal rwl for a (vgroups, hc) pair
+     simulate   free-run a deployment with churn and broadcasts        *)
+
+open Cmdliner
+
+module Atum = Atum_core.Atum
+module Params = Atum_core.Params
+module W = Atum_workload
+
+let protocol_conv =
+  let parse = function
+    | "sync" -> Ok Params.Sync
+    | "async" -> Ok Params.Async
+    | s -> Error (`Msg (Printf.sprintf "unknown protocol %S (sync|async)" s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt (match p with Params.Sync -> "sync" | Params.Async -> "async")
+  in
+  Arg.conv (parse, print)
+
+let nodes_arg =
+  Arg.(value & opt int 50 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Target system size.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt protocol_conv Params.Sync
+    & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"SMR protocol: sync or async.")
+
+let build ~protocol ~n ~seed ~byzantine =
+  let params = { (Params.for_system_size ~protocol n) with Params.seed } in
+  W.Builder.grow ~params ~byzantine ~n:(n + byzantine) ~seed ()
+
+let report_build built =
+  let atum = built.W.Builder.atum in
+  let sizes = Atum.vgroup_sizes atum in
+  Printf.printf "system size      : %d\n" (Atum.size atum);
+  Printf.printf "vgroups          : %d (sizes %s)\n" (Atum.vgroup_count atum)
+    (String.concat ", " (List.map string_of_int (List.sort compare sizes)));
+  Printf.printf "overlay          : %s\n"
+    (match Atum.check_overlay atum with Ok () -> "consistent" | Error e -> e);
+  Printf.printf "registry         : %s\n"
+    (match Atum.check_consistency atum with Ok () -> "consistent" | Error e -> e);
+  Printf.printf "messages sent    : %d (%.1f MB)\n" (Atum.messages_sent atum)
+    (float_of_int (Atum.bytes_sent atum) /. 1_048_576.0);
+  Printf.printf "simulated time   : %.0f s\n" (Atum.now atum)
+
+let grow_cmd =
+  let run protocol n seed =
+    let built = build ~protocol ~n ~seed ~byzantine:0 in
+    report_build built;
+    let m = Atum.metrics built.W.Builder.atum in
+    List.iter
+      (fun c -> Printf.printf "%-17s: %d\n" c (Atum_sim.Metrics.counter m c))
+      [ "join.completed"; "vgroup.split"; "vgroup.merge"; "exchange.completed";
+        "exchange.suppressed"; "walk.completed" ]
+  in
+  Cmd.v
+    (Cmd.info "grow" ~doc:"Grow a deployment and report overlay statistics.")
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg)
+
+let broadcast_cmd =
+  let messages_arg =
+    Arg.(value & opt int 20 & info [ "m"; "messages" ] ~docv:"M" ~doc:"Messages to send.")
+  in
+  let byz_arg =
+    Arg.(value & opt int 0 & info [ "byzantine" ] ~docv:"B" ~doc:"Byzantine nodes to add.")
+  in
+  let run protocol n seed messages byzantine =
+    let built = build ~protocol ~n ~seed ~byzantine in
+    let r = W.Latency_exp.run built ~messages ~gap:2.0 ~seed in
+    let p q = Atum_util.Stats.percentile r.W.Latency_exp.latencies q in
+    Printf.printf "deliveries       : %d/%d (%.2f%%)\n" r.W.Latency_exp.observed_deliveries
+      r.expected_deliveries (100.0 *. r.delivery_fraction);
+    Printf.printf "latency (s)      : p10=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n" (p 10.0)
+      (p 50.0) (p 90.0) (p 99.0)
+      (List.fold_left max 0.0 r.latencies)
+  in
+  Cmd.v
+    (Cmd.info "broadcast" ~doc:"Measure broadcast latency on a fresh deployment.")
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ messages_arg $ byz_arg)
+
+let churn_cmd =
+  let rate_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "r"; "rate" ] ~docv:"RATE" ~doc:"Re-joins per simulated minute.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 180.0
+      & info [ "d"; "duration" ] ~docv:"SEC" ~doc:"Churn duration in simulated seconds.")
+  in
+  let run protocol n seed rate duration =
+    let built = build ~protocol ~n ~seed ~byzantine:0 in
+    let p = W.Churn.probe built ~rate_per_min:rate ~duration ~seed in
+    Printf.printf "rate             : %.1f re-joins/min (%.1f%% of N)\n" rate
+      (100.0 *. rate /. float_of_int n);
+    Printf.printf "joins            : %d started, %d completed\n" p.W.Churn.joins_started
+      p.joins_completed;
+    Printf.printf "size             : %d -> %d\n" p.size_before p.size_after;
+    Printf.printf "verdict          : %s\n" (if p.sustained then "SUSTAINED" else "NOT sustained")
+  in
+  Cmd.v
+    (Cmd.info "churn" ~doc:"Probe a churn rate for sustainability.")
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ rate_arg $ duration_arg)
+
+let guideline_cmd =
+  let vgroups_arg =
+    Arg.(value & opt int 128 & info [ "vgroups" ] ~docv:"V" ~doc:"Number of vgroups.")
+  in
+  let hc_arg =
+    Arg.(value & opt int 6 & info [ "hc" ] ~docv:"HC" ~doc:"Number of H-graph cycles.")
+  in
+  let run vgroups hc seed =
+    match Atum_overlay.Guideline.optimal_rwl ~vgroups ~hc ~seed () with
+    | Some rwl -> Printf.printf "optimal rwl for %d vgroups at hc=%d: %d\n" vgroups hc rwl
+    | None -> Printf.printf "no walk length up to the search bound passes the chi2 test\n"
+  in
+  Cmd.v
+    (Cmd.info "guideline" ~doc:"Optimal random-walk length for a configuration (Fig 4).")
+    Term.(const run $ vgroups_arg $ hc_arg $ seed_arg)
+
+let simulate_cmd =
+  let minutes_arg =
+    Arg.(value & opt float 10.0 & info [ "minutes" ] ~docv:"MIN" ~doc:"Simulated minutes.")
+  in
+  let run protocol n seed minutes =
+    let built = build ~protocol ~n ~seed ~byzantine:0 in
+    let atum = built.W.Builder.atum in
+    Atum.start_heartbeats atum;
+    let rng = Atum_util.Rng.create seed in
+    let delivered = ref 0 in
+    Atum.on_deliver atum (fun _ ~bid:_ ~origin:_ _ -> incr delivered);
+    for minute = 1 to int_of_float minutes do
+      (* light churn plus one broadcast per minute *)
+      let members = W.Builder.correct_members built in
+      (match members with
+      | from :: _ -> ignore (Atum.broadcast atum ~from (Printf.sprintf "minute-%d" minute))
+      | [] -> ());
+      let victims = List.filter (fun m -> m <> built.W.Builder.first) members in
+      if victims <> [] && Atum_util.Rng.bool rng then begin
+        Atum.leave atum (Atum_util.Rng.pick rng victims);
+        ignore (Atum.join atum ~contact:built.W.Builder.first ())
+      end;
+      Atum.run_for atum 60.0;
+      Printf.printf "t=%3.0f min  size=%-4d vgroups=%-3d deliveries=%d\n"
+        (Atum.now atum /. 60.0) (Atum.size atum) (Atum.vgroup_count atum) !delivered
+    done;
+    report_build built
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Free-run a deployment with churn and broadcasts.")
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg)
+
+let dht_cmd =
+  let byz_pct_arg =
+    Arg.(value & opt int 0 & info [ "byzantine-pct" ] ~docv:"PCT" ~doc:"Percent of Byzantine routers.")
+  in
+  let run n seed byz_pct =
+    let module Dht = Atum_apps.Dht in
+    let d = Dht.build ~node_ids:(List.init n Fun.id) () in
+    let rng = Atum_util.Rng.create seed in
+    List.iter (Dht.mark_byzantine d)
+      (Atum_util.Rng.sample_without_replacement rng (n * byz_pct / 100) (List.init n Fun.id));
+    Printf.printf "nodes            : %d (%d%% Byzantine routers)\n" n byz_pct;
+    Printf.printf "mean lookup hops : %.2f\n" (Dht.mean_lookup_hops d ~samples:500 ~seed);
+    Printf.printf "lookup success   : %.3f\n" (Dht.lookup_success_rate d ~samples:500 ~seed)
+  in
+  Cmd.v
+    (Cmd.info "dht" ~doc:"Probe the Chord DHT extension (footnote 5).")
+    Term.(const run $ nodes_arg $ seed_arg $ byz_pct_arg)
+
+let () =
+  let info =
+    Cmd.info "atum-cli" ~version:"1.0.0"
+      ~doc:"Drive simulated Atum deployments (volatile-group GCS) from the command line."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; dht_cmd ]))

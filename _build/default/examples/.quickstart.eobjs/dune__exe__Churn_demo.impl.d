@@ -1,0 +1,1 @@
+examples/churn_demo.ml: Atum_core Atum_util Atum_workload List Printf

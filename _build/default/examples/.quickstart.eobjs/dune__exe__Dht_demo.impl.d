@@ -1,0 +1,1 @@
+examples/dht_demo.ml: Atum_apps Atum_util Fun List Printf String

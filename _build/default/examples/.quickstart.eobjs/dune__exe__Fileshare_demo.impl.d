@@ -1,0 +1,1 @@
+examples/fileshare_demo.ml: Atum_apps Atum_core Atum_workload List Printf String

@@ -1,0 +1,1 @@
+examples/fileshare_demo.mli:

@@ -1,0 +1,1 @@
+examples/pubsub_demo.ml: Atum_apps List Printf String

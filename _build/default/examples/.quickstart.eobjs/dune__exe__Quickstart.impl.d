@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atum_core List Printf String

@@ -1,0 +1,1 @@
+examples/streaming_demo.ml: Atum_apps Atum_core Atum_crypto Atum_workload List Printf String

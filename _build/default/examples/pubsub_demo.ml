@@ -1,0 +1,41 @@
+(* ASub demo (§4.1): topic-based publish/subscribe.  Topics map to
+   Atum groups; subscribing is joining, publishing is broadcasting.
+
+   Run with:  dune exec examples/pubsub_demo.exe *)
+
+module Asub = Atum_apps.Asub
+
+let () =
+  let s = Asub.create () in
+
+  Asub.create_topic s "ocaml";
+  Asub.create_topic s "distributed-systems";
+  Printf.printf "topics: %s\n" (String.concat ", " (Asub.topics s));
+
+  List.iter (fun c -> Asub.subscribe s ~topic:"ocaml" c) [ "alice"; "bob"; "carol" ];
+  List.iter (fun c -> Asub.subscribe s ~topic:"distributed-systems" c) [ "alice"; "dave" ];
+  Asub.run_for s 600.0;
+
+  Printf.printf "ocaml subscribers: %s\n"
+    (String.concat ", " (Asub.subscribers s ~topic:"ocaml"));
+  Printf.printf "distributed-systems subscribers: %s\n"
+    (String.concat ", " (Asub.subscribers s ~topic:"distributed-systems"));
+
+  Asub.on_event s (fun e ->
+      Printf.printf "  [%s] %s -> %s: %S\n" e.Asub.topic e.Asub.publisher e.Asub.subscriber
+        e.Asub.payload);
+
+  Printf.printf "publishing...\n";
+  Asub.publish s ~topic:"ocaml" ~as_:"alice" "pattern matching is great";
+  Asub.publish s ~topic:"distributed-systems" ~as_:"dave" "consensus is hard";
+  Asub.run_for s 60.0;
+
+  (* Unsubscribed clients stop receiving events. *)
+  Asub.unsubscribe s ~topic:"ocaml" "bob";
+  Asub.run_for s 300.0;
+  Printf.printf "after bob unsubscribes: %s\n"
+    (String.concat ", " (Asub.subscribers s ~topic:"ocaml"));
+  Asub.publish s ~topic:"ocaml" ~as_:"carol" "bob will miss this";
+  Asub.run_for s 60.0;
+
+  Printf.printf "total events delivered: %d\n" (Asub.events_delivered s)

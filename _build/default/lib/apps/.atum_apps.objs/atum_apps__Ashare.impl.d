@@ -1,0 +1,1 @@
+lib/apps/ashare.ml: Atum_core Atum_crypto Atum_sim Atum_util Fun Hashtbl Kv_index List Option String

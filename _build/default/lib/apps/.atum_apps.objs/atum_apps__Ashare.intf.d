@@ -1,0 +1,1 @@
+lib/apps/ashare.mli: Atum_core

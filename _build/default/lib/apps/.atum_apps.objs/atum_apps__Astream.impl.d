@@ -1,0 +1,1 @@
+lib/apps/astream.ml: Array Atum_core Atum_overlay Atum_sim Atum_smr Atum_util Float Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/apps/astream.mli: Atum_core

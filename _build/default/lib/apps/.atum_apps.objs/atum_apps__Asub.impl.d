@@ -1,0 +1,1 @@
+lib/apps/asub.ml: Atum_core Atum_util Hashtbl List String

@@ -1,0 +1,1 @@
+lib/apps/asub.mli: Atum_core

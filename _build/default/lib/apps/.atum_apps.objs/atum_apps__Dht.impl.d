@@ -1,0 +1,1 @@
+lib/apps/dht.ml: Array Atum_crypto Atum_util Char Hashtbl List Printf String

@@ -1,0 +1,312 @@
+module Atum = Atum_core.Atum
+module System = Atum_core.System
+module Bulk = Atum_sim.Bulk
+
+type node_id = int
+
+type content = Real of string | Synthetic of float
+
+type get_result = {
+  latency : float;
+  pulled_mb : float;
+  corrupted_chunks : int;
+  data : string option;
+}
+
+(* Each node's view of one file: its own mutable replica list (soft
+   state), plus the immutable facts from the PUT broadcast. *)
+type entry = { size_mb : float; chunk_count : int; mutable replicas : node_id list }
+
+type t = {
+  atum : Atum.t;
+  rho : int;
+  host : Bulk.host;
+  rng : Atum_util.Rng.t;
+  indexes : (node_id, entry Kv_index.t) Hashtbl.t;
+  stored : (node_id, (Kv_index.key, unit) Hashtbl.t) Hashtbl.t;
+  contents : (Kv_index.key, content) Hashtbl.t; (* ground-truth bytes *)
+  digests : (Kv_index.key, Atum_crypto.Chunks.digest_set) Hashtbl.t;
+}
+
+let owner_name nid = "user-" ^ string_of_int nid
+
+let key ~owner ~name = { Kv_index.owner; name }
+
+let sep = '\x01'
+
+let encode parts = String.concat (String.make 1 sep) parts
+
+let decode s = String.split_on_char sep s
+
+let index_of t nid =
+  match Hashtbl.find_opt t.indexes nid with
+  | Some ix -> ix
+  | None ->
+    let ix = Kv_index.create () in
+    Hashtbl.replace t.indexes nid ix;
+    ix
+
+let stored_of t nid =
+  match Hashtbl.find_opt t.stored nid with
+  | Some s -> s
+  | None ->
+    let s = Hashtbl.create 8 in
+    Hashtbl.replace t.stored nid s;
+    s
+
+let atum t = t.atum
+
+let engine t = System.engine (Atum.system t.atum)
+
+let content_size_mb = function
+  | Real s -> float_of_int (String.length s) /. 1_048_576.0
+  | Synthetic mb -> mb
+
+let stores t ~node ~owner ~name = Hashtbl.mem (stored_of t node) (key ~owner ~name)
+
+let replica_count t ~node ~owner ~name =
+  match Kv_index.get (index_of t node) (key ~owner ~name) with
+  | Some e -> List.length e.replicas
+  | None -> 0
+
+let index_size t ~node = Kv_index.size (index_of t node)
+
+let is_correct_member t nid =
+  Atum.is_member t.atum nid
+  &&
+  match System.node_opt (Atum.system t.atum) nid with
+  | Some n -> n.System.alive && not n.System.byzantine
+  | None -> false
+
+let is_byzantine t nid =
+  match System.node_opt (Atum.system t.atum) nid with
+  | Some n -> n.System.byzantine
+  | None -> false
+
+(* --- GET (§4.2.2) --------------------------------------------------- *)
+
+(* Chunks are assigned round-robin across every replica the reader
+   knows; pulls from all replicas proceed in parallel.  Chunks landing
+   on a corrupting holder fail their digest check and are re-pulled
+   from the correct holders.  Digest computation is multithreaded
+   across chunks (Bulk.hash_time). *)
+(* Index resolution and per-replica connection brokering cost a little
+   more than one NFS lookup; it is what makes NFS marginally faster on
+   very small files (Fig 9). *)
+let lookup_overhead = 0.05
+
+let get t ~reader ~owner ~name ~k =
+  let finish delay result =
+    let delay = delay +. lookup_overhead in
+    let result =
+      Option.map (fun r -> { r with latency = r.latency +. lookup_overhead }) result
+    in
+    Atum_sim.Engine.schedule (engine t) ~delay (fun () -> k result)
+  in
+  match Kv_index.get (index_of t reader) (key ~owner ~name) with
+  | None -> finish 0.001 None
+  | Some e ->
+    let holders =
+      List.filter (fun h -> Hashtbl.mem (stored_of t h) (key ~owner ~name)) e.replicas
+    in
+    if List.mem reader holders then begin
+      (* Local replica: only the integrity check costs anything. *)
+      let check = Bulk.hash_time t.host ~mb:e.size_mb ~parallel_chunks:e.chunk_count in
+      let data =
+        match Hashtbl.find_opt t.contents (key ~owner ~name) with
+        | Some (Real s) -> Some s
+        | _ -> None
+      in
+      finish check
+        (Some { latency = check; pulled_mb = 0.0; corrupted_chunks = 0; data })
+    end
+    else begin
+      match holders with
+      | [] -> finish 0.001 None
+      | _ ->
+        let corrupt, correct = List.partition (fun h -> is_byzantine t h) holders in
+        let chunks = max 1 e.chunk_count in
+        let nh = List.length holders in
+        (* Round-robin assignment: chunk i goes to holder (i mod nh). *)
+        let bad_chunks =
+          List.length
+            (List.filter
+               (fun i -> List.mem (List.nth holders (i mod nh)) corrupt)
+               (List.init chunks Fun.id))
+        in
+        let hosts_of l = List.map (fun _ -> t.host) l in
+        let t1 =
+          Bulk.parallel_pull_time ~sources:(hosts_of holders) ~dst:t.host ~mb:e.size_mb ~chunks
+        in
+        let hash1 = Bulk.hash_time t.host ~mb:e.size_mb ~parallel_chunks:chunks in
+        if bad_chunks = 0 then begin
+          let data =
+            match Hashtbl.find_opt t.contents (key ~owner ~name) with
+            | Some (Real s) -> Some s
+            | _ -> None
+          in
+          finish (t1 +. hash1)
+            (Some
+               { latency = t1 +. hash1; pulled_mb = e.size_mb; corrupted_chunks = 0; data })
+        end
+        else if correct = [] then finish (t1 +. hash1) None
+        else begin
+          let bad_mb = e.size_mb *. float_of_int bad_chunks /. float_of_int chunks in
+          let t2 =
+            Bulk.parallel_pull_time ~sources:(hosts_of correct) ~dst:t.host ~mb:bad_mb
+              ~chunks:bad_chunks
+          in
+          let hash2 = Bulk.hash_time t.host ~mb:bad_mb ~parallel_chunks:bad_chunks in
+          let total = t1 +. hash1 +. t2 +. hash2 in
+          let data =
+            match Hashtbl.find_opt t.contents (key ~owner ~name) with
+            | Some (Real s) -> Some s
+            | _ -> None
+          in
+          finish total
+            (Some
+               {
+                 latency = total;
+                 pulled_mb = e.size_mb +. bad_mb;
+                 corrupted_chunks = bad_chunks;
+                 data;
+               })
+        end
+    end
+
+(* --- Randomized replication feedback loop (Fig 5) ------------------- *)
+
+let rec maybe_replicate t nid fkey =
+  let ix = index_of t nid in
+  match Kv_index.get ix fkey with
+  | None -> ()
+  | Some e ->
+    if
+      (not (Hashtbl.mem (stored_of t nid) fkey))
+      && List.length e.replicas < t.rho
+      && is_correct_member t nid
+    then begin
+      let n = max 1 (Atum.size t.atum) in
+      let c = List.length e.replicas in
+      let prob = float_of_int (t.rho - c) /. float_of_int n in
+      if Atum_util.Rng.bernoulli t.rng prob then begin
+        (* Replicating = reading the file, then announcing. *)
+        get t ~reader:nid ~owner:fkey.Kv_index.owner ~name:fkey.Kv_index.name ~k:(function
+          | Some _ when is_correct_member t nid ->
+            Hashtbl.replace (stored_of t nid) fkey ();
+            ignore
+              (Atum.broadcast t.atum ~from:nid
+                 (encode [ "rep"; fkey.Kv_index.owner; fkey.Kv_index.name; string_of_int nid ]))
+          | _ -> ())
+      end
+    end
+
+and handle_deliver t nid body =
+  match decode body with
+  | [ "put"; owner; name; size_mb; chunks; owner_node ] -> (
+    match (float_of_string_opt size_mb, int_of_string_opt chunks, int_of_string_opt owner_node) with
+    | Some size_mb, Some chunk_count, Some owner_node ->
+      let fkey = key ~owner ~name in
+      Kv_index.put (index_of t nid) fkey { size_mb; chunk_count; replicas = [ owner_node ] };
+      maybe_replicate t nid fkey
+    | _ -> ())
+  | [ "rep"; owner; name; holder ] -> (
+    match int_of_string_opt holder with
+    | Some holder ->
+      let fkey = key ~owner ~name in
+      (match Kv_index.get (index_of t nid) fkey with
+      | Some e ->
+        if not (List.mem holder e.replicas) then e.replicas <- holder :: e.replicas;
+        maybe_replicate t nid fkey
+      | None -> ())
+    | None -> ())
+  | [ "del"; owner; name ] ->
+    let fkey = key ~owner ~name in
+    Kv_index.remove (index_of t nid) fkey;
+    Hashtbl.remove (stored_of t nid) fkey;
+    Hashtbl.remove t.contents fkey;
+    Hashtbl.remove t.digests fkey
+  | _ -> ()
+
+let attach atum ~rho =
+  if rho < 1 then invalid_arg "Ashare.attach: rho must be at least 1";
+  let t =
+    {
+      atum;
+      rho;
+      host = Bulk.ec2_micro;
+      rng = Atum_util.Rng.create 23;
+      indexes = Hashtbl.create 64;
+      stored = Hashtbl.create 64;
+      contents = Hashtbl.create 64;
+      digests = Hashtbl.create 64;
+    }
+  in
+  Atum.on_deliver atum (fun nid ~bid:_ ~origin:_ body -> handle_deliver t nid body);
+  t
+
+(* --- PUT / DELETE / SEARCH ------------------------------------------ *)
+
+let put t ~owner ~name ?(chunk_count = 10) content =
+  if not (Atum.is_member t.atum owner) then invalid_arg "Ashare.put: owner not in the system";
+  let fkey = key ~owner:(owner_name owner) ~name in
+  let size_mb = content_size_mb content in
+  Hashtbl.replace t.contents fkey content;
+  (match content with
+  | Real s -> Hashtbl.replace t.digests fkey (Atum_crypto.Chunks.digests ~chunk_count s)
+  | Synthetic _ -> ());
+  Hashtbl.replace (stored_of t owner) fkey ();
+  ignore
+    (Atum.broadcast t.atum ~from:owner
+       (encode
+          [
+            "put";
+            owner_name owner;
+            name;
+            string_of_float size_mb;
+            string_of_int chunk_count;
+            string_of_int owner;
+          ]))
+
+let delete t ~owner ~name =
+  ignore (Atum.broadcast t.atum ~from:owner (encode [ "del"; owner_name owner; name ]))
+
+let search t ~node term =
+  List.map
+    (fun ((k : Kv_index.key), _) -> (k.Kv_index.owner, k.Kv_index.name))
+    (Kv_index.search (index_of t node) term)
+
+let indexes_converged t =
+  let sys = Atum.system t.atum in
+  let members =
+    List.filter_map
+      (fun (n : System.node) ->
+        if n.System.alive && (not n.System.byzantine) && n.System.vg <> None then
+          Some n.System.id
+        else None)
+      (System.live_nodes sys)
+  in
+  match members with
+  | [] -> true
+  | first :: rest ->
+    let snapshot nid =
+      Kv_index.fold
+        (fun k e acc -> (k, e.size_mb, e.chunk_count, List.sort compare e.replicas) :: acc)
+        (index_of t nid) []
+    in
+    let reference = snapshot first in
+    List.for_all (fun nid -> snapshot nid = reference) rest
+
+let place_replicas t ~owner ~name ~holders =
+  let fkey = key ~owner:(owner_name owner) ~name in
+  let holders = List.sort_uniq compare holders in
+  (* Exact placement: the experiment controls the replica set, so any
+     previous holders are dropped first. *)
+  Hashtbl.iter (fun _ s -> Hashtbl.remove s fkey) t.stored;
+  List.iter (fun h -> Hashtbl.replace (stored_of t h) fkey ()) holders;
+  Hashtbl.iter
+    (fun _ ix ->
+      match Kv_index.get ix fkey with
+      | Some e -> e.replicas <- holders
+      | None -> ())
+    t.indexes

@@ -1,0 +1,43 @@
+(** ASub: topic-based publish/subscribe on Atum (§4.1).
+
+    Topic-based pub/sub is equivalent to group communication, so each
+    operation maps directly to the Atum API:
+    create_topic → bootstrap, subscribe → join, unsubscribe → leave,
+    publish → broadcast.  Each topic is one Atum instance; clients are
+    identified by name and mapped to a node per topic they follow. *)
+
+type t
+
+type event = { topic : string; subscriber : string; publisher : string; payload : string }
+
+val create : ?params:Atum_core.Params.t -> unit -> t
+
+val create_topic : t -> string -> unit
+(** Bootstraps a fresh Atum instance for the topic; the creator is the
+    implicit first subscriber, named ["@root"].  Raises
+    [Invalid_argument] on duplicates. *)
+
+val topics : t -> string list
+
+val subscribe : t -> topic:string -> string -> unit
+(** [subscribe t ~topic client] joins [client] to the topic's group
+    through a random existing subscriber.  Completion is asynchronous;
+    it is reflected by {!is_subscribed} once the join settles. *)
+
+val unsubscribe : t -> topic:string -> string -> unit
+
+val is_subscribed : t -> topic:string -> string -> bool
+
+val subscribers : t -> topic:string -> string list
+
+val publish : t -> topic:string -> as_:string -> string -> unit
+(** Broadcast an event to every subscriber of the topic.  The
+    publisher must be subscribed. *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Delivery callback, invoked once per (subscriber, event). *)
+
+val run_for : t -> float -> unit
+(** Advance every topic's simulation by [dt] seconds. *)
+
+val events_delivered : t -> int

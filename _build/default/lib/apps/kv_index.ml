@@ -1,0 +1,47 @@
+type key = { owner : string; name : string }
+
+let compare_key a b =
+  match compare a.owner b.owner with 0 -> compare a.name b.name | c -> c
+
+(* Backed by the B-tree store (Atum_util.Btree) — the ordered KV
+   engine standing in for the paper's SQLite (§4.2.2). *)
+type 'a t = ('a kv_tree) ref
+and 'a kv_tree = (key, 'a) Atum_util.Btree.t
+
+let create () = ref (Atum_util.Btree.create ~degree:8 ~cmp:compare_key ())
+
+let put t k v = Atum_util.Btree.insert !t k v
+
+let get t k = Atum_util.Btree.find !t k
+
+let mem t k = Atum_util.Btree.mem !t k
+
+let remove t k = Atum_util.Btree.remove !t k
+
+let size t = Atum_util.Btree.size !t
+
+let keys t = List.map fst (Atum_util.Btree.to_list !t)
+
+let fold f t init = Atum_util.Btree.fold f !t init
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else begin
+    let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+    scan 0
+  end
+
+let search t term =
+  List.rev
+    (fold
+       (fun k v acc ->
+         if contains_substring ~needle:term k.owner || contains_substring ~needle:term k.name
+         then (k, v) :: acc
+         else acc)
+       t [])
+
+let owner_files t owner =
+  (* Range scan over the owner's namespace: keys are ordered by owner
+     first, so the whole namespace is one contiguous B-tree range. *)
+  Atum_util.Btree.range !t ~lo:{ owner; name = "" } ~hi:{ owner; name = "\xff\xff\xff\xff" }

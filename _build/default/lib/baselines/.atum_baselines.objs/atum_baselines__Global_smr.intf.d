@@ -1,0 +1,1 @@
+lib/baselines/global_smr.mli:

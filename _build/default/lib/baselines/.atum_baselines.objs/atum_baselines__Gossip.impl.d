@@ -1,0 +1,1 @@
+lib/baselines/gossip.ml: Array Atum_util List

@@ -1,0 +1,1 @@
+lib/baselines/nfs.ml: Atum_sim

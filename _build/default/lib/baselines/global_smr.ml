@@ -1,0 +1,13 @@
+type result = { rounds : int; latency : float; messages_lower_bound : int }
+
+let run ~n ~faults ~round_duration =
+  if n < 1 then invalid_arg "Global_smr.run: n must be positive";
+  if faults < 0 || faults >= n then invalid_arg "Global_smr.run: bad fault count";
+  let rounds = faults + 1 in
+  {
+    rounds;
+    latency = float_of_int rounds *. round_duration;
+    messages_lower_bound = n * rounds;
+  }
+
+let latencies result ~n = List.init n (fun _ -> result.latency)

@@ -1,0 +1,41 @@
+type result = {
+  per_node_round : int array;
+  rounds_to_full : int;
+  messages : int;
+}
+
+let run ~n ~fanout ~seed =
+  if n < 1 then invalid_arg "Gossip.run: n must be positive";
+  if fanout < 1 then invalid_arg "Gossip.run: fanout must be positive";
+  let rng = Atum_util.Rng.create seed in
+  let round_of = Array.make n max_int in
+  round_of.(0) <- 0;
+  let infected = ref [ 0 ] in
+  let count = ref 1 in
+  let messages = ref 0 in
+  let round = ref 0 in
+  while !count < n do
+    incr round;
+    let senders = !infected in
+    List.iter
+      (fun _src ->
+        for _ = 1 to fanout do
+          incr messages;
+          let dst = Atum_util.Rng.int rng n in
+          if round_of.(dst) = max_int then begin
+            round_of.(dst) <- !round;
+            infected := dst :: !infected;
+            incr count
+          end
+        done)
+      senders
+  done;
+  { per_node_round = round_of; rounds_to_full = !round; messages = !messages }
+
+let latencies result ~round_duration =
+  Array.to_list (Array.map (fun r -> float_of_int r *. round_duration) result.per_node_round)
+
+let expected_rounds_upper_bound ~n ~fanout =
+  (* Push gossip with fanout F infects in O(log n / log (F+1)) rounds;
+     the constant is generous to keep the test robust. *)
+  (3.0 *. log (float_of_int n) /. log (float_of_int (fanout + 1))) +. 5.0

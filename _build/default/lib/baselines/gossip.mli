@@ -1,0 +1,22 @@
+(** S.Gossip — the first Fig 8 baseline: a classic round-based,
+    crash-tolerant push gossip protocol with global membership
+    knowledge and no failures.  Every infected node sends the message
+    to [fanout] uniformly random nodes each round.
+
+    To make the comparison fair the paper sets the fanout to the size
+    of an Atum node's view — a loose upper bound on Atum's fanout. *)
+
+type result = {
+  per_node_round : int array;  (** round in which each node delivered (index = node) *)
+  rounds_to_full : int;  (** rounds until every node delivered *)
+  messages : int;  (** total gossip messages sent *)
+}
+
+val run : n:int -> fanout:int -> seed:int -> result
+(** Disseminate one rumor from node 0 until every node holds it. *)
+
+val latencies : result -> round_duration:float -> float list
+(** Per-node delivery latency in seconds (the Fig 8 CDF series). *)
+
+val expected_rounds_upper_bound : n:int -> fanout:int -> float
+(** log-based upper bound used as a sanity check in tests. *)

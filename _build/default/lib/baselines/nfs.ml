@@ -1,0 +1,11 @@
+let server = Atum_sim.Bulk.ec2_micro
+
+(* NFS pays a small protocol overhead (mount/lookup/attribute round
+   trips) on top of the raw stream. *)
+let protocol_overhead = 0.05
+
+let read_time ~mb =
+  if mb <= 0.0 then invalid_arg "Nfs.read_time: size must be positive";
+  protocol_overhead +. Atum_sim.Bulk.single_stream_time ~src:server ~dst:server ~mb
+
+let latency_per_mb ~mb = read_time ~mb /. mb

@@ -1,0 +1,10 @@
+(** NFS4 stand-in — the Fig 9 baseline: a client reading a whole file
+    from a single remote server over one stream, with no replication,
+    no integrity checks, and no fault tolerance. *)
+
+val read_time : mb:float -> float
+(** Seconds to read an [mb]-megabyte file: per-request overhead plus a
+    single-stream transfer (connection setup and slow-start amortize
+    with size, as in Fig 9). *)
+
+val latency_per_mb : mb:float -> float

@@ -1,0 +1,1 @@
+lib/core/atum.ml: Atum_overlay Atum_sim Params System

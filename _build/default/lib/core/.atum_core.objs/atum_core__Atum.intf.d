@@ -1,0 +1,1 @@
+lib/core/atum.mli: Atum_sim Params System

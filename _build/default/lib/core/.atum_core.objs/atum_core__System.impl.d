@@ -1,0 +1,1 @@
+lib/core/system.ml: Atum_crypto Atum_overlay Atum_sim Atum_smr Atum_util Float Hashtbl List Option Params Printf String

@@ -1,0 +1,1 @@
+lib/core/system.mli: Atum_overlay Atum_sim Atum_smr Hashtbl Params

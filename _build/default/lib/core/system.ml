@@ -1,0 +1,1399 @@
+(* The Atum runtime: volatile groups over a simulated network.
+
+   Ground truth (who is in which vgroup, the H-graph) lives in a
+   registry that is mutated only when the responsible vgroup's SMR
+   instance has agreed on the change at a majority of its correct
+   members — the vgroup-controller abstraction documented in
+   DESIGN.md.  Message timing, group-message fan-out and acceptance,
+   SMR agreement latency, gossip, heartbeats and Byzantine quietness
+   are all simulated at per-node message granularity. *)
+
+module Rng = Atum_util.Rng
+module Engine = Atum_sim.Engine
+module Network = Atum_sim.Network
+module Rounds = Atum_sim.Rounds
+module Metrics = Atum_sim.Metrics
+module Hgraph = Atum_overlay.Hgraph
+module Random_walk = Atum_overlay.Random_walk
+module Grouping = Atum_overlay.Grouping
+
+type node_id = int
+type vg_id = int
+
+type gm_payload =
+  | Control of { label : string }
+  | Bcast of { bid : int; origin : node_id; body : string }
+
+type wire =
+  | Sync_msg of { vg : vg_id; epoch : int; m : Atum_smr.Sync_smr.msg }
+  | Async_msg of { vg : vg_id; epoch : int; m : Atum_smr.Pbft.msg }
+  | Group_part of { gm_id : int; src_vg : vg_id; src_size : int; payload : gm_payload }
+  | Direct of { token : int; label : string }
+  | Heartbeat
+
+type smr_inst =
+  | Smr_sync of (node_id, Atum_smr.Sync_smr.t) Hashtbl.t
+  | Smr_async of (node_id, Atum_smr.Pbft.t) Hashtbl.t
+
+type node = {
+  id : node_id;
+  mutable vg : vg_id option;
+  mutable byzantine : bool;
+  mutable alive : bool;
+  mutable exchanging : bool; (* engaged in a shuffle exchange right now *)
+  delivered : (int, unit) Hashtbl.t; (* broadcast ids this node delivered *)
+  bcast_senders : (int * vg_id, node_id list ref) Hashtbl.t;
+  gm_senders : (int, node_id list ref) Hashtbl.t;
+  gm_accepted : (int, unit) Hashtbl.t;
+  last_seen : (node_id, float) Hashtbl.t;
+}
+
+type vgroup = {
+  vid : vg_id;
+  mutable members : node_id list;
+  mutable epoch : int;
+  mutable smr : smr_inst option;
+  mutable busy : bool; (* a shuffle / split / merge holds the vgroup *)
+  mutable shuffle_pending : bool;
+  mutable retired : bool;
+  mutable saga_gen : int; (* increments when a saga takes the vgroup *)
+}
+
+type pending_op = {
+  op_id : string;
+  op_payload : string;
+  action : unit -> unit;
+  mutable fired : bool;
+  mutable execs : node_id list;
+}
+
+type gm_state = {
+  dst_needed : int;
+  gm_action : (unit -> unit) option;
+  mutable node_accepts : int;
+  mutable gm_fired : bool;
+}
+
+type bcast_meta = { started : float; origin_node : node_id }
+
+type t = {
+  params : Params.t;
+  engine : Engine.t;
+  net : wire Network.t;
+  rounds : Rounds.t option;
+  keyring : Atum_crypto.Signature.keyring;
+  rng : Rng.t;
+  metrics : Metrics.t;
+  nodes : (node_id, node) Hashtbl.t;
+  vgroups : (vg_id, vgroup) Hashtbl.t;
+  mutable hgraph : Hgraph.t;
+  mutable bootstrapped : bool;
+  mutable next_node : int;
+  mutable next_vg : int;
+  mutable next_gm : int;
+  mutable next_bid : int;
+  mutable next_op : int;
+  mutable next_token : int;
+  tokens : (int, unit -> unit) Hashtbl.t;
+  gms : (int, gm_state) Hashtbl.t;
+  pending_ops : (vg_id, pending_op list ref) Hashtbl.t;
+  bcasts : (int, bcast_meta) Hashtbl.t;
+  mutable on_deliver : node_id -> bid:int -> origin:node_id -> string -> unit;
+  mutable forward_policy : bid:int -> from_vg:vg_id -> cycle:int -> neighbor:vg_id -> bool;
+  mutable heartbeats_running : bool;
+  mutable heartbeats_since : float;
+  mutable shuffling_enabled : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction and small helpers                                      *)
+(* ------------------------------------------------------------------ *)
+
+let flood_forward ~bid:_ ~from_vg:_ ~cycle:_ ~neighbor:_ = true
+
+(* The paper's default (§3.3.4): forward to random neighbors — but
+   always gossip on a designated cycle, which turns the probabilistic
+   delivery of gossip into a deterministic guarantee.  The coin flip
+   hashes the broadcast id and the link, so every correct member of a
+   vgroup takes the same decision without coordination. *)
+let random_forward ~bid ~from_vg ~cycle ~neighbor =
+  cycle = 0 || Hashtbl.hash (bid, from_vg, cycle, neighbor) land 1 = 0
+
+let create ?(net_config : Network.config option) (params : Params.t) =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("System.create: " ^ e));
+  let engine = Engine.create () in
+  let net_config =
+    match net_config with
+    | Some c -> c
+    | None ->
+      (match params.protocol with
+      | Params.Sync -> Network.datacenter_config ~seed:(params.seed + 1)
+      | Params.Async -> Network.wan_config ~seed:(params.seed + 1))
+  in
+  let net = Network.create engine net_config in
+  let rounds =
+    match params.protocol with
+    | Params.Sync ->
+      let r = Rounds.create engine ~round_duration:params.round_duration in
+      Some r
+    | Params.Async -> None
+  in
+  {
+    params;
+    engine;
+    net;
+    rounds;
+    keyring = Atum_crypto.Signature.create_keyring ~seed:(params.seed + 2);
+    rng = Rng.create params.seed;
+    metrics = Metrics.create ();
+    nodes = Hashtbl.create 1024;
+    vgroups = Hashtbl.create 256;
+    hgraph = Hgraph.singleton ~cycles:params.hc (-1);
+    bootstrapped = false;
+    next_node = 0;
+    next_vg = 0;
+    next_gm = 0;
+    next_bid = 0;
+    next_op = 0;
+    next_token = 0;
+    tokens = Hashtbl.create 256;
+    gms = Hashtbl.create 256;
+    pending_ops = Hashtbl.create 64;
+    bcasts = Hashtbl.create 64;
+    on_deliver = (fun _ ~bid:_ ~origin:_ _ -> ());
+    forward_policy = random_forward;
+    heartbeats_running = false;
+    heartbeats_since = infinity;
+    shuffling_enabled = true;
+  }
+
+let engine t = t.engine
+let metrics t = t.metrics
+let network t = t.net
+let now t = Engine.now t.engine
+let params t = t.params
+
+let set_deliver t f = t.on_deliver <- f
+let set_forward_policy t f = t.forward_policy <- f
+
+let node t id = Hashtbl.find t.nodes id
+let node_opt t id = Hashtbl.find_opt t.nodes id
+let vgroup t vid = Hashtbl.find t.vgroups vid
+let vgroup_opt t vid = Hashtbl.find_opt t.vgroups vid
+
+let node_name id = "node-" ^ string_of_int id
+
+let is_correct n = n.alive && not n.byzantine
+
+let correct_members t vg = List.filter (fun m -> is_correct (node t m)) vg.members
+
+let majority_of count = (count / 2) + 1
+
+let live_nodes t =
+  Hashtbl.fold (fun _ n acc -> if n.alive && n.vg <> None then n :: acc else acc) t.nodes []
+
+let system_size t = List.length (live_nodes t)
+
+let vgroup_count t =
+  Hashtbl.fold (fun _ vg acc -> if vg.retired then acc else acc + 1) t.vgroups 0
+
+let vgroup_sizes t =
+  Hashtbl.fold
+    (fun _ vg acc -> if vg.retired then acc else List.length vg.members :: acc)
+    t.vgroups []
+
+let fresh_node_id t =
+  let id = t.next_node in
+  t.next_node <- id + 1;
+  id
+
+let fresh_vg_id t =
+  let id = t.next_vg in
+  t.next_vg <- id + 1;
+  id
+
+let fresh_gm_id t =
+  let id = t.next_gm in
+  t.next_gm <- id + 1;
+  id
+
+let fresh_token t =
+  let id = t.next_token in
+  t.next_token <- id + 1;
+  id
+
+(* In the synchronous deployment every protocol step is taken at a
+   round boundary; in the asynchronous one, immediately. *)
+let defer t f =
+  match t.rounds with
+  | None -> f ()
+  | Some r ->
+    let d = Rounds.round_duration r in
+    let next = (Float.floor (now t /. d) +. 1.0) *. d in
+    Engine.schedule_at t.engine ~time:next f
+
+(* ------------------------------------------------------------------ *)
+(* SMR plumbing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let epoch_id vg = Printf.sprintf "vg%d/e%d" vg.vid vg.epoch
+
+(* Forward declaration: the SMR execute callback needs the whole
+   dispatch logic, which needs sagas, which need [agree]... tie the
+   knot with a reference. *)
+let execute_hook :
+    (t -> vgroup -> node_id -> Atum_smr.Smr_intf.op -> unit) ref =
+  ref (fun _ _ _ _ -> ())
+
+let stop_smr vg =
+  match vg.smr with
+  | Some (Smr_sync tbl) -> Hashtbl.iter (fun _ inst -> Atum_smr.Sync_smr.stop inst) tbl
+  | Some (Smr_async tbl) -> Hashtbl.iter (fun _ inst -> Atum_smr.Pbft.stop inst) tbl
+  | None -> ()
+
+let install_smr t vg =
+  let g = List.length vg.members in
+  let members = vg.members in
+  let correct = correct_members t vg in
+  (match t.params.protocol with
+  | Params.Sync ->
+    let f = Atum_smr.Smr_intf.sync_f ~group_size:g in
+    let tbl = Hashtbl.create g in
+    List.iter
+      (fun self ->
+        Atum_crypto.Signature.register t.keyring (node_name self);
+        let epoch = vg.epoch in
+        let transport =
+          {
+            Atum_smr.Smr_intf.self;
+            members;
+            f;
+            send =
+              (fun dst m -> Network.send t.net ~src:self ~dst (Sync_msg { vg = vg.vid; epoch; m }));
+            set_timer = (fun delay fn -> Engine.schedule t.engine ~delay fn);
+          }
+        in
+        let inst =
+          Atum_smr.Sync_smr.create ~keyring:t.keyring ~transport ~epoch_id:(epoch_id vg)
+            ~on_execute:(fun op -> !execute_hook t vg self op)
+        in
+        Hashtbl.replace tbl self inst)
+      correct;
+    vg.smr <- Some (Smr_sync tbl)
+  | Params.Async ->
+    let f = Atum_smr.Smr_intf.async_f ~group_size:g in
+    let tbl = Hashtbl.create g in
+    List.iter
+      (fun self ->
+        let epoch = vg.epoch in
+        let transport =
+          {
+            Atum_smr.Smr_intf.self;
+            members;
+            f;
+            send =
+              (fun dst m ->
+                Network.send t.net ~src:self ~dst (Async_msg { vg = vg.vid; epoch; m }));
+            set_timer = (fun delay fn -> Engine.schedule t.engine ~delay fn);
+          }
+        in
+        let inst =
+          Atum_smr.Pbft.create ~transport ~timeout:t.params.pbft_timeout
+            ~on_execute:(fun op -> !execute_hook t vg self op)
+        in
+        Hashtbl.replace tbl self inst)
+      correct;
+    vg.smr <- Some (Smr_async tbl))
+
+let pending_of t vid =
+  match Hashtbl.find_opt t.pending_ops vid with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace t.pending_ops vid r;
+    r
+
+let proposer_of t vg =
+  match correct_members t vg with [] -> None | m :: _ -> Some m
+
+let propose_raw _t vg ~proposer payload =
+  match vg.smr with
+  | None -> ()
+  | Some (Smr_sync tbl) ->
+    (match Hashtbl.find_opt tbl proposer with
+    | Some inst -> Atum_smr.Sync_smr.propose inst payload
+    | None -> ())
+  | Some (Smr_async tbl) ->
+    (match Hashtbl.find_opt tbl proposer with
+    | Some inst -> Atum_smr.Pbft.propose inst payload
+    | None -> ())
+
+(* Membership changed: stop the old epoch's instances, start the new
+   ones, and re-propose any agreement still in flight (the SMART-style
+   carry-over). *)
+let reconfigure t vg =
+  stop_smr vg;
+  vg.epoch <- vg.epoch + 1;
+  if vg.members <> [] && not vg.retired then begin
+    install_smr t vg;
+    let pend = pending_of t vg.vid in
+    List.iter
+      (fun p ->
+        if not p.fired then begin
+          p.execs <- [];
+          match proposer_of t vg with
+          | Some proposer -> propose_raw t vg ~proposer ("op#" ^ p.op_id ^ "#" ^ p.op_payload)
+          | None -> ()
+        end)
+      !pend
+  end
+  else vg.smr <- None
+
+let agree t vg ?proposer payload action =
+  if vg.retired then ()
+  else begin
+    let op_id = string_of_int t.next_op in
+    t.next_op <- t.next_op + 1;
+    let p = { op_id; op_payload = payload; action; fired = false; execs = [] } in
+    let pend = pending_of t vg.vid in
+    pend := p :: !pend;
+    let proposer = match proposer with Some m -> Some m | None -> proposer_of t vg in
+    match proposer with
+    | Some proposer -> propose_raw t vg ~proposer ("op#" ^ op_id ^ "#" ^ payload)
+    | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Group messages                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let control_bytes label = 64 + String.length label
+
+(* A group message src -> dst: every correct member of src sends to
+   every member of dst.  Digest substitution (§5.1): only a majority of
+   the senders ship the full payload, the rest send a digest — modelled
+   in the byte accounting.  [k], if given, fires once, when a majority
+   of dst's members have individually accepted (i.e. the vgroup as an
+   entity has received the group message). *)
+let group_send t ~src_vg ~dst_vg ~payload ?size ?k ?on_fail () =
+  match (vgroup_opt t src_vg, vgroup_opt t dst_vg) with
+  | Some src, Some dst when (not src.retired) && not dst.retired ->
+    let gm_id = fresh_gm_id t in
+    let dst_needed = majority_of (List.length dst.members) in
+    (match k with
+    | Some _ ->
+      Hashtbl.replace t.gms gm_id { dst_needed; gm_action = k; node_accepts = 0; gm_fired = false }
+    | None -> ());
+    let senders = correct_members t src in
+    let src_size = List.length src.members in
+    let full_senders = majority_of src_size in
+    let base_size =
+      match size with
+      | Some s -> s
+      | None -> (match payload with
+        | Control { label } -> control_bytes label
+        | Bcast { body; _ } -> 64 + String.length body)
+    in
+    Metrics.incr t.metrics "gm.sent";
+    defer t (fun () ->
+        List.iteri
+          (fun i s ->
+            let bytes = if i < full_senders then base_size else 32 in
+            List.iter
+              (fun d ->
+                Network.send ~size:bytes t.net ~src:s ~dst:d
+                  (Group_part { gm_id; src_vg; src_size; payload }))
+              dst.members)
+          senders)
+  | _ ->
+    Metrics.incr t.metrics "gm.undeliverable";
+    (* The destination vanished (merged away) before we could talk to
+       it; tell the caller so sagas can recover instead of stalling. *)
+    (match on_fail with Some f -> f () | None -> ())
+
+let direct_send t ~src ~dst ~label ?k () =
+  let token = fresh_token t in
+  (match k with Some k -> Hashtbl.replace t.tokens token k | None -> ());
+  Metrics.incr t.metrics "direct.sent";
+  defer t (fun () ->
+      Network.send ~size:(control_bytes label) t.net ~src ~dst (Direct { token; label }))
+
+(* ------------------------------------------------------------------ *)
+(* Distributed random walks (§3.2, §5.1)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The forwarding vgroup certifies each hop: the identity of the
+   chosen neighbor, signed on behalf of the vgroup (by its first
+   correct member, standing in for a vgroup multi-signature).  The
+   selected vgroup returns the whole chain to the origin, which
+   verifies every link — so a Byzantine relay cannot teleport the walk
+   (§5.1, "random walk certificates"). *)
+let certificate t ~walk_id ~hop ~from_vg ~next =
+  match vgroup_opt t from_vg with
+  | Some vg when not vg.retired -> (
+    match correct_members t vg with
+    | [] -> None
+    | signer :: _ ->
+      let payload = Printf.sprintf "walk:%d/hop:%d/%d->%d" walk_id hop from_vg next in
+      Some (Atum_crypto.Signature.sign t.keyring ~signer:(node_name signer) payload, payload))
+  | _ -> None
+
+let verify_certificates t chain =
+  List.for_all
+    (fun (signature, payload) -> Atum_crypto.Signature.verify t.keyring signature ~msg:payload)
+    chain
+
+(* Bulk RNG: all hop choices are drawn by the initiating vgroup and
+   piggybacked on the walk (§5.1).  Each hop is one group message.
+   Termination: backward phase for Sync (the reply retraces the path),
+   certificate chain for Async (one reply carrying per-hop vgroup
+   certificates, verified by the origin). *)
+let start_walk t ~from_vg ~k =
+  let choices = Random_walk.bulk_choices t.rng ~length:t.params.rwl in
+  let walk_id = fresh_gm_id t in
+  Metrics.incr t.metrics "walk.started";
+  let rec forward v path certs = function
+    | [] -> terminate v path certs
+    | c :: rest ->
+      if not (Hgraph.mem t.hgraph v) then begin
+        Metrics.incr t.metrics "walk.lost";
+        restart ()
+      end
+      else begin
+        let links = Hgraph.neighbors t.hgraph v in
+        let _, next = List.nth links (c mod List.length links) in
+        let certs =
+          if t.params.protocol = Params.Async then
+            match certificate t ~walk_id ~hop:(List.length path) ~from_vg:v ~next with
+            | Some cert -> cert :: certs
+            | None -> certs
+          else certs
+        in
+        group_send t ~src_vg:v ~dst_vg:next ~payload:(Control { label = "walk-step" })
+          ~size:(96 + (8 * List.length rest))
+          ~k:(fun () -> forward next (v :: path) certs rest)
+          ~on_fail:(fun () ->
+            Metrics.incr t.metrics "walk.lost";
+            restart ())
+          ()
+      end
+  and terminate v path certs =
+    match t.params.protocol with
+    | Params.Async ->
+      (* One reply carrying the certificate chain; its size is linear
+         in rwl, and the origin verifies every signature. *)
+      group_send t ~src_vg:v ~dst_vg:from_vg
+        ~payload:(Control { label = "walk-cert" })
+        ~size:(64 + (80 * List.length certs))
+        ~k:(fun () ->
+          if verify_certificates t certs then finish v
+          else begin
+            Metrics.incr t.metrics "walk.cert_rejected";
+            restart ()
+          end)
+        ~on_fail:(fun () ->
+          Metrics.incr t.metrics "walk.lost";
+          restart ())
+        ()
+    | Params.Sync ->
+      ignore certs;
+      (* Backward phase: retrace the forwarding path, so the origin
+         learns the selected vgroup and they can talk directly. *)
+      let final = v in
+      let rec back_from v path =
+        match path with
+        | [] -> finish final
+        | prev :: rest ->
+          group_send t ~src_vg:v ~dst_vg:prev ~payload:(Control { label = "walk-back" })
+            ~k:(fun () -> back_from prev rest)
+            ~on_fail:(fun () ->
+              (* a relay on the return path vanished: the origin would
+                 time out and re-issue the walk *)
+              Metrics.incr t.metrics "walk.lost";
+              restart ())
+            ()
+      in
+      back_from v path
+  and finish v =
+    match vgroup_opt t v with
+    | Some dst when not dst.retired ->
+      Metrics.incr t.metrics "walk.completed";
+      k v
+    | _ ->
+      Metrics.incr t.metrics "walk.lost";
+      restart ()
+  and restart () =
+    (* The walk stepped onto a vgroup that was merged away mid-walk;
+       start over from the origin, unless the origin itself is gone. *)
+    match vgroup_opt t from_vg with
+    | Some src when not src.retired ->
+      Engine.schedule t.engine ~delay:0.01 (fun () ->
+          let choices = Random_walk.bulk_choices t.rng ~length:t.params.rwl in
+          forward from_vg [] [] choices)
+    | _ -> Metrics.incr t.metrics "walk.abandoned"
+  in
+  forward from_vg [] [] choices
+
+(* ------------------------------------------------------------------ *)
+(* Registry mutations (applied only from agreed operations)            *)
+(* ------------------------------------------------------------------ *)
+
+let notify_neighbors t vg =
+  if Hgraph.mem t.hgraph vg.vid then begin
+    let neighbors = List.filter (fun v -> v <> vg.vid) (Hgraph.neighbor_set t.hgraph vg.vid) in
+    List.iter
+      (fun nb ->
+        group_send t ~src_vg:vg.vid ~dst_vg:nb
+          ~payload:(Control { label = "reconfig" })
+          ~size:(64 * List.length vg.members)
+          ())
+      neighbors
+  end
+
+let seed_last_seen t vg member =
+  let n = node t member in
+  List.iter
+    (fun peer -> if peer <> member then begin
+        Hashtbl.replace n.last_seen peer (now t);
+        (match node_opt t peer with
+        | Some pn -> Hashtbl.replace pn.last_seen member (now t)
+        | None -> ())
+      end)
+    vg.members
+
+let add_member t vg member =
+  vg.members <- vg.members @ [ member ];
+  (node t member).vg <- Some vg.vid;
+  seed_last_seen t vg member;
+  reconfigure t vg;
+  notify_neighbors t vg
+
+let remove_member t vg member =
+  vg.members <- List.filter (fun m -> m <> member) vg.members;
+  let n = node t member in
+  if n.vg = Some vg.vid then n.vg <- None;
+  reconfigure t vg;
+  notify_neighbors t vg
+
+(* ------------------------------------------------------------------ *)
+(* Logarithmic grouping: split and merge (§3.1, §3.3)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Size maintenance runs after shuffles; forward declarations tie the
+   shuffle / split / merge recursion. *)
+let rec check_size t vg =
+  if (not vg.retired) && not vg.busy then begin
+    let size = List.length vg.members in
+    if Grouping.needs_split ~gmax:t.params.gmax ~size then split t vg
+    else if Grouping.needs_merge ~gmin:t.params.gmin ~size && vgroup_count t > 1 then
+      merge t vg ~attempts:5
+  end
+
+(* A split's placement walks can be lost; if the new vgroup is still
+   absent from some cycles, splice it next to a random resident of
+   each missing cycle (the coordinator retrying with local knowledge).
+   Without this a half-inserted vgroup would be unreachable by gossip
+   restricted to the missing cycles. *)
+and ensure_on_all_cycles t vg =
+  if (not vg.retired) && Hgraph.mem t.hgraph vg.vid then
+    for cycle = 0 to t.params.hc - 1 do
+      if Hgraph.successor_opt t.hgraph ~cycle vg.vid = None then begin
+        let residents =
+          List.filter
+            (fun v ->
+              v <> vg.vid && Hgraph.successor_opt t.hgraph ~cycle v <> None)
+            (Hgraph.vertices t.hgraph)
+        in
+        match residents with
+        | [] -> ()
+        | _ ->
+          Metrics.incr t.metrics "split.insert_repaired";
+          Hgraph.insert_after t.hgraph ~cycle ~after:(Rng.pick t.rng residents) vg.vid
+      end
+    done
+
+(* A saga can stall when a participant vgroup vanishes mid-protocol (a
+   group message becomes undeliverable, an agreement's vgroup retires).
+   Real deployments recover with timeouts; so do we: if the vgroup is
+   still held by the same saga after the deadline, release it, repair
+   any half-done overlay insertion, and re-run the size check so
+   splits/merges are never blocked forever. *)
+and arm_saga_watchdog t vg =
+  vg.saga_gen <- vg.saga_gen + 1;
+  let gen = vg.saga_gen in
+  let timeout =
+    Float.max 90.0 (float_of_int (6 * t.params.rwl) *. t.params.round_duration)
+  in
+  Engine.schedule t.engine ~delay:timeout (fun () ->
+      if (not vg.retired) && vg.busy && vg.saga_gen = gen then begin
+        Metrics.incr t.metrics "saga.timeout";
+        ensure_on_all_cycles t vg;
+        vg.busy <- false;
+        let rerun = vg.shuffle_pending in
+        vg.shuffle_pending <- false;
+        if rerun then shuffle t vg else check_size t vg
+      end)
+
+(* Split (§3.3.2): the members are divided into two random halves; the
+   new vgroup is spliced into every H-graph cycle at a position chosen
+   by a random walk. *)
+and split t vg =
+  if (not vg.retired) && not vg.busy then begin
+    vg.busy <- true;
+    arm_saga_watchdog t vg;
+    agree t vg "split" (fun () ->
+        if vg.retired then vg.busy <- false
+        else begin
+          Metrics.incr t.metrics "vgroup.split";
+          let keep, depart = Grouping.split_halves t.rng vg.members in
+          let evid = fresh_vg_id t in
+          let e =
+            {
+              vid = evid;
+              members = depart;
+              epoch = 0;
+              smr = None;
+              busy = true;
+              shuffle_pending = false;
+              retired = false;
+              saga_gen = 0;
+            }
+          in
+          Hashtbl.replace t.vgroups evid e;
+          arm_saga_watchdog t e;
+          vg.members <- keep;
+          List.iter (fun m -> (node t m).vg <- Some evid) depart;
+          reconfigure t vg;
+          reconfigure t e;
+          (* One walk per cycle decides where E lands on that cycle. *)
+          let remaining = ref t.params.hc in
+          for cycle = 0 to t.params.hc - 1 do
+            start_walk t ~from_vg:vg.vid ~k:(fun w ->
+                let anchor =
+                  if Hgraph.mem t.hgraph w && w <> evid then w else vg.vid
+                in
+                (try Hgraph.insert_after t.hgraph ~cycle ~after:anchor evid
+                 with Invalid_argument _ ->
+                   (* The anchor left this cycle mid-flight; fall back
+                      to splicing next to the splitting vgroup. *)
+                   Hgraph.insert_after t.hgraph ~cycle ~after:vg.vid evid);
+                decr remaining;
+                if !remaining = 0 then begin
+                  ensure_on_all_cycles t e;
+                  notify_neighbors t e;
+                  e.busy <- false;
+                  vg.busy <- false;
+                  check_size t vg;
+                  check_size t e
+                end)
+          done
+        end)
+  end
+
+(* Merge (§3.3.3): all members of a shrunken vgroup join a random
+   neighbor; the departing vgroup is removed from every cycle and the
+   gaps close.  The combined vgroup then shuffles, per the paper. *)
+and merge t vg ~attempts =
+  if (not vg.retired) && (not vg.busy) && vgroup_count t > 1 then begin
+    let candidates =
+      List.filter
+        (fun v ->
+          v <> vg.vid
+          &&
+          match vgroup_opt t v with
+          | Some m -> (not m.retired) && not m.busy
+          | None -> false)
+        (Hgraph.neighbor_set t.hgraph vg.vid)
+    in
+    match candidates with
+    | [] ->
+      if attempts > 0 then
+        Engine.schedule t.engine ~delay:(2.0 *. t.params.round_duration) (fun () ->
+            merge t vg ~attempts:(attempts - 1))
+      else Metrics.incr t.metrics "merge.abandoned"
+    | _ ->
+      let mvid = Rng.pick t.rng candidates in
+      let m = vgroup t mvid in
+      vg.busy <- true;
+      m.busy <- true;
+      arm_saga_watchdog t vg;
+      arm_saga_watchdog t m;
+      agree t vg "merge-out" (fun () ->
+          agree t m "merge-in" (fun () ->
+              if vg.retired || m.retired then begin
+                vg.busy <- false;
+                m.busy <- false
+              end
+              else begin
+                Metrics.incr t.metrics "vgroup.merge";
+                let moving = vg.members in
+                Hgraph.remove t.hgraph vg.vid;
+                vg.retired <- true;
+                vg.members <- [];
+                stop_smr vg;
+                vg.smr <- None;
+                List.iter (fun x -> (node t x).vg <- Some mvid) moving;
+                m.members <- m.members @ moving;
+                List.iter (fun x -> seed_last_seen t m x) moving;
+                reconfigure t m;
+                notify_neighbors t m;
+                vg.busy <- false;
+                m.busy <- false;
+                (* Deferred shuffle of the merged vgroup (§3.3.3). *)
+                shuffle t m
+              end))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Random walk shuffling (§3.2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Refresh a vgroup's composition: for every member, a random walk
+   picks an exchange partner vgroup; the member and a random node of
+   the partner swap places.  An exchange whose partner vgroup is
+   already engaged is suppressed — exactly what Fig 13 measures. *)
+and shuffle t vg =
+  if vg.retired || not t.shuffling_enabled then (if not vg.retired then check_size t vg)
+  else if vg.busy then vg.shuffle_pending <- true
+  else begin
+    vg.busy <- true;
+    arm_saga_watchdog t vg;
+    Metrics.incr t.metrics "shuffle.started";
+    let members0 = vg.members in
+    let remaining = ref (List.length members0) in
+    let finish_one () =
+      decr remaining;
+      if !remaining = 0 then begin
+        vg.busy <- false;
+        Metrics.incr t.metrics "shuffle.completed";
+        let rerun = vg.shuffle_pending in
+        vg.shuffle_pending <- false;
+        if rerun then shuffle t vg else check_size t vg
+      end
+    in
+    if members0 = [] then begin
+      vg.busy <- false;
+      check_size t vg
+    end
+    else
+      List.iter
+        (fun m ->
+          start_walk t ~from_vg:vg.vid ~k:(fun pvid ->
+              (* Suppression is per node (§3.2 / Fig 13): the exchange
+                 is abandoned when the chosen partner (or the departing
+                 member) is already engaged in another exchange, or the
+                 partner vgroup is gone / mid-split/merge. *)
+              match vgroup_opt t pvid with
+              | Some p
+                when (not p.retired) && p.vid <> vg.vid
+                     && List.mem m vg.members && p.members <> []
+                     && not (node t m).exchanging ->
+                let partner = Rng.pick t.rng p.members in
+                if (node t partner).exchanging then begin
+                  Metrics.incr t.metrics "exchange.suppressed";
+                  finish_one ()
+                end
+                else begin
+                  (node t m).exchanging <- true;
+                  (node t partner).exchanging <- true;
+                  let release () =
+                    (node t m).exchanging <- false;
+                    (node t partner).exchanging <- false
+                  in
+                  (* The two vgroups agree concurrently (§7: multiple
+                     vgroups reconfigure at once); the swap applies
+                     when both agreements have fired. *)
+                  let barrier = ref 2 in
+                  let on_agreed k = decr barrier; if !barrier = 0 then k () in
+                  let proceed () =
+                          if
+                            vg.retired || p.retired
+                            || (not (List.mem m vg.members))
+                            || not (List.mem partner p.members)
+                          then begin
+                            release ();
+                            Metrics.incr t.metrics "exchange.suppressed";
+                            finish_one ()
+                          end
+                          else begin
+                            (* Swap m and partner. *)
+                            vg.members <-
+                              List.map (fun x -> if x = m then partner else x) vg.members;
+                            p.members <-
+                              List.map (fun x -> if x = partner then m else x) p.members;
+                            (node t m).vg <- Some p.vid;
+                            (node t partner).vg <- Some vg.vid;
+                            seed_last_seen t vg partner;
+                            seed_last_seen t p m;
+                            reconfigure t vg;
+                            reconfigure t p;
+                            notify_neighbors t vg;
+                            notify_neighbors t p;
+                            release ();
+                            Metrics.incr t.metrics "exchange.completed";
+                            finish_one ()
+                          end
+                  in
+                  agree t vg ("swap-out:" ^ string_of_int m) (fun () -> on_agreed proceed);
+                  agree t p ("swap-in:" ^ string_of_int partner) (fun () -> on_agreed proceed)
+                end
+              | _ ->
+                Metrics.incr t.metrics "exchange.suppressed";
+                finish_one ()))
+        members0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Join, leave, eviction (§3.3)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Join (§3.3.2): contact node -> agreement at the contact vgroup ->
+   random walk selects the hosting vgroup D -> D agrees to add the
+   joiner -> shuffle D -> split if oversized. *)
+let join t ~joiner ~contact ?(k = fun _ -> ()) () =
+  let j = node t joiner in
+  if j.vg <> None then invalid_arg "System.join: node already in the system";
+  let t0 = now t in
+  Metrics.incr t.metrics "join.requested";
+  match Option.bind (node_opt t contact) (fun c -> c.vg) with
+  | None -> invalid_arg "System.join: contact node not in the system"
+  | Some cvid ->
+    direct_send t ~src:joiner ~dst:contact ~label:"join-contact"
+      ~k:(fun () ->
+        direct_send t ~src:contact ~dst:joiner ~label:"contact-reply"
+          ~k:(fun () ->
+            match vgroup_opt t cvid with
+            | Some c when not c.retired ->
+              (* The joiner asks all of C; C agrees on handling it. *)
+              agree t c ("join:" ^ string_of_int joiner) (fun () ->
+                  start_walk t ~from_vg:c.vid ~k:(fun dvid ->
+                      match vgroup_opt t dvid with
+                      | Some _ ->
+                        (* C tells j the composition of D; j contacts D. *)
+                        direct_send t ~src:(List.hd c.members) ~dst:joiner
+                          ~label:"join-assign"
+                          ~k:(fun () ->
+                            match vgroup_opt t dvid with
+                            | Some d when (not d.retired) && j.alive ->
+                              agree t d ("add:" ^ string_of_int joiner) (fun () ->
+                                  if d.retired || not j.alive then
+                                    Metrics.incr t.metrics "join.failed"
+                                  else begin
+                                    add_member t d joiner;
+                                    Metrics.incr t.metrics "join.completed";
+                                    Atum_sim.Metrics.observe t.metrics "join.latency"
+                                      (now t -. t0);
+                                    k d.vid;
+                                    shuffle t d
+                                  end)
+                            | _ -> Metrics.incr t.metrics "join.failed")
+                          ()
+                      | None -> Metrics.incr t.metrics "join.failed"))
+            | _ -> Metrics.incr t.metrics "join.failed")
+          ())
+      ()
+
+(* Leave (§3.3.3): agreement at the leaver's vgroup, neighbor
+   notification, then merge (if undersized) or shuffle. *)
+let depart t ~target ~reason ?(k = fun () -> ()) () =
+  let n = node t target in
+  match n.vg with
+  | None -> k ()
+  | Some vid ->
+    (match vgroup_opt t vid with
+    | Some vg when not vg.retired ->
+      agree t vg (reason ^ ":" ^ string_of_int target) (fun () ->
+          if vg.retired || not (List.mem target vg.members) then k ()
+          else begin
+            remove_member t vg target;
+            Metrics.incr t.metrics ("node." ^ reason);
+            k ();
+            if vg.members = [] then begin
+              (* Last member gone: retire the vgroup entirely. *)
+              if vgroup_count t > 1 then Hgraph.remove t.hgraph vg.vid;
+              vg.retired <- true;
+              stop_smr vg;
+              vg.smr <- None
+            end
+            else if
+              Grouping.needs_merge ~gmin:t.params.gmin ~size:(List.length vg.members)
+              && vgroup_count t > 1
+            then merge t vg ~attempts:5 (* shuffle deferred until after merge *)
+            else shuffle t vg
+          end)
+    | _ -> k ())
+
+let leave t ~target ?k () = depart t ~target ~reason:"leave" ?k ()
+
+let evict t ~target ?k () =
+  Metrics.incr t.metrics "eviction.triggered";
+  depart t ~target ~reason:"evicted" ?k ()
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast (§3.3.4)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let encode_bcast ~bid ~origin ~body =
+  Printf.sprintf "bcast#%d#%d#%s" bid origin body
+
+(* Per-node delivery: record latency, hand to the application, then
+   gossip the message to neighbor vgroups selected by the forward
+   callback (flooding by default). *)
+let node_deliver t nid ~bid ~origin ~body =
+  let n = node t nid in
+  if (not (Hashtbl.mem n.delivered bid)) && is_correct n then begin
+    Hashtbl.replace n.delivered bid ();
+    (match Hashtbl.find_opt t.bcasts bid with
+    | Some meta ->
+      Atum_sim.Metrics.observe t.metrics "broadcast.latency" (now t -. meta.started)
+    | None -> ());
+    Metrics.incr t.metrics "broadcast.delivered";
+    t.on_deliver nid ~bid ~origin body;
+    match n.vg with
+    | None -> ()
+    | Some vid ->
+      if Hgraph.mem t.hgraph vid then begin
+        let targets =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (cycle, nb) ->
+                 if nb <> vid && t.forward_policy ~bid ~from_vg:vid ~cycle ~neighbor:nb then
+                   Some nb
+                 else None)
+               (Hgraph.neighbors t.hgraph vid))
+        in
+        let vg = vgroup t vid in
+        let src_size = List.length vg.members in
+        let my_rank =
+          let rec rank i = function
+            | [] -> i
+            | x :: rest -> if x = nid then i else rank (i + 1) rest
+          in
+          rank 0 vg.members
+        in
+        let full = my_rank < majority_of src_size in
+        let bytes = if full then 64 + String.length body else 32 in
+        defer t (fun () ->
+            List.iter
+              (fun nb ->
+                match vgroup_opt t nb with
+                | Some nbg when not nbg.retired ->
+                  List.iter
+                    (fun d ->
+                      Network.send ~size:bytes t.net ~src:nid ~dst:d
+                        (Group_part
+                           { gm_id = -1; src_vg = vid; src_size; payload = Bcast { bid; origin; body } }))
+                    nbg.members
+                | _ -> ())
+              targets)
+      end
+  end
+
+(* Broadcast entry point: phase one is a Byzantine broadcast inside
+   the caller's vgroup through SMR; phase two is the gossip above. *)
+let broadcast t ~from body =
+  let n = node t from in
+  match n.vg with
+  | None -> invalid_arg "System.broadcast: node not in the system"
+  | Some vid ->
+    let vg = vgroup t vid in
+    let bid = t.next_bid in
+    t.next_bid <- bid + 1;
+    Hashtbl.replace t.bcasts bid { started = now t; origin_node = from };
+    Metrics.incr t.metrics "broadcast.sent";
+    (* Phase one: the raw bcast operation goes through the vgroup's
+       SMR; each member's execution delivers and starts the gossip. *)
+    let proposer =
+      if is_correct n then Some from else proposer_of t vg
+    in
+    (match proposer with
+    | Some proposer -> propose_raw t vg ~proposer (encode_bcast ~bid ~origin:from ~body)
+    | None -> ());
+    bid
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeats and eviction of unresponsive nodes (§5.1)                *)
+(* ------------------------------------------------------------------ *)
+
+let heartbeat_sweep t =
+  Hashtbl.iter
+    (fun _ vg ->
+      if (not vg.retired) && List.length vg.members > 1 then begin
+        (* Everyone (including Byzantine nodes, which have an interest
+           in not being evicted) heartbeats its vgroup peers. *)
+        List.iter
+          (fun m ->
+            let n = node t m in
+            if n.alive then
+              List.iter
+                (fun peer ->
+                  if peer <> m then Network.send ~size:32 t.net ~src:m ~dst:peer Heartbeat)
+                vg.members)
+          vg.members;
+        (* Byzantine members periodically propose to evict correct
+           peers (§6.1.3); correct members check their own evidence and
+           ignore proposals about nodes they have recently heard. *)
+        List.iter
+          (fun m ->
+            let n = node t m in
+            if n.alive && n.byzantine then
+              Metrics.incr t.metrics "byzantine.evict_proposal")
+          vg.members;
+        (* The lowest correct member checks for silent peers. *)
+        match correct_members t vg with
+        | [] -> ()
+        | detector :: _ ->
+          let dn = node t detector in
+          List.iter
+            (fun peer ->
+              if peer <> detector then begin
+                (* Silence only counts from the moment heartbeats
+                   started flowing; older [last_seen] entries are
+                   join-time seeds, not evidence. *)
+                let last =
+                  Float.max t.heartbeats_since
+                    (Option.value ~default:(now t) (Hashtbl.find_opt dn.last_seen peer))
+                in
+                if now t -. last > t.params.eviction_timeout then evict t ~target:peer ()
+              end)
+            vg.members
+      end)
+    t.vgroups
+
+let rec heartbeat_loop t () =
+  if t.heartbeats_running then begin
+    heartbeat_sweep t;
+    Engine.schedule t.engine ~delay:t.params.heartbeat_period (heartbeat_loop t)
+  end
+
+let start_heartbeats t =
+  if not t.heartbeats_running then begin
+    t.heartbeats_running <- true;
+    t.heartbeats_since <- now t;
+    Engine.schedule t.engine ~delay:t.params.heartbeat_period (heartbeat_loop t)
+  end
+
+let stop_heartbeats t = t.heartbeats_running <- false
+
+(* ------------------------------------------------------------------ *)
+(* Execute hook and wire dispatch                                      *)
+(* ------------------------------------------------------------------ *)
+
+let split3 s =
+  (* "tag#a#b#rest" -> tag, a, b, rest *)
+  match String.index_opt s '#' with
+  | None -> None
+  | Some i -> (
+    match String.index_from_opt s (i + 1) '#' with
+    | None -> None
+    | Some j -> (
+      match String.index_from_opt s (j + 1) '#' with
+      | None ->
+        Some
+          ( String.sub s 0 i,
+            String.sub s (i + 1) (j - i - 1),
+            String.sub s (j + 1) (String.length s - j - 1),
+            "" )
+      | Some l ->
+        Some
+          ( String.sub s 0 i,
+            String.sub s (i + 1) (j - i - 1),
+            String.sub s (j + 1) (l - j - 1),
+            String.sub s (l + 1) (String.length s - l - 1) )))
+
+(* Two operation shapes reach the replicated state machines:
+   "op#<id>#<payload>" — an agreed control operation, counted toward
+   its pending continuation; and "bcast#<bid>#<origin>#<body>" — the
+   first phase of a broadcast, delivered per member. *)
+let on_smr_execute t vg member (op : Atum_smr.Smr_intf.op) =
+  match String.index_opt op.payload '#' with
+  | None -> ()
+  | Some i -> (
+    let tag = String.sub op.payload 0 i in
+    let rest = String.sub op.payload (i + 1) (String.length op.payload - i - 1) in
+    match tag with
+    | "op" -> (
+      match String.index_opt rest '#' with
+      | None -> ()
+      | Some j ->
+        let op_id = String.sub rest 0 j in
+        let pend = pending_of t vg.vid in
+        (match List.find_opt (fun p -> p.op_id = op_id && not p.fired) !pend with
+        | None -> ()
+        | Some p ->
+          if not (List.mem member p.execs) then p.execs <- member :: p.execs;
+          if List.length p.execs >= majority_of (List.length vg.members) then begin
+            p.fired <- true;
+            pend := List.filter (fun q -> q.op_id <> op_id) !pend;
+            p.action ()
+          end))
+    | "bcast" -> (
+      match split3 op.payload with
+      | Some (_, bid, origin, body) -> (
+        match (int_of_string_opt bid, int_of_string_opt origin) with
+        | Some bid, Some origin -> node_deliver t member ~bid ~origin ~body
+        | _ -> ())
+      | None -> ())
+    | _ -> ())
+
+let () = execute_hook := on_smr_execute
+
+let handle_wire t nid ~src wire =
+  match node_opt t nid with
+  | None -> ()
+  | Some n ->
+    if is_correct n then begin
+      match wire with
+      | Sync_msg { vg = vid; epoch; m } -> (
+        match vgroup_opt t vid with
+        | Some vg when vg.epoch = epoch && not vg.retired -> (
+          match vg.smr with
+          | Some (Smr_sync tbl) -> (
+            match Hashtbl.find_opt tbl nid with
+            | Some inst -> Atum_smr.Sync_smr.receive inst ~src m
+            | None -> ())
+          | _ -> ())
+        | _ -> ())
+      | Async_msg { vg = vid; epoch; m } -> (
+        match vgroup_opt t vid with
+        | Some vg when vg.epoch = epoch && not vg.retired -> (
+          match vg.smr with
+          | Some (Smr_async tbl) -> (
+            match Hashtbl.find_opt tbl nid with
+            | Some inst -> Atum_smr.Pbft.receive inst ~src m
+            | None -> ())
+          | _ -> ())
+        | _ -> ())
+      | Group_part { gm_id; src_vg; src_size; payload } -> (
+        let needed_src = majority_of src_size in
+        match payload with
+        | Control _ ->
+          if not (Hashtbl.mem n.gm_accepted gm_id) then begin
+            let senders =
+              match Hashtbl.find_opt n.gm_senders gm_id with
+              | Some r -> r
+              | None ->
+                let r = ref [] in
+                Hashtbl.replace n.gm_senders gm_id r;
+                r
+            in
+            if not (List.mem src !senders) then senders := src :: !senders;
+            if List.length !senders >= needed_src then begin
+              Hashtbl.replace n.gm_accepted gm_id ();
+              Hashtbl.remove n.gm_senders gm_id;
+              match Hashtbl.find_opt t.gms gm_id with
+              | Some st ->
+                st.node_accepts <- st.node_accepts + 1;
+                if (not st.gm_fired) && st.node_accepts >= st.dst_needed then begin
+                  st.gm_fired <- true;
+                  Hashtbl.remove t.gms gm_id;
+                  match st.gm_action with Some k -> k () | None -> ()
+                end
+              | None -> ()
+            end
+          end
+        | Bcast { bid; origin; body } ->
+          if not (Hashtbl.mem n.delivered bid) then begin
+            let key = (bid, src_vg) in
+            let senders =
+              match Hashtbl.find_opt n.bcast_senders key with
+              | Some r -> r
+              | None ->
+                let r = ref [] in
+                Hashtbl.replace n.bcast_senders key r;
+                r
+            in
+            if not (List.mem src !senders) then senders := src :: !senders;
+            if List.length !senders >= needed_src then begin
+              Hashtbl.remove n.bcast_senders key;
+              node_deliver t nid ~bid ~origin ~body
+            end
+          end)
+      | Direct { token; label = _ } -> (
+        match Hashtbl.find_opt t.tokens token with
+        | Some k ->
+          Hashtbl.remove t.tokens token;
+          k ()
+        | None -> ())
+      | Heartbeat -> Hashtbl.replace n.last_seen src (now t)
+    end
+    else if n.alive && n.byzantine then begin
+      (* Byzantine nodes record heartbeats (to keep pretending) and
+         still run the point-to-point steps of their own join — a
+         join-leave attacker wants in — but ignore every replication
+         and dissemination protocol. *)
+      match wire with
+      | Heartbeat -> Hashtbl.replace n.last_seen src (now t)
+      | Direct { token; label = _ } -> (
+        match Hashtbl.find_opt t.tokens token with
+        | Some k ->
+          Hashtbl.remove t.tokens token;
+          k ()
+        | None -> ())
+      | Sync_msg _ | Async_msg _ | Group_part _ -> ()
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Driving the synchronous deployment                                  *)
+(* ------------------------------------------------------------------ *)
+
+let drive_sync_round t _round =
+  Hashtbl.iter
+    (fun _ vg ->
+      if not vg.retired then
+        match vg.smr with
+        | Some (Smr_sync tbl) ->
+          Hashtbl.iter
+            (fun member inst ->
+              match node_opt t member with
+              | Some n when is_correct n -> Atum_smr.Sync_smr.on_round_boundary inst
+              | _ -> ())
+            tbl
+        | _ -> ())
+    t.vgroups
+
+
+(* ------------------------------------------------------------------ *)
+(* Node lifecycle                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_node t ?(byzantine = false) () =
+  let id = fresh_node_id t in
+  let n =
+    {
+      id;
+      vg = None;
+      byzantine;
+      alive = true;
+      exchanging = false;
+      delivered = Hashtbl.create 16;
+      bcast_senders = Hashtbl.create 16;
+      gm_senders = Hashtbl.create 16;
+      gm_accepted = Hashtbl.create 16;
+      last_seen = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.nodes id n;
+  Atum_crypto.Signature.register t.keyring (node_name id);
+  Network.register t.net id (fun ~src w -> handle_wire t id ~src w);
+  id
+
+let bootstrap t ?(byzantine = false) () =
+  if t.bootstrapped then invalid_arg "System.bootstrap: already bootstrapped";
+  t.bootstrapped <- true;
+  let id = spawn_node t ~byzantine () in
+  let vid = fresh_vg_id t in
+  let vg =
+    {
+      vid;
+      members = [ id ];
+      epoch = 0;
+      smr = None;
+      busy = false;
+      shuffle_pending = false;
+      retired = false;
+      saga_gen = 0;
+    }
+  in
+  Hashtbl.replace t.vgroups vid vg;
+  (node t id).vg <- Some vid;
+  (* Replace the placeholder overlay with one rooted at the bootstrap
+     vgroup: a single vertex that neighbors itself on every cycle. *)
+  t.hgraph <- Hgraph.singleton ~cycles:t.params.hc vid;
+  install_smr t vg;
+  (match t.rounds with
+  | Some r ->
+    ignore (Rounds.subscribe r (fun round -> drive_sync_round t round));
+    Rounds.start r
+  | None -> ());
+  id
+
+let crash t nid =
+  let n = node t nid in
+  n.alive <- false;
+  Network.crash t.net nid;
+  Metrics.incr t.metrics "node.crashed"
+
+let make_byzantine t nid =
+  let n = node t nid in
+  n.byzantine <- true;
+  Metrics.incr t.metrics "node.byzantine"
+
+let hgraph t = t.hgraph
+
+(* Ablation hook: disabling shuffling removes the fault-dispersal
+   mechanism of §3.2 while keeping joins/leaves/splits/merges intact;
+   the ablation benchmark uses it to show why shuffling matters. *)
+let set_shuffling t enabled = t.shuffling_enabled <- enabled
+
+let byzantine_concentration t =
+  (* max fraction of Byzantine members over all vgroups *)
+  Hashtbl.fold
+    (fun _ vg acc ->
+      if vg.retired || vg.members = [] then acc
+      else begin
+        let byz =
+          List.length (List.filter (fun m -> (node t m).byzantine) vg.members)
+        in
+        Float.max acc (float_of_int byz /. float_of_int (List.length vg.members))
+      end)
+    t.vgroups 0.0
+
+(* Registry invariants, used by tests: membership is mutual (node.vg
+   matches vgroup.members), every active vgroup is an H-graph vertex,
+   and no node belongs to two vgroups. *)
+let check_consistency t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  Hashtbl.iter
+    (fun vid vg ->
+      if vg.retired then begin
+        if Hgraph.mem t.hgraph vid && vgroup_count t > 0 then
+          err "retired vgroup %d still in overlay" vid
+      end
+      else begin
+        if not (Hgraph.mem t.hgraph vid) then err "vgroup %d missing from overlay" vid;
+        if not vg.busy then
+          for cycle = 0 to t.params.hc - 1 do
+            if Hgraph.successor_opt t.hgraph ~cycle vid = None then
+              err "settled vgroup %d absent from cycle %d" vid cycle
+          done;
+        if vg.members = [] then err "active vgroup %d is empty" vid;
+        List.iter
+          (fun m ->
+            match node_opt t m with
+            | None -> err "vgroup %d contains unknown node %d" vid m
+            | Some n ->
+              if n.vg <> Some vid then
+                err "node %d in vgroup %d's member list but points to %s" m vid
+                  (match n.vg with None -> "none" | Some v -> string_of_int v))
+          vg.members;
+        if List.length (List.sort_uniq compare vg.members) <> List.length vg.members then
+          err "vgroup %d has duplicate members" vid
+      end)
+    t.vgroups;
+  Hashtbl.iter
+    (fun nid n ->
+      match n.vg with
+      | None -> ()
+      | Some vid -> (
+        match vgroup_opt t vid with
+        | None -> err "node %d points to unknown vgroup %d" nid vid
+        | Some vg ->
+          if vg.retired then err "node %d points to retired vgroup %d" nid vid
+          else if not (List.mem nid vg.members) then
+            err "node %d points to vgroup %d but is not a member" nid vid))
+    t.nodes;
+  List.iter
+    (fun v ->
+      match vgroup_opt t v with
+      | Some vg when not vg.retired -> ()
+      | _ -> err "overlay vertex %d is not an active vgroup" v)
+    (Hgraph.vertices t.hgraph);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+let run_until t time = Engine.run ~until:time t.engine
+
+let run_for t dt = Engine.run ~until:(now t +. dt) t.engine

@@ -1,0 +1,158 @@
+(** The Atum runtime: volatile groups over a simulated network.
+
+    This is the engine behind the {!Atum} facade.  It owns the ground
+    truth — which node is in which vgroup and the H-graph overlay —
+    and mutates it only when the responsible vgroup's SMR instance has
+    agreed on the change at a majority of its correct members (the
+    vgroup-controller abstraction documented in DESIGN.md §4).
+    Message fan-out, group-message acceptance, SMR latency, gossip,
+    heartbeats and quiet-Byzantine behaviour are all simulated at
+    per-node message granularity.
+
+    Most users should go through {!Atum}; the extra surface here
+    (sagas, walks, group messages, introspection of nodes and vgroups)
+    exists for the workload generators, benchmarks and tests. *)
+
+type node_id = int
+type vg_id = int
+
+(** A node's runtime state.  [vg = None] means the node is not (or no
+    longer) part of the system. *)
+type node = {
+  id : node_id;
+  mutable vg : vg_id option;
+  mutable byzantine : bool;
+  mutable alive : bool;
+  mutable exchanging : bool;
+  delivered : (int, unit) Hashtbl.t;
+  bcast_senders : (int * vg_id, node_id list ref) Hashtbl.t;
+  gm_senders : (int, node_id list ref) Hashtbl.t;
+  gm_accepted : (int, unit) Hashtbl.t;
+  last_seen : (node_id, float) Hashtbl.t;
+}
+
+type vgroup = {
+  vid : vg_id;
+  mutable members : node_id list;
+  mutable epoch : int;  (** bumped on every reconfiguration *)
+  mutable smr : smr_inst option;
+  mutable busy : bool;  (** held by a shuffle / split / merge *)
+  mutable shuffle_pending : bool;
+  mutable retired : bool;  (** merged away or emptied *)
+  mutable saga_gen : int;  (** increments when a saga takes the vgroup *)
+}
+
+and smr_inst =
+  | Smr_sync of (node_id, Atum_smr.Sync_smr.t) Hashtbl.t
+  | Smr_async of (node_id, Atum_smr.Pbft.t) Hashtbl.t
+
+type t
+
+type wire
+(** The wire message type (SMR traffic, group-message parts, direct
+    messages, heartbeats).  Abstract: inspect traffic through the
+    {!Atum_sim.Network} counters. *)
+
+(* --- construction and simulation control ---------------------------- *)
+
+val create : ?net_config:Atum_sim.Network.config -> Params.t -> t
+
+val engine : t -> Atum_sim.Engine.t
+val network : t -> wire Atum_sim.Network.t
+val metrics : t -> Atum_sim.Metrics.t
+val params : t -> Params.t
+val now : t -> float
+val run_until : t -> float -> unit
+val run_for : t -> float -> unit
+
+(* --- node lifecycle -------------------------------------------------- *)
+
+val bootstrap : t -> ?byzantine:bool -> unit -> node_id
+(** Create the instance: one vgroup holding one node (§3.3.1).  Starts
+    the round driver for synchronous deployments.  Callable once. *)
+
+val spawn_node : t -> ?byzantine:bool -> unit -> node_id
+(** Register a node with the network and keyring without joining it. *)
+
+val join : t -> joiner:node_id -> contact:node_id -> ?k:(vg_id -> unit) -> unit -> unit
+(** §3.3.2 join saga; [k] fires when the joiner is installed in its
+    vgroup (before the follow-up shuffle/split). *)
+
+val leave : t -> target:node_id -> ?k:(unit -> unit) -> unit -> unit
+
+val evict : t -> target:node_id -> ?k:(unit -> unit) -> unit -> unit
+
+val crash : t -> node_id -> unit
+(** Silence a node entirely (heartbeats included). *)
+
+val make_byzantine : t -> node_id -> unit
+(** Quiet-Byzantine (§6.1.3): keeps heartbeating, ignores protocol
+    traffic, never helps dissemination. *)
+
+(* --- dissemination --------------------------------------------------- *)
+
+val broadcast : t -> from:node_id -> string -> int
+(** §3.3.4: SMR in the caller's vgroup, then gossip; returns the
+    broadcast id. *)
+
+val set_deliver : t -> (node_id -> bid:int -> origin:node_id -> string -> unit) -> unit
+
+val set_forward_policy :
+  t -> (bid:int -> from_vg:vg_id -> cycle:int -> neighbor:vg_id -> bool) -> unit
+(** Replace the gossip forward callback.  The default is
+    {!random_forward}; latency-sensitive applications flood
+    ({!flood_forward}), throughput-oriented ones restrict to fewer
+    cycles (§3.3.4). *)
+
+val flood_forward : bid:int -> from_vg:vg_id -> cycle:int -> neighbor:vg_id -> bool
+
+val random_forward : bid:int -> from_vg:vg_id -> cycle:int -> neighbor:vg_id -> bool
+(** Forward on a designated cycle always (deterministic delivery) and
+    on every other link with probability 1/2, decided by a hash all
+    members compute identically. *)
+
+(* --- heartbeats / eviction ------------------------------------------ *)
+
+val start_heartbeats : t -> unit
+val stop_heartbeats : t -> unit
+
+(* --- overlay protocols (exposed for tests and experiments) ----------- *)
+
+val start_walk : t -> from_vg:vg_id -> k:(vg_id -> unit) -> unit
+(** Distributed random walk: rwl group-message hops with bulk RNG,
+    then backward phase (Sync) or certificate reply (Async); [k]
+    receives the selected vgroup. *)
+
+val shuffle : t -> vgroup -> unit
+val split : t -> vgroup -> unit
+val merge : t -> vgroup -> attempts:int -> unit
+
+val agree :
+  t -> vgroup -> ?proposer:node_id -> string -> (unit -> unit) -> unit
+(** Run one operation through the vgroup's SMR; the action fires once,
+    when a majority of members have executed it. *)
+
+(* --- introspection --------------------------------------------------- *)
+
+val node : t -> node_id -> node
+val node_opt : t -> node_id -> node option
+val vgroup : t -> vg_id -> vgroup
+val vgroup_opt : t -> vg_id -> vgroup option
+val live_nodes : t -> node list
+val system_size : t -> int
+val vgroup_count : t -> int
+val vgroup_sizes : t -> int list
+val correct_members : t -> vgroup -> node_id list
+val hgraph : t -> Atum_overlay.Hgraph.t
+val check_consistency : t -> (unit, string) result
+
+(* --- ablation hooks --------------------------------------------------- *)
+
+val set_shuffling : t -> bool -> unit
+(** Disable/enable random-walk shuffling (fault dispersal, §3.2) while
+    keeping the rest of the membership machinery — used by the
+    ablation benchmark. *)
+
+val byzantine_concentration : t -> float
+(** Largest per-vgroup fraction of Byzantine members — the quantity
+    shuffling is designed to keep low. *)

@@ -1,0 +1,1 @@
+lib/crypto/chunks.ml: Array List Sha256 String

@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Atum_util Hashtbl Hmac Int64 Sha256

@@ -1,0 +1,26 @@
+type digest_set = string array
+
+let split ~chunk_count content =
+  if chunk_count <= 0 then invalid_arg "Chunks.split: chunk_count must be positive";
+  let len = String.length content in
+  let base = (len + chunk_count - 1) / chunk_count in
+  let rec cut i acc =
+    if i = chunk_count then List.rev acc
+    else begin
+      let off = i * base in
+      let piece =
+        if off >= len then ""
+        else String.sub content off (min base (len - off))
+      in
+      cut (i + 1) (piece :: acc)
+    end
+  in
+  cut 0 []
+
+let digests ~chunk_count content =
+  Array.of_list (List.map Sha256.digest (split ~chunk_count content))
+
+let verify_chunk set ~index chunk =
+  index >= 0 && index < Array.length set && String.equal set.(index) (Sha256.digest chunk)
+
+let join pieces = String.concat "" pieces

@@ -1,0 +1,22 @@
+(** Chunked content digests for AShare.
+
+    A file is split into a fixed number of chunks; the PUT broadcast
+    carries one digest per chunk so that readers can verify chunks
+    pulled in parallel from different replicas (§4.2.2). *)
+
+type digest_set = string array
+(** One raw SHA-256 digest per chunk, in chunk order. *)
+
+val split : chunk_count:int -> string -> string list
+(** [split ~chunk_count content] cuts [content] into [chunk_count]
+    nearly equal pieces (the last may be shorter, and trailing pieces
+    may be empty when the content is shorter than the chunk count). *)
+
+val digests : chunk_count:int -> string -> digest_set
+(** Digest of each chunk of [content]. *)
+
+val verify_chunk : digest_set -> index:int -> string -> bool
+(** Does the chunk at [index] match its advertised digest? *)
+
+val join : string list -> string
+(** Inverse of {!split}. *)

@@ -1,0 +1,10 @@
+(** HMAC-SHA256 (RFC 2104), used to authenticate point-to-point
+    messages between nodes that share a session key. *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 32-byte raw HMAC-SHA256 tag. *)
+
+val mac_hex : key:string -> string -> string
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of the expected tag against [tag]. *)

@@ -1,0 +1,24 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch.
+
+    Used for message digests, AShare chunk integrity checks and as the
+    compression function behind {!Hmac}.  Tested against the standard
+    NIST test vectors. *)
+
+type ctx
+
+val init : unit -> ctx
+
+val feed : ctx -> string -> unit
+(** Absorb bytes; may be called repeatedly. *)
+
+val finalize : ctx -> string
+(** Returns the 32-byte raw digest and invalidates the context. *)
+
+val digest : string -> string
+(** One-shot 32-byte raw digest. *)
+
+val hex : string -> string
+(** [hex raw] renders a raw digest as lowercase hexadecimal. *)
+
+val digest_hex : string -> string
+(** [digest_hex msg] = [hex (digest msg)]. *)

@@ -1,0 +1,1 @@
+lib/overlay/grouping.ml: Array Atum_util Float

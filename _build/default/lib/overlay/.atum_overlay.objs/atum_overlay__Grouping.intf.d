@@ -1,0 +1,1 @@
+lib/overlay/grouping.mli: Atum_util

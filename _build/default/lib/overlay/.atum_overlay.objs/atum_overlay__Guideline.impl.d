@@ -1,0 +1,1 @@
+lib/overlay/guideline.ml: Array Atum_util Fun Hgraph List Random_walk

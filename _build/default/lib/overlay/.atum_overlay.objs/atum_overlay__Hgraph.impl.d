@@ -1,0 +1,1 @@
+lib/overlay/hgraph.ml: Array Atum_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/overlay/hgraph.mli: Atum_util

@@ -1,0 +1,1 @@
+lib/overlay/random_walk.ml: Atum_util Hgraph List

@@ -1,0 +1,1 @@
+lib/overlay/random_walk.mli: Atum_util Hgraph

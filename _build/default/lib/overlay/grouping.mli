@@ -1,0 +1,30 @@
+(** Logarithmic grouping policy (§3.1): keep every vgroup's size
+    between [gmin] and [gmax], themselves chosen so that g ≈ k·log N.
+    The split/merge mechanics live in the Atum runtime; this module is
+    the pure policy plus the sizing arithmetic. *)
+
+val needs_split : gmax:int -> size:int -> bool
+(** Strictly above [gmax]. *)
+
+val needs_merge : gmin:int -> size:int -> bool
+(** Strictly below [gmin] (a vgroup of exactly [gmin] is fine). *)
+
+val split_halves : Atum_util.Rng.t -> 'a list -> 'a list * 'a list
+(** Partition members into two random, equally-sized halves (the
+    first gets the extra element when the size is odd). *)
+
+val target_group_size : k:int -> expected_n:int -> int
+(** g = max 1 (round (k·log₂ N)) — the robustness-vs-efficiency dial
+    of §3.1. *)
+
+val bounds_for : k:int -> expected_n:int -> int * int
+(** Practical (gmin, gmax) from the target size, with
+    gmin = gmax / 2 as in Table 1. *)
+
+val vgroup_failure_probability : g:int -> f:int -> node_failure_rate:float -> float
+(** Pr[more than [f] of [g] i.i.d. faulty members] — the binomial tail
+    from the §3.1 robustness discussion. *)
+
+val all_groups_robust_probability :
+  n:int -> g:int -> f:int -> node_failure_rate:float -> float
+(** Probability that every one of the n/g vgroups is robust. *)

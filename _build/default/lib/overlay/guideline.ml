@@ -1,0 +1,45 @@
+let endpoint_counts ~vgroups ~hc ~rwl ~samples ~seed =
+  let rng = Atum_util.Rng.create seed in
+  let g = Hgraph.create ~cycles:hc rng (List.init vgroups Fun.id) in
+  let counts = Array.make vgroups 0 in
+  (* Start every walk from the same vertex: the worst case for
+     uniformity, and what a single joining vgroup actually does. *)
+  for _ = 1 to samples do
+    let v = Random_walk.walk_fast g rng ~start:0 ~length:rwl in
+    counts.(v) <- counts.(v) + 1
+  done;
+  counts
+
+let walk_is_uniform ?(confidence = 0.99) ~vgroups ~hc ~rwl ~samples ~seed () =
+  let counts = endpoint_counts ~vgroups ~hc ~rwl ~samples ~seed in
+  Atum_util.Stats.chi2_uniform_test ~confidence counts
+
+let optimal_rwl ?(confidence = 0.99) ?(max_rwl = 25) ?(samples_per_cell = 10) ~vgroups ~hc ~seed
+    () =
+  let samples = samples_per_cell * vgroups in
+  (* Vote over three independent graphs to smooth out topology luck. *)
+  let passes rwl =
+    let hits = ref 0 in
+    for i = 0 to 2 do
+      if walk_is_uniform ~confidence ~vgroups ~hc ~rwl ~samples ~seed:(seed + (1000 * i)) ()
+      then incr hits
+    done;
+    !hits >= 2
+  in
+  (* Walks shorter than the overlay's diameter cannot be uniform, so
+     start the search there instead of at 1. *)
+  let floor_rwl =
+    max 1 (int_of_float (log (float_of_int vgroups) /. log (float_of_int (2 * hc))))
+  in
+  let rec search rwl =
+    if rwl > max_rwl then None else if passes rwl then Some rwl else search (rwl + 1)
+  in
+  search floor_rwl
+
+let figure4 ?(vgroup_counts = [ 8; 32; 128; 512; 2048; 8192 ])
+    ?(hc_values = [ 2; 4; 6; 8; 10; 12 ]) ~seed () =
+  List.map
+    (fun vgroups ->
+      ( vgroups,
+        List.map (fun hc -> (hc, optimal_rwl ~vgroups ~hc ~seed ())) hc_values ))
+    vgroup_counts

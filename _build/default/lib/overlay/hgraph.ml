@@ -1,0 +1,145 @@
+type cycle = {
+  succ : (int, int) Hashtbl.t;
+  pred : (int, int) Hashtbl.t;
+}
+
+type t = { rings : cycle array }
+
+let cycles t = Array.length t.rings
+
+let link ring a b =
+  Hashtbl.replace ring.succ a b;
+  Hashtbl.replace ring.pred b a
+
+let make_ring order =
+  let ring = { succ = Hashtbl.create 64; pred = Hashtbl.create 64 } in
+  let n = Array.length order in
+  for i = 0 to n - 1 do
+    link ring order.(i) order.((i + 1) mod n)
+  done;
+  ring
+
+let create ~cycles rng vertices =
+  if cycles <= 0 then invalid_arg "Hgraph.create: need at least one cycle";
+  if vertices = [] then invalid_arg "Hgraph.create: need at least one vertex";
+  let base = Array.of_list vertices in
+  if List.length (List.sort_uniq compare vertices) <> Array.length base then
+    invalid_arg "Hgraph.create: duplicate vertices";
+  let rings =
+    Array.init cycles (fun _ ->
+        let order = Array.copy base in
+        Atum_util.Rng.shuffle rng order;
+        make_ring order)
+  in
+  { rings }
+
+let singleton ~cycles v =
+  if cycles <= 0 then invalid_arg "Hgraph.singleton: need at least one cycle";
+  { rings = Array.init cycles (fun _ -> make_ring [| v |]) }
+
+(* A vertex may transiently live on a subset of the cycles while a
+   split is splicing it in (§3.3.2); membership and neighbor queries
+   therefore consider every ring. *)
+let vertices t =
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun ring -> Hashtbl.iter (fun v _ -> Hashtbl.replace seen v ()) ring.succ) t.rings;
+  List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) seen [])
+
+let vertex_count t = List.length (vertices t)
+
+let mem t v = Array.exists (fun ring -> Hashtbl.mem ring.succ v) t.rings
+
+let check_cycle_index t cycle =
+  if cycle < 0 || cycle >= Array.length t.rings then invalid_arg "Hgraph: bad cycle index"
+
+let successor t ~cycle v =
+  check_cycle_index t cycle;
+  match Hashtbl.find_opt t.rings.(cycle).succ v with
+  | Some s -> s
+  | None -> invalid_arg "Hgraph.successor: unknown vertex"
+
+let predecessor t ~cycle v =
+  check_cycle_index t cycle;
+  match Hashtbl.find_opt t.rings.(cycle).pred v with
+  | Some p -> p
+  | None -> invalid_arg "Hgraph.predecessor: unknown vertex"
+
+let neighbors t v =
+  let acc = ref [] in
+  for c = Array.length t.rings - 1 downto 0 do
+    match (Hashtbl.find_opt t.rings.(c).pred v, Hashtbl.find_opt t.rings.(c).succ v) with
+    | Some p, Some s -> acc := (c, p) :: (c, s) :: !acc
+    | _ -> () (* not (yet) on this cycle *)
+  done;
+  !acc
+
+let neighbor_set t v =
+  List.sort_uniq compare (List.map snd (neighbors t v))
+
+let insert_after t ~cycle ~after v =
+  check_cycle_index t cycle;
+  let ring = t.rings.(cycle) in
+  if Hashtbl.mem ring.succ v then invalid_arg "Hgraph.insert_after: vertex already on cycle";
+  match Hashtbl.find_opt ring.succ after with
+  | None -> invalid_arg "Hgraph.insert_after: anchor not on cycle"
+  | Some next ->
+    link ring after v;
+    link ring v next
+
+let remove t v =
+  Array.iter
+    (fun ring ->
+      match (Hashtbl.find_opt ring.pred v, Hashtbl.find_opt ring.succ v) with
+      | Some p, Some s ->
+        Hashtbl.remove ring.succ v;
+        Hashtbl.remove ring.pred v;
+        if p <> v then link ring p s
+      | _ -> ())
+    t.rings
+
+let check_invariants t =
+  let expected = vertices t in
+  let n = List.length expected in
+  let check_ring i ring =
+    if Hashtbl.length ring.succ <> n then
+      Error (Printf.sprintf "cycle %d has %d vertices, expected %d" i (Hashtbl.length ring.succ) n)
+    else begin
+      (* Walk the successors: must return to start after exactly n steps
+         and visit every vertex. *)
+      match expected with
+      | [] -> Error "empty graph"
+      | start :: _ ->
+        let seen = Hashtbl.create n in
+        let rec walk v steps =
+          if steps > n then Error (Printf.sprintf "cycle %d does not close" i)
+          else if v = start && steps > 0 then
+            if steps = n then Ok () else Error (Printf.sprintf "cycle %d is fragmented" i)
+          else if Hashtbl.mem seen v then Error (Printf.sprintf "cycle %d revisits %d" i v)
+          else begin
+            Hashtbl.replace seen v ();
+            match Hashtbl.find_opt ring.succ v with
+            | None -> Error (Printf.sprintf "cycle %d missing successor of %d" i v)
+            | Some s ->
+              if Hashtbl.find_opt ring.pred s <> Some v then
+                Error (Printf.sprintf "cycle %d pred/succ mismatch at %d" i v)
+              else walk s (steps + 1)
+          end
+        in
+        walk start 0
+    end
+  in
+  let rec check_all i =
+    if i >= Array.length t.rings then Ok ()
+    else begin
+      match check_ring i t.rings.(i) with Ok () -> check_all (i + 1) | Error e -> Error e
+    end
+  in
+  check_all 0
+
+let successor_opt t ~cycle v =
+  check_cycle_index t cycle;
+  Hashtbl.find_opt t.rings.(cycle).succ v
+
+let predecessor_opt t ~cycle v =
+  check_cycle_index t cycle;
+  Hashtbl.find_opt t.rings.(cycle).pred v

@@ -1,0 +1,64 @@
+(** H-graph overlay (Law & Siu): a multigraph over vgroup ids made of
+    a constant number [hc] of Hamiltonian cycles.  Every vertex has a
+    predecessor and a successor on each cycle, so the degree is
+    constant (2·hc counting multi-edges), the graph is an expander
+    with high probability, and its diameter is logarithmic — which is
+    what makes gossip and random walks over it efficient (§3.2).
+
+    The structure supports the two topology changes Atum needs:
+    {!insert_after} (vgroup split: the new vgroup is spliced into each
+    cycle at a position chosen by a random walk) and {!remove} (vgroup
+    merge: the gap on each cycle closes by connecting predecessor and
+    successor, §3.3.3). *)
+
+type t
+
+val create : cycles:int -> Atum_util.Rng.t -> int list -> t
+(** [create ~cycles rng vertices] builds [cycles] independent uniform
+    random Hamiltonian cycles over [vertices] (which must be
+    non-empty and duplicate-free). *)
+
+val singleton : cycles:int -> int -> t
+(** The bootstrap overlay: one vertex that is its own neighbor on
+    every cycle. *)
+
+val cycles : t -> int
+
+val vertices : t -> int list
+(** Sorted. *)
+
+val vertex_count : t -> int
+
+val mem : t -> int -> bool
+
+val successor : t -> cycle:int -> int -> int
+
+val predecessor : t -> cycle:int -> int -> int
+
+val neighbors : t -> int -> (int * int) list
+(** [(cycle, vertex)] for both directions on every cycle; includes
+    duplicates when cycles are short (multigraph semantics).  Walks
+    pick uniformly from this list, which is exactly "a random incident
+    link of the overlay". *)
+
+val neighbor_set : t -> int -> int list
+(** Distinct neighboring vertices (may include the vertex itself only
+    when it is alone on a cycle). *)
+
+val insert_after : t -> cycle:int -> after:int -> int -> unit
+(** [insert_after g ~cycle ~after v] splices [v] between [after] and
+    its successor on [cycle].  [v] must already be present on every
+    cycle where it was previously inserted but absent from this one;
+    a brand-new vertex must be inserted exactly once per cycle. *)
+
+val remove : t -> int -> unit
+(** Remove a vertex from every cycle, closing the gaps. *)
+
+val check_invariants : t -> (unit, string) result
+(** Every cycle is a single Hamiltonian cycle over exactly the vertex
+    set — used by tests and property checks. *)
+
+val successor_opt : t -> cycle:int -> int -> int option
+(** [None] when the vertex is not (yet) on that cycle. *)
+
+val predecessor_opt : t -> cycle:int -> int -> int option

@@ -1,0 +1,35 @@
+let step g rng v =
+  let links = Hgraph.neighbors g v in
+  snd (Atum_util.Rng.pick rng links)
+
+let walk g rng ~start ~length =
+  let rec loop v n = if n = 0 then v else loop (step g rng v) (n - 1) in
+  loop start length
+
+let walk_path g rng ~start ~length =
+  let rec loop v n acc =
+    if n = 0 then List.rev (v :: acc) else loop (step g rng v) (n - 1) (v :: acc)
+  in
+  loop start length []
+
+let bulk_choices rng ~length =
+  List.init length (fun _ -> Atum_util.Rng.int rng 1_000_000_007)
+
+let walk_with_choices g ~start ~choices =
+  List.fold_left
+    (fun v choice ->
+      let links = Hgraph.neighbors g v in
+      snd (List.nth links (choice mod List.length links)))
+    start choices
+
+let step_fast g rng v =
+  let c = Atum_util.Rng.int rng (2 * Hgraph.cycles g) in
+  let cycle = c lsr 1 in
+  if c land 1 = 0 then Hgraph.successor g ~cycle v else Hgraph.predecessor g ~cycle v
+
+let walk_fast g rng ~start ~length =
+  let v = ref start in
+  for _ = 1 to length do
+    v := step_fast g rng !v
+  done;
+  !v

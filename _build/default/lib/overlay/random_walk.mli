@@ -1,0 +1,33 @@
+(** Random walks over the H-graph.
+
+    This is the {e pure} walk used for configuration studies (Fig 4)
+    and as the sampling step of the distributed protocols: at each
+    step the walk follows a uniformly random incident link (2·hc
+    multi-edges).  The distributed implementation in [Atum_core] adds
+    the communication machinery (bulk RNG, backward phase or
+    certificate chains, §5.1) on top of the same hop choices. *)
+
+val step : Hgraph.t -> Atum_util.Rng.t -> int -> int
+(** One hop from a vertex along a random incident link. *)
+
+val walk : Hgraph.t -> Atum_util.Rng.t -> start:int -> length:int -> int
+(** Endpoint of a [length]-hop walk. *)
+
+val walk_path : Hgraph.t -> Atum_util.Rng.t -> start:int -> length:int -> int list
+(** The full vertex sequence, [length + 1] long, starting at
+    [start]. *)
+
+val bulk_choices : Atum_util.Rng.t -> length:int -> int list
+(** The paper's bulk RNG (§5.1): draw all [length] hop decisions up
+    front; each is an index later reduced modulo the local degree.
+    Drawing ahead of time prevents a Byzantine node from biasing hop
+    choices by draining a pre-computed randomness pool. *)
+
+val walk_with_choices : Hgraph.t -> start:int -> choices:int list -> int
+(** Replay a walk from pre-drawn hop decisions. *)
+
+val step_fast : Hgraph.t -> Atum_util.Rng.t -> int -> int
+(** Allocation-free variant of {!step} for large-scale simulation:
+    picks one of the 2·hc incident links by index. *)
+
+val walk_fast : Hgraph.t -> Atum_util.Rng.t -> start:int -> length:int -> int

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Atum_util Engine Float Hashtbl Option

@@ -1,0 +1,35 @@
+type host = { upload_mbps : float; download_mbps : float; cores : int; hash_mbps : float }
+
+let ec2_micro = { upload_mbps = 8.0; download_mbps = 20.0; cores = 2; hash_mbps = 150.0 }
+
+let setup_overhead = 0.12
+
+(* Slow start roughly doubles the window each RTT; we charge the time
+   "missing" relative to full rate for the first few MB, capped. *)
+let slow_start_penalty ~mb ~rate =
+  let ramp_mb = Float.min mb 4.0 in
+  ramp_mb /. rate *. 0.8
+
+let single_stream_time ~src ~dst ~mb =
+  let rate = Float.min src.upload_mbps dst.download_mbps in
+  setup_overhead +. slow_start_penalty ~mb ~rate +. (mb /. rate)
+
+let parallel_pull_time ~sources ~dst ~mb ~chunks =
+  match sources with
+  | [] -> invalid_arg "Bulk.parallel_pull_time: no sources"
+  | _ ->
+    let k = List.length sources in
+    let aggregate_upload = List.fold_left (fun acc s -> acc +. s.upload_mbps) 0.0 sources in
+    let rate = Float.min dst.download_mbps aggregate_upload in
+    (* One connection per source is set up concurrently; the chunked
+       request pattern costs a small per-chunk turnaround. *)
+    let per_chunk_turnaround = 0.01 in
+    let effective_chunks = max chunks 1 in
+    setup_overhead
+    +. slow_start_penalty ~mb ~rate
+    +. (mb /. rate)
+    +. (per_chunk_turnaround *. float_of_int (effective_chunks / max k 1))
+
+let hash_time host ~mb ~parallel_chunks =
+  let ways = max 1 (min host.cores parallel_chunks) in
+  mb /. (host.hash_mbps *. float_of_int ways)

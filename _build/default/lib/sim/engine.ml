@@ -1,0 +1,53 @@
+type t = {
+  queue : (unit -> unit) Atum_util.Pqueue.t;
+  mutable clock : float;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+let create () = { queue = Atum_util.Pqueue.create (); clock = 0.0; stopped = false; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Atum_util.Pqueue.push t.queue time f
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) f
+
+let step t =
+  match Atum_util.Pqueue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let budget = ref (match max_events with None -> max_int | Some n -> n) in
+  let continue = ref true in
+  while !continue do
+    if t.stopped || !budget = 0 then continue := false
+    else begin
+      match Atum_util.Pqueue.peek t.queue with
+      | None -> continue := false
+      | Some (time, _) ->
+        (match until with
+        | Some limit when time > limit ->
+          t.clock <- limit;
+          continue := false
+        | _ ->
+          ignore (step t);
+          decr budget)
+    end
+  done
+
+let stop t = t.stopped <- true
+
+let events_processed t = t.processed
+
+let pending t = Atum_util.Pqueue.size t.queue

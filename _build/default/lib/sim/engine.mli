@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    A single virtual clock and an event heap; callbacks scheduled at
+    the same instant run in insertion order, so simulations are fully
+    deterministic.  Time is in (simulated) seconds. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative
+    delays are clamped to 0. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** Absolute-time variant; times in the past run "now". *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Processes events in timestamp order until the queue drains, the
+    clock passes [until], [max_events] have run, or {!stop} is
+    called.  Events scheduled past [until] stay queued. *)
+
+val step : t -> bool
+(** Process a single event; [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Makes the innermost {!run} return after the current event. *)
+
+val events_processed : t -> int
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,44 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t; (* stored reversed *)
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace t.counters name (ref by)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let observe t name x =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := x :: !r
+  | None -> Hashtbl.replace t.series name (ref [ x ])
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+let series_names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.series [])
+
+let clear t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series
+
+let pp_summary fmt t =
+  let counters =
+    List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [])
+  in
+  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %d@." k v) counters;
+  List.iter
+    (fun name ->
+      let xs = samples t name in
+      if xs <> [] then
+        Format.fprintf fmt "%-40s n=%d mean=%.4f p50=%.4f p99=%.4f@." name
+          (List.length xs) (Atum_util.Stats.mean xs)
+          (Atum_util.Stats.percentile xs 50.0)
+          (Atum_util.Stats.percentile xs 99.0))
+    (series_names t)

@@ -1,0 +1,22 @@
+(** Named counters and sample series collected during a simulation run. *)
+
+type t
+
+val create : unit -> t
+
+val incr : ?by:int -> t -> string -> unit
+
+val counter : t -> string -> int
+
+val observe : t -> string -> float -> unit
+(** Append a sample to the named series. *)
+
+val samples : t -> string -> float list
+(** Samples in observation order; [] for unknown series. *)
+
+val series_names : t -> string list
+
+val clear : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per counter, plus count/mean/p50/p99 per series. *)

@@ -1,0 +1,114 @@
+type latency_model =
+  | Fixed of float
+  | Uniform of float * float
+  | Lognormal of { mu : float; sigma : float; floor : float }
+
+type config = {
+  latency : latency_model;
+  drop_probability : float;
+  seed : int;
+  node_capacity : float option;
+}
+
+let datacenter_config ~seed =
+  { latency = Uniform (0.0005, 0.002); drop_probability = 0.0; seed; node_capacity = None }
+
+let wan_config ~seed =
+  (* Median ~ exp(mu) = 80 ms; sigma gives occasional multi-second
+     stragglers, matching Fig 8's Async tail. *)
+  {
+    latency = Lognormal { mu = log 0.08; sigma = 0.6; floor = 0.02 };
+    drop_probability = 0.001;
+    seed;
+    node_capacity = None;
+  }
+
+type 'msg t = {
+  engine : Engine.t;
+  config : config;
+  rng : Atum_util.Rng.t;
+  handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
+  partitions : (int, int) Hashtbl.t;
+  ready : (int, float) Hashtbl.t; (* per-node processing queue tail *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create engine config =
+  {
+    engine;
+    config;
+    rng = Atum_util.Rng.create config.seed;
+    handlers = Hashtbl.create 256;
+    partitions = Hashtbl.create 64;
+    ready = Hashtbl.create 256;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+
+let register t node handler = Hashtbl.replace t.handlers node handler
+
+let unregister t node = Hashtbl.remove t.handlers node
+
+let sample_latency t =
+  match t.config.latency with
+  | Fixed d -> d
+  | Uniform (lo, hi) -> lo +. Atum_util.Rng.float t.rng (hi -. lo)
+  | Lognormal { mu; sigma; floor } ->
+    Float.max floor (Atum_util.Rng.lognormal t.rng ~mu ~sigma)
+
+let partition_of t node = Option.value ~default:0 (Hashtbl.find_opt t.partitions node)
+
+let set_partition t node tag = Hashtbl.replace t.partitions node tag
+
+let crash t node = Hashtbl.replace t.partitions node (-node - 1)
+
+let send ?(size = 64) t ~src ~dst msg =
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + size;
+  let crosses_partition = partition_of t src <> partition_of t dst in
+  let lost = Atum_util.Rng.bernoulli t.rng t.config.drop_probability in
+  if crosses_partition || lost then t.dropped <- t.dropped + 1
+  else begin
+    let delay = sample_latency t in
+    let delay =
+      match t.config.node_capacity with
+      | None -> delay
+      | Some capacity ->
+        (* The receiver serves messages in arrival order at a bounded
+           rate; a hot node's queue tail pushes delivery out. *)
+        let arrival = Engine.now t.engine +. delay in
+        let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
+        let finish = Float.max arrival tail +. (1.0 /. capacity) in
+        Hashtbl.replace t.ready dst finish;
+        finish -. Engine.now t.engine
+    in
+    Engine.schedule t.engine ~delay (fun () ->
+        (* Re-check the partition at delivery time: a node isolated
+           mid-flight does not receive the message. *)
+        if partition_of t src <> partition_of t dst then t.dropped <- t.dropped + 1
+        else begin
+          match Hashtbl.find_opt t.handlers dst with
+          | None -> t.dropped <- t.dropped + 1
+          | Some handler ->
+            t.delivered <- t.delivered + 1;
+            handler ~src msg
+        end)
+  end
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let bytes_sent t = t.bytes
+
+let reset_counters t =
+  t.sent <- 0;
+  t.delivered <- 0;
+  t.dropped <- 0;
+  t.bytes <- 0

@@ -1,0 +1,69 @@
+(** Simulated point-to-point network.
+
+    Models the paper's two deployments:
+    - a single-datacenter network with tight latency (Sync experiments),
+    - a WAN across 8 regions with a heavy-tailed latency distribution
+      (Async experiments).
+
+    Messages between nodes in different partitions are silently
+    dropped, which is how we model both network partitions and crashed
+    nodes (a crashed node is isolated forever). *)
+
+type latency_model =
+  | Fixed of float
+  | Uniform of float * float  (** lower and upper bound, seconds *)
+  | Lognormal of { mu : float; sigma : float; floor : float }
+      (** heavy-tailed WAN latency; [floor] is the propagation minimum *)
+
+type config = {
+  latency : latency_model;
+  drop_probability : float;  (** independent per-message loss *)
+  seed : int;
+  node_capacity : float option;
+      (** messages/second one node can process; [None] = unbounded.
+          When set, deliveries to a busy node queue behind its earlier
+          messages, so hotspots build real queueing delay (the paper's
+          EC2 micro instances are the motivation). *)
+}
+
+val datacenter_config : seed:int -> config
+(** ~1 ms median intra-DC latency, no loss. *)
+
+val wan_config : seed:int -> config
+(** ~80 ms median, lognormal tail reaching seconds, 0.1% loss. *)
+
+type 'msg t
+
+val create : Engine.t -> config -> 'msg t
+
+val engine : 'msg t -> Engine.t
+
+val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+(** Install the message handler for a node id (replaces any previous
+    one). *)
+
+val unregister : 'msg t -> int -> unit
+(** Messages to an unregistered node are dropped (counted). *)
+
+val send : ?size:int -> 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Queue a message for delivery after a sampled latency.  [size] (in
+    bytes, default 64) only feeds the traffic accounting. *)
+
+val sample_latency : 'msg t -> float
+(** One latency draw from the configured model (for protocols that
+    need timeouts calibrated to the network). *)
+
+val set_partition : 'msg t -> int -> int -> unit
+(** [set_partition net node tag] — nodes only hear nodes with the same
+    tag (default tag 0). *)
+
+val partition_of : 'msg t -> int -> int
+
+val crash : 'msg t -> int -> unit
+(** Isolate a node permanently (tag -1, never matched). *)
+
+val messages_sent : 'msg t -> int
+val messages_delivered : 'msg t -> int
+val messages_dropped : 'msg t -> int
+val bytes_sent : 'msg t -> int
+val reset_counters : 'msg t -> unit

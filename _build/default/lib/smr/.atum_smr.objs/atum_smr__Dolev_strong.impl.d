@@ -1,0 +1,1 @@
+lib/smr/dolev_strong.ml: Atum_crypto Format List Smr_intf String

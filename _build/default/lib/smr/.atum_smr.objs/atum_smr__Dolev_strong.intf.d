@@ -1,0 +1,1 @@
+lib/smr/dolev_strong.mli: Atum_crypto Format Smr_intf

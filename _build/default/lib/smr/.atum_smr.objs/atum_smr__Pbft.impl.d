@@ -1,0 +1,1 @@
+lib/smr/pbft.ml: Atum_crypto Hashtbl List Printf Smr_intf String

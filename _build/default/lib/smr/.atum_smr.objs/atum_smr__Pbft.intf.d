@@ -1,0 +1,1 @@
+lib/smr/pbft.mli: Smr_intf

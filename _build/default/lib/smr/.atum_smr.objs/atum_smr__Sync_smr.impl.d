@@ -1,0 +1,1 @@
+lib/smr/sync_smr.ml: Atum_crypto Dolev_strong List Printf Smr_intf String

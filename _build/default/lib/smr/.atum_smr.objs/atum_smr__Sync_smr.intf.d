@@ -1,0 +1,1 @@
+lib/smr/sync_smr.mli: Atum_crypto Smr_intf

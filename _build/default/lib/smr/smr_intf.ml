@@ -1,0 +1,35 @@
+(** Shared types for the state-machine-replication protocols that run
+    inside every vgroup. *)
+
+type node_id = int
+
+(** How a protocol instance talks to the outside world.  The vgroup
+    runtime supplies one per (vgroup, epoch); [members] is fixed for
+    the lifetime of the instance — membership changes create a new
+    epoch and a new instance (SMART-style reconfiguration, §5.2). *)
+type 'm transport = {
+  self : node_id;
+  members : node_id list;  (** includes [self]; fixed for the instance *)
+  f : int;  (** fault threshold this instance is configured for *)
+  send : node_id -> 'm -> unit;
+  set_timer : float -> (unit -> unit) -> unit;
+}
+
+(** An operation as seen by the replicated state machine. *)
+type op = { origin : node_id; payload : string }
+
+let op_to_string { origin; payload } = string_of_int origin ^ "|" ^ payload
+
+let op_of_string s =
+  match String.index_opt s '|' with
+  | None -> invalid_arg "Smr_intf.op_of_string"
+  | Some i ->
+    {
+      origin = int_of_string (String.sub s 0 i);
+      payload = String.sub s (i + 1) (String.length s - i - 1);
+    }
+
+(** Fault thresholds per protocol family (§3.1). *)
+let sync_f ~group_size = (group_size - 1) / 2
+
+let async_f ~group_size = (group_size - 1) / 3

@@ -1,0 +1,1 @@
+lib/util/btree.ml: Array List Printf String

@@ -1,0 +1,23 @@
+(** Mutable binary min-heap keyed by [(priority, sequence)].
+
+    The simulator's event queue: events with equal priority (time) pop
+    in insertion order, which makes simulation runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum-priority element; ties break by
+    insertion order. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

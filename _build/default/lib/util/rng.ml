@@ -1,0 +1,79 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+(* Uniform int in [0, bound) by rejection on the top bits. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 1) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t rate =
+  let u = 1.0 -. float t 1.0 in
+  -.log u /. rate
+
+let gaussian t ~mean ~stddev =
+  let rec draw () =
+    let u1 = float t 1.0 in
+    if u1 <= 1e-300 then draw () else u1
+  in
+  let u1 = draw () and u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let lognormal t ~mu ~sigma = exp (gaussian t ~mean:mu ~stddev:sigma)
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t xs =
+  let a = Array.of_list xs in
+  shuffle t a;
+  Array.to_list a
+
+let sample_without_replacement t k xs =
+  let a = Array.of_list xs in
+  shuffle t a;
+  let n = min k (Array.length a) in
+  Array.to_list (Array.sub a 0 n)

@@ -1,0 +1,59 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    All randomness in the simulator and in the protocols flows through
+    values of type {!t}, created from an explicit seed, so that every
+    experiment is reproducible.  The generator is splitmix64, which is
+    fast, has a 64-bit state, and supports cheap splitting: {!split}
+    derives an independent stream, which lets concurrent protocol
+    instances draw random numbers without perturbing each other. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. *)
+
+val split : t -> t
+(** [split t] derives an independent generator; [t] advances. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (the copy replays [t]'s
+    future draws). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0.
+    Uses rejection sampling, so it is unbiased. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate); mean [1. /. rate]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box-Muller normal sample. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian — used for WAN latency tails. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on
+    the empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val shuffle_list : t -> 'a list -> 'a list
+
+val sample_without_replacement : t -> int -> 'a list -> 'a list
+(** [sample_without_replacement t k xs] draws [min k (length xs)]
+    distinct elements, in random order. *)

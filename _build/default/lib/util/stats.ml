@@ -1,0 +1,141 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let n = List.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let percentile xs p =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+
+let median xs = percentile xs 50.0
+
+let cdf xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = float_of_int (Array.length a) in
+  Array.to_list (Array.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) a)
+
+let histogram ~buckets ~lo ~hi xs =
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  let bucket_of x =
+    if width <= 0.0 then 0
+    else max 0 (min (buckets - 1) (int_of_float ((x -. lo) /. width)))
+  in
+  List.iter (fun x -> counts.(bucket_of x) <- counts.(bucket_of x) + 1) xs;
+  counts
+
+(* Lanczos approximation, from Numerical Recipes. *)
+let gammln x =
+  let cof =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091;
+       -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+(* Series expansion of P(a, x), valid for x < a + 1. *)
+let gamma_p_series a x =
+  let gln = gammln a in
+  if x <= 0.0 then 0.0
+  else begin
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    let continue = ref true in
+    let iter = ref 0 in
+    while !continue && !iter < 500 do
+      incr iter;
+      ap := !ap +. 1.0;
+      del := !del *. x /. !ap;
+      sum := !sum +. !del;
+      if abs_float !del < abs_float !sum *. 3e-9 then continue := false
+    done;
+    !sum *. exp (-.x +. (a *. log x) -. gln)
+  end
+
+(* Continued fraction for Q(a, x), valid for x >= a + 1. *)
+let gamma_q_cf a x =
+  let gln = gammln a in
+  let fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let continue = ref true in
+  let i = ref 1 in
+  while !continue && !i < 500 do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.0;
+    d := (an *. !d) +. !b;
+    if abs_float !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if abs_float (del -. 1.0) < 3e-9 then continue := false;
+    incr i
+  done;
+  exp (-.x +. (a *. log x) -. gln) *. !h
+
+let regularized_gamma_q a x =
+  if x < 0.0 || a <= 0.0 then invalid_arg "Stats.regularized_gamma_q";
+  if x = 0.0 then 1.0
+  else if x < a +. 1.0 then 1.0 -. gamma_p_series a x
+  else gamma_q_cf a x
+
+let chi2_cdf_complement ~df x =
+  if df <= 0 then invalid_arg "Stats.chi2_cdf_complement: df must be positive";
+  regularized_gamma_q (float_of_int df /. 2.0) (x /. 2.0)
+
+let chi2_statistic ~observed ~expected =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Stats.chi2_statistic: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i o ->
+      let e = expected.(i) in
+      if e > 0.0 then acc := !acc +. (((float_of_int o -. e) ** 2.0) /. e))
+    observed;
+  !acc
+
+let chi2_uniform_test ~confidence counts =
+  let cells = Array.length counts in
+  if cells < 2 then true
+  else begin
+    let total = Array.fold_left ( + ) 0 counts in
+    let expected = Array.make cells (float_of_int total /. float_of_int cells) in
+    let x2 = chi2_statistic ~observed:counts ~expected in
+    let p = chi2_cdf_complement ~df:(cells - 1) x2 in
+    (* Reject uniformity when p < 1 - confidence. *)
+    p >= 1.0 -. confidence
+  end

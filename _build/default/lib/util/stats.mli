@@ -1,0 +1,42 @@
+(** Descriptive statistics and the Pearson chi-squared goodness-of-fit
+    test used by the random-walk configuration guideline (Fig. 4). *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    samples. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation.
+    Raises [Invalid_argument] on the empty list. *)
+
+val median : float list -> float
+
+val cdf : float list -> (float * float) list
+(** [cdf xs] returns the empirical CDF as (value, fraction <= value)
+    points, sorted by value. *)
+
+val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array
+(** Counts per equal-width bucket; out-of-range samples clamp to the
+    first/last bucket. *)
+
+val gammln : float -> float
+(** Log of the Gamma function (Lanczos approximation). *)
+
+val regularized_gamma_q : float -> float -> float
+(** [regularized_gamma_q a x] = Q(a, x), the upper regularized
+    incomplete gamma function. *)
+
+val chi2_cdf_complement : df:int -> float -> float
+(** [chi2_cdf_complement ~df x] is the p-value of a chi-squared
+    statistic [x] with [df] degrees of freedom. *)
+
+val chi2_statistic : observed:int array -> expected:float array -> float
+
+val chi2_uniform_test : confidence:float -> int array -> bool
+(** [chi2_uniform_test ~confidence counts] tests whether [counts] is
+    consistent with a uniform distribution over the cells.  Returns
+    [true] when the test {e cannot} reject uniformity at the given
+    confidence level (e.g. 0.99), which is the acceptance criterion of
+    the paper's configuration guideline. *)

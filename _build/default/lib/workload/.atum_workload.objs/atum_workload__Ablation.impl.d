@@ -1,0 +1,1 @@
+lib/workload/ablation.ml: Atum_core Atum_overlay Atum_util Builder Latency_exp List

@@ -1,0 +1,1 @@
+lib/workload/ashare_exp.ml: Atum_apps Atum_baselines Atum_core Atum_util Builder Hashtbl List Option Printf

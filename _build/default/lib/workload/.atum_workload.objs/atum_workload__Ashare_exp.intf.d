@@ -1,0 +1,1 @@
+lib/workload/ashare_exp.mli:

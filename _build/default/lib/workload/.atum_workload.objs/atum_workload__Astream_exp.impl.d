@@ -1,0 +1,1 @@
+lib/workload/astream_exp.ml: Atum_apps Atum_core Atum_util Builder List

@@ -1,0 +1,1 @@
+lib/workload/astream_exp.mli:

@@ -1,0 +1,1 @@
+lib/workload/builder.ml: Atum_core Atum_util List Printf

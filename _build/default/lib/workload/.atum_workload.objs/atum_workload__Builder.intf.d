@@ -1,0 +1,1 @@
+lib/workload/builder.mli: Atum_core Atum_sim Atum_util

@@ -1,0 +1,1 @@
+lib/workload/churn.ml: Atum_core Atum_util Builder List

@@ -1,0 +1,1 @@
+lib/workload/growth.ml: Atum_core Atum_sim Atum_util Float List

@@ -1,0 +1,1 @@
+lib/workload/growth.mli: Atum_core

@@ -1,0 +1,1 @@
+lib/workload/latency_exp.ml: Atum_core Atum_sim Atum_util Builder List String

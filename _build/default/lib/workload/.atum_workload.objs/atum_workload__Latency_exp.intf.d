@@ -1,0 +1,1 @@
+lib/workload/latency_exp.mli: Builder

@@ -1,0 +1,115 @@
+module Atum = Atum_core.Atum
+module System = Atum_core.System
+
+type attack_result = {
+  shuffling : bool;
+  byzantine_fraction : float;
+  concentration : float;
+  any_vgroup_captured : bool;
+}
+
+(* The attacker repeatedly re-joins its nodes; a node already sitting
+   in the currently most-Byzantine vgroup stays put, everyone else
+   churns, hoping the random walk lands them there.  This is the
+   strongest strategy available to an adversary that cannot bias the
+   walks (bulk RNG, §5.1). *)
+let join_leave_attack ?(n = 120) ?(attackers = 10) ?(rounds = 15) ~shuffling ~seed () =
+  let params =
+    (* Mid-size vgroups so a captured vgroup means a beaten fault
+       bound, not small-sample noise. *)
+    { (Atum_core.Params.for_system_size ~seed n) with Atum_core.Params.gmin = 5; gmax = 10 }
+  in
+  let built = Builder.grow ~params ~n ~seed () in
+  let atum = built.Builder.atum in
+  let sys = Atum.system atum in
+  System.set_shuffling sys shuffling;
+  let rng = Atum_util.Rng.create (seed + 3) in
+  (* The attacker's nodes join as Byzantine. *)
+  let attacker_ids = ref [] in
+  for _ = 1 to attackers do
+    let contact = Builder.random_member built rng in
+    let id = Atum.join atum ~byzantine:true ~contact () in
+    attacker_ids := id :: !attacker_ids
+  done;
+  Atum.run_for atum 400.0;
+  let best_vgroup () =
+    let score vid =
+      let members = Atum.members_of_vgroup atum vid in
+      List.length
+        (List.filter
+           (fun m ->
+             match System.node_opt sys m with Some nd -> nd.System.byzantine | None -> false)
+           members)
+    in
+    List.fold_left
+      (fun (bv, bs) vid ->
+        let s = score vid in
+        if s > bs then (Some vid, s) else (bv, bs))
+      (None, -1)
+      (Atum_overlay.Hgraph.vertices (System.hgraph sys))
+    |> fst
+  in
+  for _ = 1 to rounds do
+    let target = best_vgroup () in
+    List.iter
+      (fun id ->
+        if Atum.is_member atum id && Atum.vgroup_of atum id <> target then begin
+          (* leave and immediately re-join through a random member *)
+          Atum.leave atum id;
+          ()
+        end)
+      !attacker_ids;
+    Atum.run_for atum 200.0;
+    (* re-join everyone that left *)
+    attacker_ids :=
+      List.map
+        (fun id ->
+          if Atum.is_member atum id then id
+          else begin
+            let contact = Builder.random_member built rng in
+            Atum.join atum ~byzantine:true ~contact ()
+          end)
+        !attacker_ids;
+    Atum.run_for atum 400.0
+  done;
+  Atum.run_for atum 600.0;
+  let concentration = System.byzantine_concentration sys in
+  {
+    shuffling;
+    byzantine_fraction = float_of_int attackers /. float_of_int (Atum.size atum);
+    concentration;
+    any_vgroup_captured = concentration >= 0.5;
+  }
+
+type forward_result = {
+  label : string;
+  delivery_fraction : float;
+  p50_latency : float;
+  messages_per_broadcast : float;
+}
+
+let forward_policies ?(n = 100) ?(messages = 20) ~seed () =
+  let policies =
+    [
+      ("flood (all cycles)", fun ~bid:_ ~from_vg:_ ~cycle:_ ~neighbor:_ -> true);
+      ("two cycles", fun ~bid:_ ~from_vg:_ ~cycle ~neighbor:_ -> cycle < 2);
+      ("single cycle", fun ~bid:_ ~from_vg:_ ~cycle ~neighbor:_ -> cycle = 0);
+    ]
+  in
+  List.map
+    (fun (label, policy) ->
+      let built =
+        Builder.grow ~params:(Atum_core.Params.for_system_size ~seed n) ~n ~seed ()
+      in
+      let atum = built.Builder.atum in
+      Atum.on_forward atum policy;
+      let before = Atum.messages_sent atum in
+      let r = Latency_exp.run built ~messages ~gap:3.0 ~seed:(seed + 1) in
+      let traffic = Atum.messages_sent atum - before in
+      {
+        label;
+        delivery_fraction = r.Latency_exp.delivery_fraction;
+        p50_latency = Atum_util.Stats.percentile r.Latency_exp.latencies 50.0;
+        messages_per_broadcast = float_of_int traffic /. float_of_int messages;
+      })
+    policies

@@ -1,0 +1,32 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    - {!join_leave_attack}: is random-walk shuffling actually needed?
+      An adversary mounts the join-leave attack of §3.2 (Awerbuch &
+      Scheideler), repeatedly re-joining its nodes to concentrate them
+      in one vgroup.  With shuffling every join refreshes the target
+      vgroup's composition; without it, concentration accumulates.
+
+    - {!forward_policies}: the latency / throughput trade-off of the
+      [forward] callback (§3.3.4): flooding all cycles vs. gossiping on
+      two or one. *)
+
+type attack_result = {
+  shuffling : bool;
+  byzantine_fraction : float;  (** attacker share of the whole system *)
+  concentration : float;  (** max per-vgroup Byzantine fraction at the end *)
+  any_vgroup_captured : bool;  (** some vgroup lost its correct majority *)
+}
+
+val join_leave_attack :
+  ?n:int -> ?attackers:int -> ?rounds:int -> shuffling:bool -> seed:int -> unit -> attack_result
+
+type forward_result = {
+  label : string;
+  delivery_fraction : float;
+  p50_latency : float;
+  messages_per_broadcast : float;
+}
+
+val forward_policies : ?n:int -> ?messages:int -> seed:int -> unit -> forward_result list
+(** Compare flooding, two-cycle, and one-cycle forwarding on the same
+    deployment size. *)

@@ -1,0 +1,122 @@
+module Atum = Atum_core.Atum
+module Ashare = Atum_apps.Ashare
+
+type fig9_row = { size_mb : float; nfs : float; simple : float; parallel : float }
+
+let default_sizes = [ 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048. ]
+
+(* One small deployment serves the whole Fig 9 sweep: the owner puts a
+   synthetic file, replicas are placed explicitly, and a reader GETs
+   it with the paper's two configurations. *)
+let fig9 ?(sizes_mb = default_sizes) ~seed () =
+  let built = Builder.grow ~n:8 ~seed () in
+  let atum = built.Builder.atum in
+  let share = Ashare.attach atum ~rho:1 in
+  let members = Builder.correct_members built in
+  let owner, holder2, reader =
+    match members with
+    | a :: b :: c :: _ -> (a, b, c)
+    | _ -> failwith "fig9: not enough members"
+  in
+  let measure ~chunk_count ~holders ~name size_mb =
+    Ashare.put share ~owner ~name ~chunk_count (Ashare.Synthetic size_mb);
+    Atum.run_for atum 60.0;
+    Ashare.place_replicas share ~owner ~name ~holders;
+    let result = ref None in
+    Ashare.get share ~reader ~owner:(Ashare.owner_name owner) ~name ~k:(fun r -> result := r);
+    Atum.run_for atum 10_000.0;
+    match !result with
+    | Some r -> r.Ashare.latency /. size_mb
+    | None -> failwith ("fig9: GET failed for " ^ name)
+  in
+  List.map
+    (fun size_mb ->
+      let tag = string_of_int (int_of_float size_mb) in
+      {
+        size_mb;
+        nfs = Atum_baselines.Nfs.latency_per_mb ~mb:size_mb;
+        simple =
+          measure ~chunk_count:1 ~holders:[ owner ] ~name:("simple-" ^ tag) size_mb;
+        parallel =
+          measure ~chunk_count:10 ~holders:[ owner; holder2 ]
+            ~name:("parallel-" ^ tag) size_mb;
+      })
+    sizes_mb
+
+type fig10_row = {
+  replicas : int;
+  clean_latency_per_mb : float;
+  faulty_latency_per_mb : float;
+}
+
+let byzantine_reads ~n ~files ~byzantine ~rho ~seed =
+  ignore rho;
+  let built = Builder.grow ~n ~byzantine ~seed () in
+  let atum = built.Builder.atum in
+  let share = Ashare.attach atum ~rho:1 (* feedback loop off: placement is explicit *) in
+  let rng = Atum_util.Rng.create (seed + 7) in
+  let correct = Builder.correct_members built in
+  let byz = built.Builder.byzantine in
+  let owner = List.hd correct in
+  let size_mb = 10.0 and chunks = 10 in
+  (* Announce all the files first (every node indexes them). *)
+  let replica_counts = List.init 13 (fun i -> 8 + i) (* 8..20 *) in
+  let file_specs =
+    List.init files (fun i ->
+        let r = List.nth replica_counts (i mod List.length replica_counts) in
+        let faulty = 1 + (i mod 6) in
+        (Printf.sprintf "file-%d" i, r, faulty))
+  in
+  List.iteri
+    (fun i (name, _, _) ->
+      Ashare.put share ~owner ~name ~chunk_count:chunks (Ashare.Synthetic size_mb);
+      if i mod 25 = 0 then Atum.run_for atum 30.0)
+    file_specs;
+  Atum.run_for atum 300.0;
+  (* Measure both series per file: clean placement and faulty placement. *)
+  let clean_acc = Hashtbl.create 16 and faulty_acc = Hashtbl.create 16 in
+  let record tbl r v =
+    let l = Option.value ~default:[] (Hashtbl.find_opt tbl r) in
+    Hashtbl.replace tbl r (v :: l)
+  in
+  let pick_holders ~faulty r =
+    let nbyz = min faulty (List.length byz) in
+    let byz_holders = Atum_util.Rng.sample_without_replacement rng nbyz byz in
+    let correct_pool = List.filter (fun c -> c <> owner) correct in
+    let corr_holders =
+      Atum_util.Rng.sample_without_replacement rng (r - List.length byz_holders) correct_pool
+    in
+    byz_holders @ corr_holders
+  in
+  List.iter
+    (fun (name, r, faulty) ->
+      let run_one ~holders tbl =
+        Ashare.place_replicas share ~owner ~name ~holders;
+        let reader =
+          let outside = List.filter (fun c -> not (List.mem c holders)) correct in
+          Atum_util.Rng.pick rng (if outside = [] then correct else outside)
+        in
+        let result = ref None in
+        Ashare.get share ~reader ~owner:(Ashare.owner_name owner) ~name ~k:(fun x -> result := x);
+        Atum.run_for atum 2_000.0;
+        match !result with
+        | Some res -> record tbl r (res.Ashare.latency /. size_mb)
+        | None -> ()
+      in
+      (* clean series: correct holders only *)
+      run_one ~holders:(pick_holders ~faulty:0 r) clean_acc;
+      (* faulty series: 1..6 corrupting holders *)
+      run_one ~holders:(pick_holders ~faulty r) faulty_acc)
+    file_specs;
+  List.filter_map
+    (fun r ->
+      match (Hashtbl.find_opt clean_acc r, Hashtbl.find_opt faulty_acc r) with
+      | Some clean, Some faulty ->
+        Some
+          {
+            replicas = r;
+            clean_latency_per_mb = Atum_util.Stats.mean clean;
+            faulty_latency_per_mb = Atum_util.Stats.mean faulty;
+          }
+      | _ -> None)
+    replica_counts

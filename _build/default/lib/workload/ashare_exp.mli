@@ -1,0 +1,25 @@
+(** AShare experiments: Fig 9 (read performance vs. NFS), Figs 10/11
+    (impact of Byzantine replicas on read latency). *)
+
+type fig9_row = {
+  size_mb : float;
+  nfs : float;  (** latency per MB, seconds *)
+  simple : float;  (** AShare, one chunk, one replica *)
+  parallel : float;  (** AShare, 10 chunks, two replicas *)
+}
+
+val fig9 : ?sizes_mb:float list -> seed:int -> unit -> fig9_row list
+(** File sizes default to the paper's 2 MB … 2048 MB sweep. *)
+
+type fig10_row = {
+  replicas : int;
+  clean_latency_per_mb : float;  (** all replicas correct *)
+  faulty_latency_per_mb : float;  (** 1–6 corrupting replicas *)
+}
+
+val byzantine_reads :
+  n:int -> files:int -> byzantine:int -> rho:int -> seed:int -> fig10_row list
+(** The Fig 10 / Fig 11 experiment: [files] 10-chunk 10 MB files with
+    8–20 replicas each on an [n]-node system with [byzantine]
+    corrupting nodes; GET each file from a random non-holder and
+    report mean latency per MB by replica count. *)

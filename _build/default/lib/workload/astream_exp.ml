@@ -1,0 +1,44 @@
+module Astream = Atum_apps.Astream
+
+type row = {
+  n : int;
+  single_ms : float;
+  double_ms : float;
+  single_sim_ms : float;
+  double_sim_ms : float;
+}
+
+let run ?(sizes = [ 20; 50 ]) ?(chunk_mb = 1.0) ~seed () =
+  List.map
+    (fun n ->
+      (* Smaller vgroups than the default so even the 20-node system
+         has a multi-hop overlay, as in the paper's AStream setup. *)
+      let params =
+        {
+          (Atum_core.Params.for_system_size ~seed:(seed + n) n) with
+          Atum_core.Params.gmin = 2;
+          gmax = 5;
+          hc = 3;
+          rwl = 5;
+        }
+      in
+      let built = Builder.grow ~params ~n ~seed:(seed + n) () in
+      (* Average over several independent forests: parent choices are
+         random, and a single draw is noisy at 20 nodes. *)
+      let measure cycles_used =
+        let analytic, simulated =
+          List.split
+            (List.init 5 (fun i ->
+                 let forest =
+                   Astream.build ~atum:built.Builder.atum ~source:built.Builder.first
+                     ~cycles_used ~seed:(seed + (10 * cycles_used) + i)
+                 in
+                 ( (Astream.stream forest ~chunk_mb).Astream.mean_latency,
+                   (Astream.simulate forest ~chunk_mb).Astream.sim_mean_latency )))
+        in
+        (1000.0 *. Atum_util.Stats.mean analytic, 1000.0 *. Atum_util.Stats.mean simulated)
+      in
+      let single_ms, single_sim_ms = measure 1 in
+      let double_ms, double_sim_ms = measure 2 in
+      { n; single_ms; double_ms; single_sim_ms; double_sim_ms })
+    sizes

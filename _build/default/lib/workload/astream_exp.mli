@@ -1,0 +1,13 @@
+(** AStream experiment (Fig 12): tier-2 dissemination latency of a
+    1 MB/s stream over forests built on one (Single) or two (Double)
+    H-graph cycles, for 20- and 50-node systems. *)
+
+type row = {
+  n : int;
+  single_ms : float;  (** mean per-chunk latency (analytic model), ms *)
+  double_ms : float;
+  single_sim_ms : float;  (** same, from the event-driven push-pull *)
+  double_sim_ms : float;
+}
+
+val run : ?sizes:int list -> ?chunk_mb:float -> seed:int -> unit -> row list

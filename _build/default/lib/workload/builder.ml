@@ -1,0 +1,50 @@
+module Atum = Atum_core.Atum
+module System = Atum_core.System
+
+type built = {
+  atum : Atum.t;
+  first : Atum.node_id;
+  byzantine : Atum.node_id list;
+}
+
+let live_ids atum =
+  List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
+
+let grow ?params ?net_config ?(byzantine = 0) ?(batch = 8) ?(settle = 90.0) ~n ~seed () =
+  let params =
+    match params with
+    | Some p -> p
+    | None -> Atum_core.Params.for_system_size ~seed n
+  in
+  let atum = Atum.create ~params ?net_config () in
+  let rng = Atum_util.Rng.create (seed + 31) in
+  let first = Atum.bootstrap atum in
+  let stall = ref 0 in
+  while Atum.size atum < n && !stall < 50 do
+    let before = Atum.size atum in
+    let contacts = live_ids atum in
+    let want = min batch (n - before) in
+    for _ = 1 to want do
+      ignore (Atum.join atum ~contact:(Atum_util.Rng.pick rng contacts) ())
+    done;
+    Atum.run_for atum settle;
+    if Atum.size atum = before then incr stall else stall := 0
+  done;
+  if Atum.size atum < n then
+    failwith
+      (Printf.sprintf "Builder.grow: stalled at %d/%d nodes" (Atum.size atum) n);
+  (* Let outstanding shuffles / splits drain before measuring. *)
+  Atum.run_for atum (3.0 *. settle);
+  let sys = Atum.system atum in
+  let candidates = List.filter (fun id -> id <> first) (live_ids atum) in
+  let byz = Atum_util.Rng.sample_without_replacement rng byzantine candidates in
+  List.iter (fun b -> System.make_byzantine sys b) byz;
+  { atum; first; byzantine = byz }
+
+let random_member built rng = Atum_util.Rng.pick rng (live_ids built.atum)
+
+let correct_members built =
+  List.filter_map
+    (fun (n : System.node) ->
+      if n.System.alive && not n.System.byzantine then Some n.System.id else None)
+    (System.live_nodes (Atum.system built.atum))

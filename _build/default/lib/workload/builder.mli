@@ -1,0 +1,31 @@
+(** Shared experiment scaffolding: grow Atum deployments to a target
+    size and place Byzantine nodes, as the evaluation section does
+    before each measurement. *)
+
+type built = {
+  atum : Atum_core.Atum.t;
+  first : Atum_core.Atum.node_id;  (** the bootstrap node *)
+  byzantine : Atum_core.Atum.node_id list;
+}
+
+val grow :
+  ?params:Atum_core.Params.t ->
+  ?net_config:Atum_sim.Network.config ->
+  ?byzantine:int ->
+  ?batch:int ->
+  ?settle:float ->
+  n:int ->
+  seed:int ->
+  unit ->
+  built
+(** Bootstrap and grow a deployment to [n] live members by joining
+    nodes in small batches through random contacts, letting each batch
+    settle, then mark [byzantine] random non-bootstrap members as
+    quiet-Byzantine (§6.1.3). Parameters default to
+    {!Atum_core.Params.for_system_size}. *)
+
+val random_member :
+  built -> Atum_util.Rng.t -> Atum_core.Atum.node_id
+(** A uniformly random live member (possibly Byzantine). *)
+
+val correct_members : built -> Atum_core.Atum.node_id list

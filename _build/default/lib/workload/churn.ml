@@ -1,0 +1,79 @@
+module Atum = Atum_core.Atum
+module System = Atum_core.System
+
+type probe_result = {
+  rate_per_min : float;
+  joins_started : int;
+  joins_completed : int;
+  size_before : int;
+  size_after : int;
+  sustained : bool;
+}
+
+let live_ids atum =
+  List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
+
+let probe (built : Builder.built) ~rate_per_min ~duration ~seed =
+  let atum = built.Builder.atum in
+  let rng = Atum_util.Rng.create seed in
+  let size_before = Atum.size atum in
+  let interval = 60.0 /. rate_per_min in
+  let started = ref 0 in
+  let completed = ref 0 in
+  let deadline = Atum.now atum +. duration in
+  while Atum.now atum < deadline do
+    (* One churn event: a random member leaves, a fresh node joins. *)
+    let ids = List.filter (fun id -> id <> built.Builder.first) (live_ids atum) in
+    if ids <> [] then Atum.leave atum (Atum_util.Rng.pick rng ids);
+    let contacts = live_ids atum in
+    if contacts <> [] then begin
+      incr started;
+      ignore
+        (Atum.join_with atum
+           ~contact:(Atum_util.Rng.pick rng contacts)
+           ~on_joined:(fun _ -> incr completed)
+           ())
+    end;
+    Atum.run_for atum interval
+  done;
+  (* Grace period: in-flight operations may still finish. *)
+  Atum.run_for atum 120.0;
+  let size_after = Atum.size atum in
+  let sustained =
+    !started > 0
+    && float_of_int !completed >= 0.85 *. float_of_int !started
+    && abs (size_after - size_before) <= max 2 (size_before / 10)
+  in
+  {
+    rate_per_min;
+    joins_started = !started;
+    joins_completed = !completed;
+    size_before;
+    size_after;
+    sustained;
+  }
+
+let default_rates n =
+  (* Fractions of system size per minute, bracketing the paper's
+     18–22.5% and extending beyond it so the ceiling is visible. *)
+  List.map
+    (fun f -> f *. float_of_int n)
+    [ 0.06; 0.10; 0.14; 0.18; 0.22; 0.27; 0.33; 0.40 ]
+
+let max_sustained ?rates ?(duration = 120.0) (built : Builder.built) ~seed =
+  let n = Atum.size built.Builder.atum in
+  let rates = match rates with Some r -> r | None -> default_rates n in
+  let results = ref [] in
+  let best = ref 0.0 in
+  let continue = ref true in
+  List.iteri
+    (fun i rate ->
+      if !continue then begin
+        let r = probe built ~rate_per_min:rate ~duration ~seed:(seed + (100 * i)) in
+        results := r :: !results;
+        if r.sustained then best := rate else continue := false;
+        (* settle before the next, harder probe *)
+        Atum.run_for built.Builder.atum 180.0
+      end)
+    rates;
+  (!best, List.rev !results)

@@ -1,0 +1,31 @@
+(** Continuous-churn workload for Fig 7: constantly remove and re-join
+    nodes and find the highest rate the system sustains. *)
+
+type probe_result = {
+  rate_per_min : float;  (** re-joins per simulated minute *)
+  joins_started : int;
+  joins_completed : int;
+  size_before : int;
+  size_after : int;
+  sustained : bool;
+}
+
+val probe :
+  Builder.built -> rate_per_min:float -> duration:float -> seed:int -> probe_result
+(** Churn an existing deployment at a fixed rate for [duration]
+    simulated seconds: at every churn event, one random member leaves
+    and one fresh node joins through a random contact.  Sustained
+    means at least 85% of the started joins completed (the rest may be
+    in flight or lost to vgroups that vanished mid-saga) and the
+    system size drifted by at most 10%. *)
+
+val max_sustained :
+  ?rates:float list ->
+  ?duration:float ->
+  Builder.built ->
+  seed:int ->
+  float * probe_result list
+(** Walk an increasing rate ladder (default: fractions of the system
+    size per minute) and return the highest sustained rate in
+    re-joins/minute, plus every probe.  Between probes the system gets
+    slack time to settle. *)

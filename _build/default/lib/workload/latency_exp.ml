@@ -1,0 +1,43 @@
+module Atum = Atum_core.Atum
+
+type result = {
+  latencies : float list;
+  messages : int;
+  expected_deliveries : int;
+  observed_deliveries : int;
+  delivery_fraction : float;
+}
+
+let run (built : Builder.built) ~messages ~gap ~seed =
+  let atum = built.Builder.atum in
+  (* Latency-sensitive setting (§3.3.4): gossip on every cycle. *)
+  Atum.on_forward atum Atum_core.System.flood_forward;
+  let rng = Atum_util.Rng.create seed in
+  let correct = Builder.correct_members built in
+  let m = Atum.metrics atum in
+  (* Reset counters so only this experiment's deliveries count. *)
+  Atum_sim.Metrics.clear m;
+  let payload () =
+    (* 10–100 byte messages, "comparable to Twitter messages". *)
+    String.make (10 + Atum_util.Rng.int rng 91) 'x'
+  in
+  for _ = 1 to messages do
+    let publisher = Atum_util.Rng.pick rng correct in
+    ignore (Atum.broadcast atum ~from:publisher (payload ()));
+    Atum.run_for atum gap
+  done;
+  (* Drain: generous tail so slow paths deliver. *)
+  Atum.run_for atum 300.0;
+  let latencies = Atum_sim.Metrics.samples m "broadcast.latency" in
+  let expected = List.length correct * messages in
+  let observed = List.length latencies in
+  {
+    latencies;
+    messages;
+    expected_deliveries = expected;
+    observed_deliveries = observed;
+    delivery_fraction =
+      (if expected = 0 then 0.0 else float_of_int observed /. float_of_int expected);
+  }
+
+let cdf result = Atum_util.Stats.cdf result.latencies

@@ -1,0 +1,19 @@
+(** Group communication latency (Fig 8): disseminate a batch of small
+    messages and collect the per-(node, message) delivery latency
+    distribution, with or without Byzantine nodes. *)
+
+type result = {
+  latencies : float list;  (** one sample per (correct node, message) delivery *)
+  messages : int;
+  expected_deliveries : int;  (** correct members × messages *)
+  observed_deliveries : int;
+  delivery_fraction : float;
+}
+
+val run :
+  Builder.built -> messages:int -> gap:float -> seed:int -> result
+(** Broadcast [messages] Twitter-sized payloads from random correct
+    members, one every [gap] simulated seconds, then drain. *)
+
+val cdf : result -> (float * float) list
+(** The Fig 8 CDF: fraction of deliveries within each latency. *)

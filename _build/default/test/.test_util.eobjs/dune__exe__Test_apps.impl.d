@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Ashare Astream Asub Atum_apps Atum_core Atum_overlay Atum_smr Atum_util Atum_workload Dht Fun Hashtbl Kv_index List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Atum_baselines Float Global_smr Gossip List Nfs Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Atum Atum_core Atum_sim Atum_util Hashtbl List Option Params Printf QCheck QCheck_alcotest System

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Atum_crypto Char Chunks Hmac List QCheck QCheck_alcotest Sha256 Signature String

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Atum_overlay Atum_util Fun Grouping Guideline Hgraph List Option Printf QCheck QCheck_alcotest Random_walk

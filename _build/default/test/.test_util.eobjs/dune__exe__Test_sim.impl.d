@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Atum_sim Atum_util Bulk Engine List Metrics Network Printf Rounds

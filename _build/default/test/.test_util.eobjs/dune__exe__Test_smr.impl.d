@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Atum_crypto Atum_sim Atum_smr Atum_util Dolev_strong Fun Hashtbl List Pbft Printf QCheck QCheck_alcotest Smr_intf Sync_smr

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atum_util Btree Fun Gen Hashtbl List Option Pqueue Printf QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_workload.ml: Ablation Alcotest Ashare_exp Astream_exp Atum_core Atum_util Atum_workload Builder Churn Growth Latency_exp List Printf

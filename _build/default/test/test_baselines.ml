@@ -1,0 +1,105 @@
+open Atum_baselines
+
+(* ------------------------------------------------------------------ *)
+(* S.Gossip                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_gossip_everyone_infected () =
+  let r = Gossip.run ~n:500 ~fanout:8 ~seed:1 in
+  Array.iteri
+    (fun i round -> if round = max_int then Alcotest.fail (Printf.sprintf "node %d missed" i))
+    r.Gossip.per_node_round;
+  Alcotest.(check int) "source at round 0" 0 r.Gossip.per_node_round.(0)
+
+let test_gossip_logarithmic_rounds () =
+  let r = Gossip.run ~n:850 ~fanout:8 ~seed:2 in
+  let bound = Gossip.expected_rounds_upper_bound ~n:850 ~fanout:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d rounds <= %.1f bound" r.Gossip.rounds_to_full bound)
+    true
+    (float_of_int r.Gossip.rounds_to_full <= bound);
+  Alcotest.(check bool) "needs more than one round" true (r.Gossip.rounds_to_full > 1)
+
+let test_gossip_fanout_speeds_up () =
+  let rounds fanout = (Gossip.run ~n:1000 ~fanout ~seed:3).Gossip.rounds_to_full in
+  Alcotest.(check bool) "bigger fanout, fewer rounds" true (rounds 16 <= rounds 2)
+
+let test_gossip_latencies () =
+  let r = Gossip.run ~n:100 ~fanout:4 ~seed:4 in
+  let lats = Gossip.latencies r ~round_duration:1.5 in
+  Alcotest.(check int) "one latency per node" 100 (List.length lats);
+  Alcotest.(check bool) "multiples of round duration" true
+    (List.for_all (fun l -> Float.rem l 1.5 = 0.0) lats)
+
+let test_gossip_deterministic () =
+  let a = Gossip.run ~n:300 ~fanout:6 ~seed:9 in
+  let b = Gossip.run ~n:300 ~fanout:6 ~seed:9 in
+  Alcotest.(check bool) "same seed, same spread" true (a.Gossip.per_node_round = b.Gossip.per_node_round)
+
+let test_gossip_single_node () =
+  let r = Gossip.run ~n:1 ~fanout:3 ~seed:5 in
+  Alcotest.(check int) "zero rounds" 0 r.Gossip.rounds_to_full;
+  Alcotest.(check int) "no messages" 0 r.Gossip.messages
+
+(* ------------------------------------------------------------------ *)
+(* S.SMR                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_global_smr_rounds () =
+  let r = Global_smr.run ~n:850 ~faults:50 ~round_duration:1.5 in
+  Alcotest.(check int) "f+1 rounds" 51 r.Global_smr.rounds;
+  (* The paper's Fig 8: ~76.5 s for the whole-system SMR baseline. *)
+  Alcotest.(check (float 0.001)) "latency" 76.5 r.Global_smr.latency
+
+let test_global_smr_latencies_step () =
+  let r = Global_smr.run ~n:10 ~faults:2 ~round_duration:1.0 in
+  let lats = Global_smr.latencies r ~n:10 in
+  Alcotest.(check int) "all nodes" 10 (List.length lats);
+  Alcotest.(check bool) "step CDF" true (List.for_all (( = ) 3.0) lats)
+
+let test_global_smr_bad_args () =
+  Alcotest.check_raises "faults >= n" (Invalid_argument "Global_smr.run: bad fault count")
+    (fun () -> ignore (Global_smr.run ~n:5 ~faults:5 ~round_duration:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* NFS                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_nfs_amortizes () =
+  Alcotest.(check bool) "latency/MB falls with size" true
+    (Nfs.latency_per_mb ~mb:2.0 > Nfs.latency_per_mb ~mb:2048.0)
+
+let test_nfs_monotone_total () =
+  Alcotest.(check bool) "bigger file, longer read" true
+    (Nfs.read_time ~mb:100.0 < Nfs.read_time ~mb:200.0)
+
+let test_nfs_rejects_zero () =
+  Alcotest.check_raises "size must be positive"
+    (Invalid_argument "Nfs.read_time: size must be positive") (fun () ->
+      ignore (Nfs.read_time ~mb:0.0))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "gossip",
+        [
+          Alcotest.test_case "everyone infected" `Quick test_gossip_everyone_infected;
+          Alcotest.test_case "logarithmic" `Quick test_gossip_logarithmic_rounds;
+          Alcotest.test_case "fanout" `Quick test_gossip_fanout_speeds_up;
+          Alcotest.test_case "latencies" `Quick test_gossip_latencies;
+          Alcotest.test_case "deterministic" `Quick test_gossip_deterministic;
+          Alcotest.test_case "single node" `Quick test_gossip_single_node;
+        ] );
+      ( "global-smr",
+        [
+          Alcotest.test_case "rounds" `Quick test_global_smr_rounds;
+          Alcotest.test_case "step cdf" `Quick test_global_smr_latencies_step;
+          Alcotest.test_case "bad args" `Quick test_global_smr_bad_args;
+        ] );
+      ( "nfs",
+        [
+          Alcotest.test_case "amortizes" `Quick test_nfs_amortizes;
+          Alcotest.test_case "monotone" `Quick test_nfs_monotone_total;
+          Alcotest.test_case "rejects zero" `Quick test_nfs_rejects_zero;
+        ] );
+    ]

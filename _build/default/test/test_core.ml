@@ -1,0 +1,536 @@
+open Atum_core
+
+let quick_sync_params =
+  (* Small rounds and short walks keep unit-test simulations fast. *)
+  {
+    Params.default with
+    Params.hc = 3;
+    rwl = 4;
+    round_duration = 0.5;
+    seed = 11;
+  }
+
+let quick_async_params =
+  { Params.default_async with Params.hc = 3; rwl = 4; pbft_timeout = 1.0; seed = 12 }
+
+let check_ok label = function
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (label ^ ": " ^ e)
+
+(* Grow a system by joining nodes through random existing members,
+   giving each batch time to settle. *)
+let grow t ~target ~settle =
+  let first = Atum.bootstrap t in
+  let members = ref [ first ] in
+  let rng = Atum_util.Rng.create 5 in
+  while Atum.size t < target do
+    let batch = min 4 (target - Atum.size t) in
+    for _ = 1 to batch do
+      let contact = Atum_util.Rng.pick rng !members in
+      ignore (Atum.join t ~contact ())
+    done;
+    Atum.run_for t settle;
+    members :=
+      List.filter_map
+        (fun (n : System.node) -> if n.System.alive then Some n.System.id else None)
+        (System.live_nodes (Atum.system t))
+  done;
+  first
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap and basic lifecycle                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_bootstrap () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = Atum.bootstrap t in
+  Alcotest.(check int) "one node" 1 (Atum.size t);
+  Alcotest.(check int) "one vgroup" 1 (Atum.vgroup_count t);
+  Alcotest.(check bool) "member" true (Atum.is_member t n0);
+  check_ok "overlay" (Atum.check_overlay t);
+  check_ok "registry" (Atum.check_consistency t)
+
+let test_bootstrap_twice_rejected () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (Atum.bootstrap t);
+  Alcotest.check_raises "double bootstrap"
+    (Invalid_argument "System.bootstrap: already bootstrapped") (fun () ->
+      ignore (Atum.bootstrap t))
+
+let test_self_broadcast () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = Atum.bootstrap t in
+  let got = ref [] in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin body -> got := (nid, origin, body) :: !got);
+  ignore (Atum.broadcast t ~from:n0 "hello");
+  Atum.run_for t 10.0;
+  Alcotest.(check (list (triple int int string))) "delivered to self"
+    [ (n0, n0, "hello") ] !got
+
+let test_single_join () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = Atum.bootstrap t in
+  let joined = ref None in
+  let n1 = Atum.join_with t ~contact:n0 ~on_joined:(fun id -> joined := Some id) () in
+  Atum.run_for t 60.0;
+  Alcotest.(check bool) "join callback fired" true (!joined = Some n1);
+  Alcotest.(check int) "two nodes" 2 (Atum.size t);
+  check_ok "registry" (Atum.check_consistency t)
+
+let test_grow_sync () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:24 ~settle:120.0);
+  Atum.run_for t 200.0;
+  Alcotest.(check int) "grew to 24" 24 (Atum.size t);
+  check_ok "overlay" (Atum.check_overlay t);
+  check_ok "registry" (Atum.check_consistency t);
+  (* Logarithmic grouping: with gmax = 8, 24 nodes need >= 3 vgroups,
+     and no vgroup may exceed gmax for long after settling. *)
+  Alcotest.(check bool) "multiple vgroups" true (Atum.vgroup_count t >= 3);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "vgroup size %d within [1, gmax+1]" s)
+        true
+        (s >= 1 && s <= quick_sync_params.Params.gmax + 1))
+    (Atum.vgroup_sizes t)
+
+let test_grow_async () =
+  let t = Atum.create ~params:quick_async_params () in
+  ignore (grow t ~target:20 ~settle:60.0);
+  Atum.run_for t 120.0;
+  Alcotest.(check int) "grew to 20" 20 (Atum.size t);
+  check_ok "overlay" (Atum.check_overlay t);
+  check_ok "registry" (Atum.check_consistency t)
+
+(* ------------------------------------------------------------------ *)
+(* Broadcast dissemination                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_broadcast_reaches_all_sync () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:20 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  let got = Hashtbl.create 32 in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ -> Hashtbl.replace got nid ());
+  ignore (Atum.broadcast t ~from:n0 "news");
+  Atum.run_for t 60.0;
+  Alcotest.(check int) "all nodes delivered" (Atum.size t) (Hashtbl.length got)
+
+let test_broadcast_reaches_all_async () =
+  let t = Atum.create ~params:quick_async_params () in
+  let n0 = grow t ~target:16 ~settle:60.0 in
+  Atum.run_for t 120.0;
+  let got = Hashtbl.create 32 in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ -> Hashtbl.replace got nid ());
+  ignore (Atum.broadcast t ~from:n0 "news");
+  Atum.run_for t 60.0;
+  Alcotest.(check int) "all nodes delivered" (Atum.size t) (Hashtbl.length got)
+
+let test_broadcast_multiple_messages_dedup () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:12 ~settle:120.0 in
+  Atum.run_for t 120.0;
+  let deliveries = ref 0 in
+  Atum.on_deliver t (fun _ ~bid:_ ~origin:_ _ -> incr deliveries);
+  ignore (Atum.broadcast t ~from:n0 "a");
+  ignore (Atum.broadcast t ~from:n0 "b");
+  Atum.run_for t 60.0;
+  (* Each node delivers each broadcast exactly once. *)
+  Alcotest.(check int) "n * messages" (2 * Atum.size t) !deliveries
+
+let test_forward_single_cycle_still_delivers () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:16 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  (* AStream-style: gossip only along cycle 0.  The ring structure
+     still guarantees delivery, just more slowly. *)
+  Atum.on_forward t (fun ~bid:_ ~from_vg:_ ~cycle ~neighbor:_ -> cycle = 0);
+  let got = Hashtbl.create 32 in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ -> Hashtbl.replace got nid ());
+  ignore (Atum.broadcast t ~from:n0 "ring");
+  Atum.run_for t 120.0;
+  Alcotest.(check int) "all nodes delivered" (Atum.size t) (Hashtbl.length got)
+
+let test_broadcast_latency_bounded_sync () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:16 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  ignore (Atum.broadcast t ~from:n0 "ping");
+  Atum.run_for t 100.0;
+  let lats = Atum_sim.Metrics.samples (Atum.metrics t) "broadcast.latency" in
+  Alcotest.(check bool) "observed latencies" true (lats <> []);
+  let worst = List.fold_left max 0.0 lats in
+  (* Flooding on a 16-node system: a handful of rounds. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "worst %.1fs bounded" worst)
+    true
+    (worst <= 20.0 *. quick_sync_params.Params.round_duration)
+
+(* ------------------------------------------------------------------ *)
+(* Leave, merge, eviction                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_leave () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:12 ~settle:120.0 in
+  Atum.run_for t 120.0;
+  ignore n0;
+  let victim =
+    List.find (fun (n : System.node) -> n.System.id <> n0) (System.live_nodes (Atum.system t))
+  in
+  Atum.leave t victim.System.id;
+  Atum.run_for t 200.0;
+  Alcotest.(check int) "one fewer node" 11 (Atum.size t);
+  Alcotest.(check bool) "not a member" false (Atum.is_member t victim.System.id);
+  check_ok "registry" (Atum.check_consistency t);
+  check_ok "overlay" (Atum.check_overlay t)
+
+let test_mass_leave_merges () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:24 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  let groups_before = Atum.vgroup_count t in
+  (* Remove half the system; vgroups must merge rather than starve. *)
+  let victims =
+    List.filter_map
+      (fun (n : System.node) -> if n.System.id <> n0 then Some n.System.id else None)
+      (System.live_nodes (Atum.system t))
+  in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  List.iter (fun v -> Atum.leave t v) (take 12 victims);
+  Atum.run_for t 400.0;
+  Alcotest.(check int) "half remain" 12 (Atum.size t);
+  Alcotest.(check bool)
+    (Printf.sprintf "vgroups shrank (%d -> %d)" groups_before (Atum.vgroup_count t))
+    true
+    (Atum.vgroup_count t <= groups_before);
+  check_ok "registry" (Atum.check_consistency t);
+  check_ok "overlay" (Atum.check_overlay t)
+
+let test_crash_eviction () =
+  let params = { quick_sync_params with Params.heartbeat_period = 5.0; eviction_timeout = 15.0 } in
+  let t = Atum.create ~params () in
+  let n0 = grow t ~target:10 ~settle:120.0 in
+  Atum.run_for t 120.0;
+  Atum.start_heartbeats t;
+  Atum.run_for t 20.0;
+  let victim =
+    List.find (fun (n : System.node) -> n.System.id <> n0) (System.live_nodes (Atum.system t))
+  in
+  Atum.crash t victim.System.id;
+  Atum.run_for t 300.0;
+  Alcotest.(check bool) "evicted from its vgroup" false (Atum.is_member t victim.System.id);
+  Alcotest.(check int) "size dropped" 9 (Atum.size t);
+  check_ok "registry" (Atum.check_consistency t)
+
+let test_partitioned_minority_does_not_block () =
+  (* §2: a limited number of nodes isolated by a partition count as
+     faulty; the rest of the system keeps delivering broadcasts. *)
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:18 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  let sys = Atum.system t in
+  let rng = Atum_util.Rng.create 91 in
+  let others =
+    List.filter_map
+      (fun (n : System.node) -> if n.System.id <> n0 then Some n.System.id else None)
+      (System.live_nodes sys)
+  in
+  let isolated = Atum_util.Rng.sample_without_replacement rng 2 others in
+  List.iter
+    (fun nid -> Atum_sim.Network.set_partition (System.network sys) nid 99)
+    isolated;
+  let got = Hashtbl.create 32 in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ -> Hashtbl.replace got nid ());
+  ignore (Atum.broadcast t ~from:n0 "mainland");
+  Atum.run_for t 60.0;
+  Alcotest.(check int) "everyone outside the partition delivers"
+    (Atum.size t - 2) (Hashtbl.length got);
+  List.iter
+    (fun nid -> Alcotest.(check bool) "isolated node missed it" false (Hashtbl.mem got nid))
+    isolated;
+  (* Heal: new broadcasts reach the returned nodes again. *)
+  List.iter (fun nid -> Atum_sim.Network.set_partition (System.network sys) nid 0) isolated;
+  Hashtbl.reset got;
+  ignore (Atum.broadcast t ~from:n0 "after-heal");
+  Atum.run_for t 60.0;
+  Alcotest.(check int) "everyone delivers after healing" (Atum.size t) (Hashtbl.length got)
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine behaviour                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_byzantine_minority_broadcast_still_works () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:18 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  (* Mark ~11% of nodes Byzantine (quiet). *)
+  let sys = Atum.system t in
+  let rng = Atum_util.Rng.create 77 in
+  let correct_nodes =
+    List.filter_map
+      (fun (n : System.node) -> if n.System.id <> n0 then Some n.System.id else None)
+      (System.live_nodes sys)
+  in
+  let byz = Atum_util.Rng.sample_without_replacement rng 2 correct_nodes in
+  List.iter (fun b -> System.make_byzantine sys b) byz;
+  let got = Hashtbl.create 32 in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ -> Hashtbl.replace got nid ());
+  ignore (Atum.broadcast t ~from:n0 "resilient");
+  Atum.run_for t 60.0;
+  (* Every correct node delivers; Byzantine ones do not. *)
+  Alcotest.(check int) "correct nodes delivered" (Atum.size t - 2) (Hashtbl.length got);
+  List.iter
+    (fun b -> Alcotest.(check bool) "byzantine silent" false (Hashtbl.mem got b))
+    byz
+
+let test_byzantine_not_evicted () =
+  let params = { quick_sync_params with Params.heartbeat_period = 5.0; eviction_timeout = 15.0 } in
+  let t = Atum.create ~params () in
+  let n0 = grow t ~target:10 ~settle:120.0 in
+  Atum.run_for t 120.0;
+  Atum.start_heartbeats t;
+  Atum.run_for t 20.0;
+  let sys = Atum.system t in
+  let victim =
+    List.find (fun (n : System.node) -> n.System.id <> n0) (System.live_nodes sys)
+  in
+  System.make_byzantine sys victim.System.id;
+  Atum.run_for t 300.0;
+  (* Byzantine nodes keep heartbeating, so they are never evicted. *)
+  Alcotest.(check bool) "still a member" true (Atum.is_member t victim.System.id)
+
+let test_agreement_survives_reconfiguration () =
+  (* SMART-style carry-over: an agreement proposed just before the
+     vgroup reconfigures must be re-proposed into the new epoch and
+     still fire. *)
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:16 ~settle:120.0);
+  Atum.run_for t 300.0;
+  let sys = Atum.system t in
+  let vid = Option.get (Atum.vgroup_of t 0) in
+  let vg = System.vgroup sys vid in
+  let fired = ref false in
+  System.agree sys vg "test-op" (fun () -> fired := true);
+  (* A shuffle churns the epoch (usually before the op decides). *)
+  System.shuffle sys vg;
+  Atum.run_for t 600.0;
+  Alcotest.(check bool) "agreement fired across epochs" true !fired
+
+let test_broadcast_storm () =
+  (* Every node publishes at once; every correct node must deliver
+     every message exactly once. *)
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:16 ~settle:120.0);
+  Atum.run_for t 200.0;
+  let senders =
+    List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system t))
+  in
+  let deliveries = ref 0 in
+  Atum.on_deliver t (fun _ ~bid:_ ~origin:_ _ -> incr deliveries);
+  List.iter (fun s -> ignore (Atum.broadcast t ~from:s (Printf.sprintf "storm-%d" s))) senders;
+  Atum.run_for t 120.0;
+  Alcotest.(check int) "n^2 deliveries"
+    (List.length senders * List.length senders)
+    !deliveries
+
+let test_crash_eviction_async () =
+  let params =
+    { quick_async_params with Params.heartbeat_period = 5.0; eviction_timeout = 15.0 }
+  in
+  let t = Atum.create ~params () in
+  let n0 = grow t ~target:12 ~settle:60.0 in
+  Atum.run_for t 120.0;
+  Atum.start_heartbeats t;
+  Atum.run_for t 20.0;
+  let victim =
+    List.find (fun (n : System.node) -> n.System.id <> n0) (System.live_nodes (Atum.system t))
+  in
+  Atum.crash t victim.System.id;
+  Atum.run_for t 400.0;
+  Alcotest.(check bool) "evicted (async deployment)" false (Atum.is_member t victim.System.id);
+  check_ok "registry" (Atum.check_consistency t)
+
+(* ------------------------------------------------------------------ *)
+(* Shuffling and registry invariants under churn                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_exchange_metrics_recorded () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:24 ~settle:120.0);
+  Atum.run_for t 400.0;
+  let m = Atum.metrics t in
+  let completed = Atum_sim.Metrics.counter m "exchange.completed" in
+  let suppressed = Atum_sim.Metrics.counter m "exchange.suppressed" in
+  Alcotest.(check bool)
+    (Printf.sprintf "exchanges happened (completed=%d suppressed=%d)" completed suppressed)
+    true
+    (completed + suppressed > 0)
+
+let prop_churn_preserves_invariants =
+  QCheck.Test.make ~name:"random churn preserves registry and overlay invariants" ~count:5
+    (QCheck.int_range 0 1000)
+    (fun seed ->
+      let params = { quick_sync_params with Params.seed = 100 + seed } in
+      let t = Atum.create ~params () in
+      let n0 = Atum.bootstrap t in
+      let rng = Atum_util.Rng.create seed in
+      for _ = 1 to 10 do
+        let live = System.live_nodes (Atum.system t) in
+        let ids = List.map (fun (n : System.node) -> n.System.id) live in
+        if List.length ids < 6 || Atum_util.Rng.bool rng then
+          ignore (Atum.join t ~contact:(Atum_util.Rng.pick rng ids) ())
+        else begin
+          let candidates = List.filter (fun i -> i <> n0) ids in
+          if candidates <> [] then Atum.leave t (Atum_util.Rng.pick rng candidates)
+        end;
+        Atum.run_for t 90.0
+      done;
+      Atum.run_for t 300.0;
+      (match Atum.check_consistency t with Ok () -> true | Error _ -> false)
+      && match Atum.check_overlay t with Ok () -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Walks and size maintenance                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_walk_selects_live_vgroups () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:24 ~settle:120.0);
+  Atum.run_for t 300.0;
+  let sys = Atum.system t in
+  let from_vg = Option.get (Atum.vgroup_of t 0) in
+  let results = ref [] in
+  for _ = 1 to 12 do
+    System.start_walk sys ~from_vg ~k:(fun v -> results := v :: !results)
+  done;
+  Atum.run_for t 600.0;
+  Alcotest.(check int) "all walks completed" 12 (List.length !results);
+  List.iter
+    (fun v ->
+      match System.vgroup_opt sys v with
+      | Some vg -> Alcotest.(check bool) "live vgroup" false vg.System.retired
+      | None -> Alcotest.fail "walk selected unknown vgroup")
+    !results
+
+let test_walk_spreads_over_vgroups () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:30 ~settle:120.0);
+  Atum.run_for t 300.0;
+  let sys = Atum.system t in
+  let from_vg = Option.get (Atum.vgroup_of t 0) in
+  let results = ref [] in
+  for _ = 1 to 40 do
+    System.start_walk sys ~from_vg ~k:(fun v -> results := v :: !results)
+  done;
+  Atum.run_for t 2000.0;
+  let distinct = List.length (List.sort_uniq compare !results) in
+  Alcotest.(check bool)
+    (Printf.sprintf "walks reach several vgroups (%d distinct)" distinct)
+    true (distinct >= 2)
+
+let test_oversized_vgroups_eventually_split () =
+  (* Slam many concurrent joins through one contact, then check that
+     logarithmic grouping brings every vgroup back under control even
+     if some shuffles were suppressed along the way. *)
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = Atum.bootstrap t in
+  for _ = 1 to 40 do
+    ignore (Atum.join t ~contact:n0 ())
+  done;
+  Atum.run_for t 3000.0;
+  Alcotest.(check int) "all joined" 41 (Atum.size t);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d <= gmax + 1" s)
+        true
+        (s <= quick_sync_params.Params.gmax + 1))
+    (Atum.vgroup_sizes t)
+
+let test_async_walk_certificates_verified () =
+  (* Async walks carry per-hop vgroup certificates; in a fault-free
+     run every completed walk's chain verifies and none is rejected. *)
+  let t = Atum.create ~params:quick_async_params () in
+  ignore (grow t ~target:20 ~settle:60.0);
+  Atum.run_for t 400.0;
+  let m = Atum.metrics t in
+  Alcotest.(check bool) "walks completed" true
+    (Atum_sim.Metrics.counter m "walk.completed" > 0);
+  Alcotest.(check int) "no certificate rejected" 0
+    (Atum_sim.Metrics.counter m "walk.cert_rejected")
+
+let test_byzantine_join () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:12 ~settle:120.0 in
+  let b = Atum.join t ~byzantine:true ~contact:n0 () in
+  Atum.run_for t 200.0;
+  Alcotest.(check bool) "byzantine node joined" true (Atum.is_member t b);
+  check_ok "registry" (Atum.check_consistency t)
+
+let test_broadcast_from_nonmember_rejected () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (Atum.bootstrap t);
+  let stranger = System.spawn_node (Atum.system t) () in
+  Alcotest.check_raises "stranger broadcast"
+    (Invalid_argument "System.broadcast: node not in the system") (fun () ->
+      ignore (Atum.broadcast t ~from:stranger "spam"))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "bootstrap" `Quick test_bootstrap;
+          Alcotest.test_case "double bootstrap" `Quick test_bootstrap_twice_rejected;
+          Alcotest.test_case "self broadcast" `Quick test_self_broadcast;
+          Alcotest.test_case "single join" `Quick test_single_join;
+          Alcotest.test_case "grow sync" `Slow test_grow_sync;
+          Alcotest.test_case "grow async" `Slow test_grow_async;
+        ] );
+      ( "broadcast",
+        [
+          Alcotest.test_case "reaches all (sync)" `Slow test_broadcast_reaches_all_sync;
+          Alcotest.test_case "reaches all (async)" `Slow test_broadcast_reaches_all_async;
+          Alcotest.test_case "dedup" `Slow test_broadcast_multiple_messages_dedup;
+          Alcotest.test_case "single-cycle forward" `Slow test_forward_single_cycle_still_delivers;
+          Alcotest.test_case "latency bounded" `Slow test_broadcast_latency_bounded_sync;
+          Alcotest.test_case "broadcast storm" `Slow test_broadcast_storm;
+          Alcotest.test_case "agreement survives reconfiguration" `Slow
+            test_agreement_survives_reconfiguration;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "leave" `Slow test_leave;
+          Alcotest.test_case "mass leave merges" `Slow test_mass_leave_merges;
+          Alcotest.test_case "crash eviction" `Slow test_crash_eviction;
+          Alcotest.test_case "partition tolerance" `Slow test_partitioned_minority_does_not_block;
+          Alcotest.test_case "crash eviction (async)" `Slow test_crash_eviction_async;
+        ] );
+      ( "byzantine",
+        [
+          Alcotest.test_case "minority tolerated" `Slow test_byzantine_minority_broadcast_still_works;
+          Alcotest.test_case "not evicted" `Slow test_byzantine_not_evicted;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "exchange metrics" `Slow test_exchange_metrics_recorded;
+          QCheck_alcotest.to_alcotest prop_churn_preserves_invariants;
+        ] );
+      ( "walks",
+        [
+          Alcotest.test_case "walks select live vgroups" `Slow test_walk_selects_live_vgroups;
+          Alcotest.test_case "walks spread" `Slow test_walk_spreads_over_vgroups;
+          Alcotest.test_case "async walk certificates" `Slow test_async_walk_certificates_verified;
+        ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "oversized splits" `Slow test_oversized_vgroups_eventually_split;
+          Alcotest.test_case "byzantine join" `Slow test_byzantine_join;
+          Alcotest.test_case "nonmember broadcast" `Quick test_broadcast_from_nonmember_rejected;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+open Atum_overlay
+
+let rng () = Atum_util.Rng.create 42
+
+(* ------------------------------------------------------------------ *)
+(* Hgraph                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_ok g =
+  match Hgraph.check_invariants g with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_hgraph_create () =
+  let g = Hgraph.create ~cycles:4 (rng ()) (List.init 20 Fun.id) in
+  check_ok g;
+  Alcotest.(check int) "vertex count" 20 (Hgraph.vertex_count g);
+  Alcotest.(check int) "cycles" 4 (Hgraph.cycles g)
+
+let test_hgraph_singleton () =
+  let g = Hgraph.singleton ~cycles:3 7 in
+  check_ok g;
+  Alcotest.(check (list int)) "self loop" [ 7 ] (Hgraph.neighbor_set g 7);
+  Alcotest.(check int) "self successor" 7 (Hgraph.successor g ~cycle:0 7)
+
+let test_hgraph_succ_pred_inverse () =
+  let g = Hgraph.create ~cycles:3 (rng ()) (List.init 15 Fun.id) in
+  List.iter
+    (fun v ->
+      for c = 0 to 2 do
+        let s = Hgraph.successor g ~cycle:c v in
+        Alcotest.(check int) "pred(succ v) = v" v (Hgraph.predecessor g ~cycle:c s)
+      done)
+    (Hgraph.vertices g)
+
+let test_hgraph_degree () =
+  let g = Hgraph.create ~cycles:5 (rng ()) (List.init 30 Fun.id) in
+  List.iter
+    (fun v -> Alcotest.(check int) "2 links per cycle" 10 (List.length (Hgraph.neighbors g v)))
+    (Hgraph.vertices g)
+
+let test_hgraph_insert_after () =
+  let g = Hgraph.create ~cycles:3 (rng ()) (List.init 10 Fun.id) in
+  for c = 0 to 2 do
+    Hgraph.insert_after g ~cycle:c ~after:c 100
+  done;
+  check_ok g;
+  Alcotest.(check int) "grown" 11 (Hgraph.vertex_count g);
+  Alcotest.(check int) "spliced" 100 (Hgraph.successor g ~cycle:0 0)
+
+let test_hgraph_insert_duplicate_rejected () =
+  let g = Hgraph.create ~cycles:1 (rng ()) [ 0; 1; 2 ] in
+  Alcotest.check_raises "already present"
+    (Invalid_argument "Hgraph.insert_after: vertex already on cycle") (fun () ->
+      Hgraph.insert_after g ~cycle:0 ~after:0 1)
+
+let test_hgraph_remove () =
+  let g = Hgraph.create ~cycles:4 (rng ()) (List.init 12 Fun.id) in
+  Hgraph.remove g 5;
+  check_ok g;
+  Alcotest.(check bool) "gone" false (Hgraph.mem g 5);
+  Alcotest.(check int) "shrunk" 11 (Hgraph.vertex_count g)
+
+let test_hgraph_remove_closes_gap () =
+  let g = Hgraph.create ~cycles:1 (rng ()) [ 0; 1; 2 ] in
+  let p = Hgraph.predecessor g ~cycle:0 1 and s = Hgraph.successor g ~cycle:0 1 in
+  Hgraph.remove g 1;
+  Alcotest.(check int) "pred now linked to succ" s (Hgraph.successor g ~cycle:0 p)
+
+let test_hgraph_remove_to_singleton () =
+  let g = Hgraph.create ~cycles:2 (rng ()) [ 0; 1 ] in
+  Hgraph.remove g 1;
+  check_ok g;
+  Alcotest.(check int) "self loop" 0 (Hgraph.successor g ~cycle:0 0)
+
+let prop_hgraph_random_ops_keep_invariants =
+  QCheck.Test.make ~name:"random insert/remove sequences keep Hamiltonian cycles" ~count:60
+    QCheck.(pair (int_range 0 5000) (int_range 1 5))
+    (fun (seed, cycles) ->
+      let r = Atum_util.Rng.create seed in
+      let g = Hgraph.create ~cycles r [ 0; 1; 2 ] in
+      let next_id = ref 3 in
+      let alive = ref [ 0; 1; 2 ] in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        if !ok then begin
+          if Atum_util.Rng.bool r || List.length !alive <= 2 then begin
+            (* insert a new vertex at a random position on each cycle *)
+            let v = !next_id in
+            incr next_id;
+            for c = 0 to cycles - 1 do
+              let anchor = Atum_util.Rng.pick r !alive in
+              Hgraph.insert_after g ~cycle:c ~after:anchor v
+            done;
+            alive := v :: !alive
+          end
+          else begin
+            let v = Atum_util.Rng.pick r !alive in
+            Hgraph.remove g v;
+            alive := List.filter (fun x -> x <> v) !alive
+          end;
+          (match Hgraph.check_invariants g with Ok () -> () | Error _ -> ok := false)
+        end
+      done;
+      !ok)
+
+let prop_hgraph_neighbor_symmetry =
+  QCheck.Test.make ~name:"overlay links are symmetric" ~count:60
+    QCheck.(pair (int_range 0 5000) (int_range 1 5))
+    (fun (seed, cycles) ->
+      let r = Atum_util.Rng.create seed in
+      let g = Hgraph.create ~cycles r (List.init 12 Fun.id) in
+      List.for_all
+        (fun v ->
+          List.for_all
+            (fun u -> List.mem v (Hgraph.neighbor_set g u))
+            (Hgraph.neighbor_set g v))
+        (Hgraph.vertices g))
+
+(* ------------------------------------------------------------------ *)
+(* Random walks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_walk_length_zero () =
+  let g = Hgraph.create ~cycles:2 (rng ()) (List.init 8 Fun.id) in
+  Alcotest.(check int) "stays" 3 (Random_walk.walk g (rng ()) ~start:3 ~length:0)
+
+let test_walk_path_structure () =
+  let g = Hgraph.create ~cycles:3 (rng ()) (List.init 16 Fun.id) in
+  let r = rng () in
+  let path = Random_walk.walk_path g r ~start:0 ~length:6 in
+  Alcotest.(check int) "path length" 7 (List.length path);
+  Alcotest.(check int) "starts at start" 0 (List.hd path);
+  (* Consecutive path vertices must be overlay neighbors. *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "adjacent" true (List.mem b (Hgraph.neighbor_set g a));
+      check rest
+    | _ -> ()
+  in
+  check path
+
+let test_walk_endpoint_stays_in_graph () =
+  let g = Hgraph.create ~cycles:2 (rng ()) (List.init 10 Fun.id) in
+  let r = rng () in
+  for _ = 1 to 100 do
+    let v = Random_walk.walk g r ~start:0 ~length:5 in
+    Alcotest.(check bool) "member" true (Hgraph.mem g v)
+  done
+
+let test_bulk_choices_replay () =
+  let g = Hgraph.create ~cycles:3 (rng ()) (List.init 16 Fun.id) in
+  let r = rng () in
+  let choices = Random_walk.bulk_choices r ~length:8 in
+  Alcotest.(check int) "all hops drawn up front" 8 (List.length choices);
+  let a = Random_walk.walk_with_choices g ~start:0 ~choices in
+  let b = Random_walk.walk_with_choices g ~start:0 ~choices in
+  Alcotest.(check int) "deterministic replay" a b
+
+let test_long_walk_mixes () =
+  (* On a small dense graph, long walks should hit most vertices. *)
+  let n = 16 in
+  let g = Hgraph.create ~cycles:4 (rng ()) (List.init n Fun.id) in
+  let r = rng () in
+  let counts = Array.make n 0 in
+  for _ = 1 to 3200 do
+    let v = Random_walk.walk g r ~start:0 ~length:12 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c -> if c = 0 then Alcotest.fail (Printf.sprintf "vertex %d never reached" i))
+    counts;
+  Alcotest.(check bool) "roughly uniform" true
+    (Atum_util.Stats.chi2_uniform_test ~confidence:0.999 counts)
+
+(* ------------------------------------------------------------------ *)
+(* Guideline (Fig 4)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_guideline_short_walk_fails () =
+  Alcotest.(check bool) "1-hop walk is not uniform" false
+    (Guideline.walk_is_uniform ~vgroups:64 ~hc:3 ~rwl:1 ~samples:6400 ~seed:1 ())
+
+let test_guideline_long_walk_passes () =
+  Alcotest.(check bool) "12-hop walk is uniform" true
+    (Guideline.walk_is_uniform ~vgroups:64 ~hc:3 ~rwl:12 ~samples:640 ~seed:1 ())
+
+let test_guideline_optimal_exists () =
+  match Guideline.optimal_rwl ~vgroups:32 ~hc:4 ~seed:3 () with
+  | None -> Alcotest.fail "no optimal rwl found"
+  | Some rwl -> Alcotest.(check bool) "sensible range" true (rwl >= 2 && rwl <= 15)
+
+let test_guideline_monotone_in_density () =
+  (* Denser overlays need walks no longer than sparse ones (paper's
+     guideline trend). Allow one step of noise. *)
+  let r hc = Option.get (Guideline.optimal_rwl ~vgroups:128 ~hc ~seed:5 ()) in
+  let sparse = r 2 and dense = r 10 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rwl(hc=10)=%d <= rwl(hc=2)=%d + 1" dense sparse)
+    true
+    (dense <= sparse + 1)
+
+let test_guideline_grows_with_system_size () =
+  let r vgroups = Option.get (Guideline.optimal_rwl ~vgroups ~hc:6 ~seed:7 ()) in
+  let small = r 8 and big = r 512 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rwl(512)=%d >= rwl(8)=%d" big small)
+    true (big >= small)
+
+(* ------------------------------------------------------------------ *)
+(* Grouping                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_grouping_policy () =
+  Alcotest.(check bool) "split above gmax" true (Grouping.needs_split ~gmax:8 ~size:9);
+  Alcotest.(check bool) "no split at gmax" false (Grouping.needs_split ~gmax:8 ~size:8);
+  Alcotest.(check bool) "merge below gmin" true (Grouping.needs_merge ~gmin:4 ~size:3);
+  Alcotest.(check bool) "no merge at gmin" false (Grouping.needs_merge ~gmin:4 ~size:4)
+
+let test_grouping_split_halves () =
+  let r = rng () in
+  let a, b = Grouping.split_halves r (List.init 9 Fun.id) in
+  Alcotest.(check int) "first half" 5 (List.length a);
+  Alcotest.(check int) "second half" 4 (List.length b);
+  Alcotest.(check (list int)) "partition" (List.init 9 Fun.id)
+    (List.sort compare (a @ b))
+
+let test_grouping_target_size () =
+  (* k=4, N=1024: 4 * log2(1024) = 40. *)
+  Alcotest.(check int) "k log n" 40 (Grouping.target_group_size ~k:4 ~expected_n:1024);
+  let gmin, gmax = Grouping.bounds_for ~k:4 ~expected_n:1024 in
+  Alcotest.(check int) "gmin is half of gmax" (gmax / 2) gmin
+
+let test_grouping_failure_probability_example () =
+  (* The paper's §3.1 example: g=4, f=1, p=0.05 fails with ~0.014;
+     g=20, f=9 fails with ~1.1e-8. *)
+  let p4 = Grouping.vgroup_failure_probability ~g:4 ~f:1 ~node_failure_rate:0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "g=4 case: %.6f" p4)
+    true
+    (abs_float (p4 -. 0.014) < 0.001);
+  let p20 = Grouping.vgroup_failure_probability ~g:20 ~f:9 ~node_failure_rate:0.05 in
+  Alcotest.(check bool)
+    (Printf.sprintf "g=20 case: %g" p20)
+    true
+    (p20 < 1e-7 && p20 > 1e-9)
+
+let test_grouping_bigger_groups_more_robust () =
+  let p g = Grouping.vgroup_failure_probability ~g ~f:((g - 1) / 2) ~node_failure_rate:0.06 in
+  Alcotest.(check bool) "monotone" true (p 20 < p 8 && p 8 < p 4)
+
+let test_grouping_k_tradeoff () =
+  (* §3.1: with k=4 and 6% faults, all vgroups robust w.p. ~0.999. *)
+  let n = 1024 in
+  let g = Grouping.target_group_size ~k:4 ~expected_n:n in
+  let prob =
+    Grouping.all_groups_robust_probability ~n ~g ~f:((g - 1) / 2) ~node_failure_rate:0.06
+  in
+  Alcotest.(check bool) (Printf.sprintf "all robust w.p. %.6f" prob) true (prob > 0.999)
+
+let test_grouping_edge_probabilities () =
+  Alcotest.(check (float 0.0)) "p=0" 0.0
+    (Grouping.vgroup_failure_probability ~g:5 ~f:2 ~node_failure_rate:0.0);
+  Alcotest.(check (float 0.0)) "p=1" 1.0
+    (Grouping.vgroup_failure_probability ~g:5 ~f:2 ~node_failure_rate:1.0)
+
+let prop_split_halves_partition =
+  QCheck.Test.make ~name:"split_halves partitions with balanced sizes" ~count:100
+    QCheck.(pair (int_range 0 2000) (int_range 1 40))
+    (fun (seed, n) ->
+      let r = Atum_util.Rng.create seed in
+      let members = List.init n (fun i -> i * 3) in
+      let a, b = Grouping.split_halves r members in
+      List.sort compare (a @ b) = members
+      && abs (List.length a - List.length b) <= 1)
+
+let () =
+  Alcotest.run "overlay"
+    [
+      ( "hgraph",
+        [
+          Alcotest.test_case "create" `Quick test_hgraph_create;
+          Alcotest.test_case "singleton" `Quick test_hgraph_singleton;
+          Alcotest.test_case "succ/pred inverse" `Quick test_hgraph_succ_pred_inverse;
+          Alcotest.test_case "degree" `Quick test_hgraph_degree;
+          Alcotest.test_case "insert" `Quick test_hgraph_insert_after;
+          Alcotest.test_case "insert duplicate" `Quick test_hgraph_insert_duplicate_rejected;
+          Alcotest.test_case "remove" `Quick test_hgraph_remove;
+          Alcotest.test_case "remove closes gap" `Quick test_hgraph_remove_closes_gap;
+          Alcotest.test_case "remove to singleton" `Quick test_hgraph_remove_to_singleton;
+          QCheck_alcotest.to_alcotest prop_hgraph_random_ops_keep_invariants;
+          QCheck_alcotest.to_alcotest prop_hgraph_neighbor_symmetry;
+        ] );
+      ( "random-walk",
+        [
+          Alcotest.test_case "zero length" `Quick test_walk_length_zero;
+          Alcotest.test_case "path structure" `Quick test_walk_path_structure;
+          Alcotest.test_case "stays in graph" `Quick test_walk_endpoint_stays_in_graph;
+          Alcotest.test_case "bulk choices" `Quick test_bulk_choices_replay;
+          Alcotest.test_case "long walks mix" `Quick test_long_walk_mixes;
+        ] );
+      ( "guideline",
+        [
+          Alcotest.test_case "short walk fails" `Quick test_guideline_short_walk_fails;
+          Alcotest.test_case "long walk passes" `Quick test_guideline_long_walk_passes;
+          Alcotest.test_case "optimal exists" `Quick test_guideline_optimal_exists;
+          Alcotest.test_case "density trend" `Slow test_guideline_monotone_in_density;
+          Alcotest.test_case "size trend" `Slow test_guideline_grows_with_system_size;
+        ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "policy" `Quick test_grouping_policy;
+          Alcotest.test_case "split halves" `Quick test_grouping_split_halves;
+          Alcotest.test_case "target size" `Quick test_grouping_target_size;
+          Alcotest.test_case "paper example" `Quick test_grouping_failure_probability_example;
+          Alcotest.test_case "robustness monotone" `Quick test_grouping_bigger_groups_more_robust;
+          Alcotest.test_case "k tradeoff" `Quick test_grouping_k_tradeoff;
+          Alcotest.test_case "edge probabilities" `Quick test_grouping_edge_probabilities;
+          QCheck_alcotest.to_alcotest prop_split_halves_partition;
+        ] );
+    ]

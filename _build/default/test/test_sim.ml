@@ -1,0 +1,394 @@
+open Atum_sim
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check bool) "clock at last event" true (Engine.now e = 3.0)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      fired := "outer" :: !fired;
+      Engine.schedule e ~delay:1.0 (fun () -> fired := "inner" :: !fired));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !fired);
+  Alcotest.(check bool) "clock" true (Engine.now e = 2.0)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    Engine.schedule e ~delay:(float_of_int i) (fun () -> incr count)
+  done;
+  Engine.run ~until:5.5 e;
+  Alcotest.(check int) "only first five" 5 !count;
+  Alcotest.(check bool) "clock clamped" true (Engine.now e = 5.5);
+  Engine.run e;
+  Alcotest.(check int) "rest run later" 10 !count
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1.0 (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1.0 (fun () -> incr count)
+  done;
+  Engine.run ~max_events:4 e;
+  Alcotest.(check int) "bounded" 4 !count
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let at = ref nan in
+  Engine.schedule e ~delay:5.0 (fun () ->
+      Engine.schedule e ~delay:(-3.0) (fun () -> at := Engine.now e));
+  Engine.run e;
+  Alcotest.(check bool) "clamped to now" true (!at = 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Network                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let make_net ?(config = Network.datacenter_config ~seed:1) () =
+  let e = Engine.create () in
+  let net : string Network.t = Network.create e config in
+  (e, net)
+
+let test_network_delivery () =
+  let e, net = make_net () in
+  let got = ref [] in
+  Network.register net 2 (fun ~src msg -> got := (src, msg) :: !got);
+  Network.send net ~src:1 ~dst:2 "hello";
+  Engine.run e;
+  Alcotest.(check bool) "delivered" true (!got = [ (1, "hello") ]);
+  Alcotest.(check int) "counted" 1 (Network.messages_delivered net)
+
+let test_network_latency_positive () =
+  let e, net = make_net () in
+  let at = ref nan in
+  Network.register net 2 (fun ~src:_ _ -> at := Engine.now e);
+  Network.send net ~src:1 ~dst:2 "x";
+  Engine.run e;
+  Alcotest.(check bool) "nonzero latency" true (!at > 0.0 && !at < 0.01)
+
+let test_network_unregistered_dropped () =
+  let e, net = make_net () in
+  Network.send net ~src:1 ~dst:99 "x";
+  Engine.run e;
+  Alcotest.(check int) "dropped" 1 (Network.messages_dropped net);
+  Alcotest.(check int) "not delivered" 0 (Network.messages_delivered net)
+
+let test_network_partition () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Network.register net 2 (fun ~src:_ _ -> incr got);
+  Network.set_partition net 1 7;
+  Network.send net ~src:1 ~dst:2 "x";
+  Engine.run e;
+  Alcotest.(check int) "partitioned" 0 !got;
+  Network.set_partition net 1 0;
+  Network.send net ~src:1 ~dst:2 "y";
+  Engine.run e;
+  Alcotest.(check int) "healed" 1 !got
+
+let test_network_crash_isolates () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Network.register net 2 (fun ~src:_ _ -> incr got);
+  Network.crash net 2;
+  Network.send net ~src:1 ~dst:2 "x";
+  Engine.run e;
+  Alcotest.(check int) "crashed node unreachable" 0 !got
+
+let test_network_two_crashed_nodes_cannot_talk () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Network.register net 2 (fun ~src:_ _ -> incr got);
+  Network.crash net 1;
+  Network.crash net 2;
+  Network.send net ~src:1 ~dst:2 "x";
+  Engine.run e;
+  Alcotest.(check int) "distinct isolation tags" 0 !got
+
+let test_network_drop_probability () =
+  let e = Engine.create () in
+  let config = { (Network.datacenter_config ~seed:3) with Network.drop_probability = 0.5 } in
+  let net : int Network.t = Network.create e config in
+  let got = ref 0 in
+  Network.register net 2 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 1000 do
+    Network.send net ~src:1 ~dst:2 0
+  done;
+  Engine.run e;
+  Alcotest.(check bool) "about half lost" true (!got > 400 && !got < 600)
+
+let test_network_wan_latency_distribution () =
+  let e = Engine.create () in
+  let net : int Network.t = Network.create e (Network.wan_config ~seed:5) in
+  let xs = List.init 5000 (fun _ -> Network.sample_latency net) in
+  let median = Atum_util.Stats.median xs in
+  Alcotest.(check bool) "median near 80ms" true (median > 0.05 && median < 0.12);
+  Alcotest.(check bool) "floor respected" true (List.for_all (fun x -> x >= 0.02) xs);
+  let p999 = Atum_util.Stats.percentile xs 99.9 in
+  Alcotest.(check bool) "tail is heavy" true (p999 > 0.3)
+
+let test_network_mid_flight_partition () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Network.register net 2 (fun ~src:_ _ -> incr got);
+  Network.send net ~src:1 ~dst:2 "x";
+  (* Partition before delivery happens. *)
+  Network.crash net 2;
+  Engine.run e;
+  Alcotest.(check int) "message in flight dropped" 0 !got
+
+let test_network_fixed_latency () =
+  let e = Engine.create () in
+  let config =
+    { (Network.datacenter_config ~seed:1) with Network.latency = Network.Fixed 0.25 }
+  in
+  let net : int Network.t = Network.create e config in
+  let at = ref nan in
+  Network.register net 2 (fun ~src:_ _ -> at := Engine.now e);
+  Network.send net ~src:1 ~dst:2 0;
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "exactly the fixed latency" 0.25 !at
+
+let test_network_node_capacity_queues () =
+  (* A burst to one receiver drains at the configured rate. *)
+  let e = Engine.create () in
+  let config =
+    {
+      (Network.datacenter_config ~seed:2) with
+      Network.latency = Network.Fixed 0.001;
+      node_capacity = Some 10.0 (* 100 ms per message *);
+    }
+  in
+  let net : int Network.t = Network.create e config in
+  let times = ref [] in
+  Network.register net 9 (fun ~src:_ _ -> times := Engine.now e :: !times);
+  for _ = 1 to 5 do
+    Network.send net ~src:1 ~dst:9 0
+  done;
+  Engine.run e;
+  let times = List.rev !times in
+  Alcotest.(check int) "all delivered" 5 (List.length times);
+  let last = List.nth times 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "last at %.2fs (queueing)" last)
+    true
+    (last >= 0.5 -. 1e-6);
+  (* Arrival order respected, spaced by the service time. *)
+  let rec spaced = function
+    | a :: (b :: _ as rest) -> b -. a >= 0.1 -. 1e-9 && spaced rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "service spacing" true (spaced times)
+
+let test_network_capacity_idle_resets () =
+  let e = Engine.create () in
+  let config =
+    {
+      (Network.datacenter_config ~seed:3) with
+      Network.latency = Network.Fixed 0.001;
+      node_capacity = Some 10.0;
+    }
+  in
+  let net : int Network.t = Network.create e config in
+  let at = ref nan in
+  Network.register net 9 (fun ~src:_ _ -> at := Engine.now e);
+  Network.send net ~src:1 ~dst:9 0;
+  Engine.run e;
+  (* Long idle period; the next message must not queue behind history. *)
+  Engine.schedule e ~delay:10.0 (fun () -> Network.send net ~src:1 ~dst:9 0);
+  Engine.run e;
+  Alcotest.(check bool) "no stale queueing" true (!at < 10.3)
+
+(* ------------------------------------------------------------------ *)
+(* Rounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_rounds_ticks () =
+  let e = Engine.create () in
+  let r = Rounds.create e ~round_duration:1.5 in
+  let seen = ref [] in
+  ignore (Rounds.subscribe r (fun round -> seen := round :: !seen));
+  Rounds.start r;
+  Engine.run ~until:6.5 e;
+  Rounds.stop r;
+  Alcotest.(check (list int)) "rounds 1..4" [ 1; 2; 3; 4 ] (List.rev !seen)
+
+let test_rounds_subscriber_order () =
+  let e = Engine.create () in
+  let r = Rounds.create e ~round_duration:1.0 in
+  let log = ref [] in
+  ignore (Rounds.subscribe r (fun _ -> log := "a" :: !log));
+  ignore (Rounds.subscribe r (fun _ -> log := "b" :: !log));
+  Rounds.start r;
+  Engine.run ~until:1.0 e;
+  Rounds.stop r;
+  Alcotest.(check (list string)) "subscription order" [ "a"; "b" ] (List.rev !log)
+
+let test_rounds_unsubscribe () =
+  let e = Engine.create () in
+  let r = Rounds.create e ~round_duration:1.0 in
+  let count = ref 0 in
+  let id = Rounds.subscribe r (fun _ -> incr count) in
+  Rounds.start r;
+  Engine.run ~until:2.0 e;
+  Rounds.unsubscribe r id;
+  Engine.run ~until:5.0 e;
+  Rounds.stop r;
+  Alcotest.(check int) "stopped after unsubscribe" 2 !count
+
+let test_rounds_stop () =
+  let e = Engine.create () in
+  let r = Rounds.create e ~round_duration:1.0 in
+  let count = ref 0 in
+  ignore (Rounds.subscribe r (fun _ -> incr count));
+  Rounds.start r;
+  Engine.run ~until:3.0 e;
+  Rounds.stop r;
+  Engine.run e;
+  Alcotest.(check int) "no ticks after stop" 3 !count
+
+(* ------------------------------------------------------------------ *)
+(* Bulk transfer model                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_bulk_latency_per_mb_decreases () =
+  let h = Bulk.ec2_micro in
+  let per_mb mb = Bulk.single_stream_time ~src:h ~dst:h ~mb /. mb in
+  Alcotest.(check bool) "2MB slower per MB than 64MB" true (per_mb 2.0 > per_mb 64.0);
+  Alcotest.(check bool) "64MB slower per MB than 2048MB" true (per_mb 64.0 > per_mb 2048.0)
+
+let test_bulk_parallel_beats_single_for_big_files () =
+  let h = Bulk.ec2_micro in
+  let single = Bulk.single_stream_time ~src:h ~dst:h ~mb:1024.0 in
+  let parallel = Bulk.parallel_pull_time ~sources:[ h; h ] ~dst:h ~mb:1024.0 ~chunks:10 in
+  Alcotest.(check bool) "parallel faster" true (parallel < single);
+  Alcotest.(check bool) "roughly 2x" true (single /. parallel > 1.5)
+
+let test_bulk_download_caps_aggregate () =
+  let h = Bulk.ec2_micro in
+  let five = Bulk.parallel_pull_time ~sources:[ h; h; h; h; h ] ~dst:h ~mb:1024.0 ~chunks:10 in
+  let three = Bulk.parallel_pull_time ~sources:[ h; h; h ] ~dst:h ~mb:1024.0 ~chunks:10 in
+  (* 3 x 8 MB/s allready saturates the 20 MB/s download link. *)
+  Alcotest.(check bool) "no benefit beyond download cap" true (five >= three -. 0.2)
+
+let test_bulk_hash_parallelism () =
+  let h = Bulk.ec2_micro in
+  let serial = Bulk.hash_time h ~mb:100.0 ~parallel_chunks:1 in
+  let parallel = Bulk.hash_time h ~mb:100.0 ~parallel_chunks:10 in
+  Alcotest.(check bool) "bounded by cores" true
+    (abs_float (serial /. parallel -. float_of_int h.Bulk.cores) < 0.01)
+
+let test_bulk_no_sources_raises () =
+  Alcotest.check_raises "no sources"
+    (Invalid_argument "Bulk.parallel_pull_time: no sources") (fun () ->
+      ignore (Bulk.parallel_pull_time ~sources:[] ~dst:Bulk.ec2_micro ~mb:1.0 ~chunks:1))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.incr ~by:4 m "a";
+  Alcotest.(check int) "a" 5 (Metrics.counter m "a");
+  Alcotest.(check int) "unknown" 0 (Metrics.counter m "b")
+
+let test_metrics_series () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" 1.0;
+  Metrics.observe m "lat" 2.0;
+  Alcotest.(check (list (float 0.0))) "ordered" [ 1.0; 2.0 ] (Metrics.samples m "lat");
+  Alcotest.(check (list string)) "names" [ "lat" ] (Metrics.series_names m)
+
+let test_metrics_clear () =
+  let m = Metrics.create () in
+  Metrics.incr m "a";
+  Metrics.observe m "s" 1.0;
+  Metrics.clear m;
+  Alcotest.(check int) "counter gone" 0 (Metrics.counter m "a");
+  Alcotest.(check (list (float 0.0))) "series gone" [] (Metrics.samples m "s")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "max_events" `Quick test_engine_max_events;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "delivery" `Quick test_network_delivery;
+          Alcotest.test_case "latency" `Quick test_network_latency_positive;
+          Alcotest.test_case "unregistered" `Quick test_network_unregistered_dropped;
+          Alcotest.test_case "partition" `Quick test_network_partition;
+          Alcotest.test_case "crash" `Quick test_network_crash_isolates;
+          Alcotest.test_case "crashed pair" `Quick test_network_two_crashed_nodes_cannot_talk;
+          Alcotest.test_case "loss" `Quick test_network_drop_probability;
+          Alcotest.test_case "wan distribution" `Quick test_network_wan_latency_distribution;
+          Alcotest.test_case "mid-flight partition" `Quick test_network_mid_flight_partition;
+          Alcotest.test_case "fixed latency" `Quick test_network_fixed_latency;
+          Alcotest.test_case "node capacity queues" `Quick test_network_node_capacity_queues;
+          Alcotest.test_case "capacity idle reset" `Quick test_network_capacity_idle_resets;
+        ] );
+      ( "rounds",
+        [
+          Alcotest.test_case "ticks" `Quick test_rounds_ticks;
+          Alcotest.test_case "subscriber order" `Quick test_rounds_subscriber_order;
+          Alcotest.test_case "unsubscribe" `Quick test_rounds_unsubscribe;
+          Alcotest.test_case "stop" `Quick test_rounds_stop;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "amortized overhead" `Quick test_bulk_latency_per_mb_decreases;
+          Alcotest.test_case "parallel pull" `Quick test_bulk_parallel_beats_single_for_big_files;
+          Alcotest.test_case "download cap" `Quick test_bulk_download_caps_aggregate;
+          Alcotest.test_case "hash parallelism" `Quick test_bulk_hash_parallelism;
+          Alcotest.test_case "no sources" `Quick test_bulk_no_sources_raises;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "series" `Quick test_metrics_series;
+          Alcotest.test_case "clear" `Quick test_metrics_clear;
+        ] );
+    ]

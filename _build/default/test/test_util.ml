@@ -1,0 +1,480 @@
+open Atum_util
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 32 (fun _ -> Rng.bits64 a) in
+  let ys = List.init 32 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_int_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "Rng.int out of range"
+  done
+
+let test_rng_int_uniformish () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 100_000 do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "chi2 accepts uniform"
+    true
+    (Stats.chi2_uniform_test ~confidence:0.999 counts)
+
+let test_rng_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "Rng.float out of range"
+  done
+
+let test_rng_bernoulli () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p close to 0.3" true (abs_float (p -. 0.3) < 0.01)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 17 in
+  let xs = List.init 50_000 (fun _ -> Rng.exponential rng 2.0) in
+  Alcotest.(check bool) "mean ~ 0.5" true (abs_float (Stats.mean xs -. 0.5) < 0.02)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 19 in
+  let xs = List.init 50_000 (fun _ -> Rng.gaussian rng ~mean:3.0 ~stddev:2.0) in
+  Alcotest.(check bool) "mean ~ 3" true (abs_float (Stats.mean xs -. 3.0) < 0.05);
+  Alcotest.(check bool) "stddev ~ 2" true (abs_float (Stats.stddev xs -. 2.0) < 0.05)
+
+let test_rng_lognormal_median () =
+  let rng = Rng.create 41 in
+  let xs = List.init 40_000 (fun _ -> Rng.lognormal rng ~mu:(log 2.0) ~sigma:0.5) in
+  (* The median of a lognormal is exp(mu). *)
+  Alcotest.(check bool) "median ~ 2.0" true (abs_float (Stats.median xs -. 2.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 23 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_sample_without_replacement () =
+  let rng = Rng.create 29 in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample_without_replacement rng 5 xs in
+  Alcotest.(check int) "size" 5 (List.length s);
+  Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s));
+  List.iter (fun x -> Alcotest.(check bool) "member" true (List.mem x xs)) s
+
+let test_rng_sample_all_when_k_large () =
+  let rng = Rng.create 31 in
+  let s = Rng.sample_without_replacement rng 50 [ 1; 2; 3 ] in
+  Alcotest.(check int) "whole list" 3 (List.length s)
+
+let test_rng_pick_singleton () =
+  let rng = Rng.create 37 in
+  Alcotest.(check int) "only element" 9 (Rng.pick rng [ 9 ])
+
+let test_rng_pick_empty () =
+  let rng = Rng.create 37 in
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty list")
+    (fun () -> ignore (Rng.pick rng []))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun x -> Pqueue.push q 1.0 x) [ "first"; "second"; "third" ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "insertion order on ties"
+    [ "first"; "second"; "third" ] order
+
+let test_pqueue_empty () =
+  let q : int Pqueue.t = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Pqueue.peek q = None)
+
+let test_pqueue_peek_does_not_remove () =
+  let q = Pqueue.create () in
+  Pqueue.push q 5.0 42;
+  Alcotest.(check bool) "peek" true (Pqueue.peek q = Some (5.0, 42));
+  Alcotest.(check int) "still there" 1 (Pqueue.size q)
+
+let test_pqueue_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 2.0 2;
+  Pqueue.push q 1.0 1;
+  Alcotest.(check bool) "min first" true (Pqueue.pop q = Some (1.0, 1));
+  Pqueue.push q 0.5 0;
+  Alcotest.(check bool) "new min" true (Pqueue.pop q = Some (0.5, 0));
+  Alcotest.(check bool) "rest" true (Pqueue.pop q = Some (2.0, 2))
+
+let test_pqueue_clear () =
+  let q = Pqueue.create () in
+  for i = 1 to 10 do
+    Pqueue.push q (float_of_int i) i
+  done;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in priority order" ~count:200
+    QCheck.(list (pair (float_range 0.0 100.0) small_int))
+    (fun items ->
+      let q = Pqueue.create () in
+      List.iter (fun (p, v) -> Pqueue.push q p v) items;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let prios = drain [] in
+      List.sort compare prios = prios)
+
+let prop_pqueue_model =
+  QCheck.Test.make ~name:"pqueue matches a sorted-list model under interleaved ops" ~count:150
+    QCheck.(list (option (pair (float_range 0.0 50.0) small_int)))
+    (fun ops ->
+      (* Some op = push, None = pop; compare against a stable-sorted model. *)
+      let q = Pqueue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Some (p, v) ->
+            Pqueue.push q p v;
+            model := (p, !seq, v) :: !model;
+            incr seq
+          | None ->
+            let expected =
+              match List.sort compare (List.rev !model) with
+              | [] -> None
+              | ((p, _, v) as entry) :: _ ->
+                model := List.filter (fun e -> e <> entry) !model;
+                Some (p, v)
+            in
+            if Pqueue.pop q <> expected then ok := false)
+        ops;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Btree                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let make_btree ?(degree = 3) () = Btree.create ~degree ~cmp:compare ()
+
+let btree_ok bt =
+  match Btree.check_invariants bt with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_btree_empty () =
+  let bt : (int, string) Btree.t = make_btree () in
+  Alcotest.(check bool) "empty" true (Btree.is_empty bt);
+  Alcotest.(check (option string)) "find" None (Btree.find bt 1);
+  Alcotest.(check bool) "min" true (Btree.min_binding bt = None);
+  Alcotest.(check int) "height" 0 (Btree.height bt);
+  btree_ok bt
+
+let test_btree_insert_find () =
+  let bt = make_btree () in
+  List.iter (fun i -> Btree.insert bt i (string_of_int i)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  btree_ok bt;
+  Alcotest.(check int) "size" 10 (Btree.size bt);
+  for i = 0 to 9 do
+    Alcotest.(check (option string)) "find" (Some (string_of_int i)) (Btree.find bt i)
+  done;
+  Alcotest.(check (option string)) "absent" None (Btree.find bt 99)
+
+let test_btree_replace () =
+  let bt = make_btree () in
+  Btree.insert bt 1 "a";
+  Btree.insert bt 1 "b";
+  Alcotest.(check int) "no duplicate" 1 (Btree.size bt);
+  Alcotest.(check (option string)) "replaced" (Some "b") (Btree.find bt 1)
+
+let test_btree_ordered_iteration () =
+  let bt = make_btree () in
+  let input = [ 42; 7; 13; 99; 1; 56; 28; 3; 77; 64 ] in
+  List.iter (fun i -> Btree.insert bt i i) input;
+  Alcotest.(check (list int)) "sorted" (List.sort compare input)
+    (List.map fst (Btree.to_list bt));
+  Alcotest.(check bool) "min" true (Btree.min_binding bt = Some (1, 1));
+  Alcotest.(check bool) "max" true (Btree.max_binding bt = Some (99, 99))
+
+let test_btree_range () =
+  let bt = make_btree () in
+  for i = 0 to 50 do
+    Btree.insert bt i (i * 2)
+  done;
+  Alcotest.(check (list (pair int int))) "inclusive range"
+    [ (10, 20); (11, 22); (12, 24) ]
+    (Btree.range bt ~lo:10 ~hi:12);
+  Alcotest.(check int) "full range" 51 (List.length (Btree.range bt ~lo:0 ~hi:50));
+  Alcotest.(check (list (pair int int))) "empty range" [] (Btree.range bt ~lo:60 ~hi:70)
+
+let test_btree_delete () =
+  let bt = make_btree () in
+  for i = 0 to 100 do
+    Btree.insert bt i i
+  done;
+  btree_ok bt;
+  (* remove every third key *)
+  for i = 0 to 33 do
+    Btree.remove bt (i * 3)
+  done;
+  btree_ok bt;
+  Alcotest.(check int) "size" 67 (Btree.size bt);
+  for i = 0 to 100 do
+    let expected = if i mod 3 = 0 then None else Some i in
+    Alcotest.(check (option int)) (Printf.sprintf "find %d" i) expected (Btree.find bt i)
+  done
+
+let test_btree_delete_everything () =
+  let bt = make_btree () in
+  let rng = Rng.create 7 in
+  let keys = Array.init 200 Fun.id in
+  Rng.shuffle rng keys;
+  Array.iter (fun k -> Btree.insert bt k k) keys;
+  Rng.shuffle rng keys;
+  Array.iter
+    (fun k ->
+      Btree.remove bt k;
+      (match Btree.check_invariants bt with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "after removing %d: %s" k e)))
+    keys;
+  Alcotest.(check bool) "empty again" true (Btree.is_empty bt)
+
+let test_btree_height_logarithmic () =
+  let bt = Btree.create ~degree:8 ~cmp:compare () in
+  for i = 1 to 10_000 do
+    Btree.insert bt i i
+  done;
+  btree_ok bt;
+  (* with degree 8, height of 10k keys is at most log_8(10k) + 1 ~ 5 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d is logarithmic" (Btree.height bt))
+    true
+    (Btree.height bt <= 6)
+
+let test_btree_empty_range_bounds () =
+  let bt = make_btree () in
+  for i = 0 to 20 do
+    Btree.insert bt i i
+  done;
+  Alcotest.(check (list (pair int int))) "inverted bounds" [] (Btree.range bt ~lo:15 ~hi:3);
+  Alcotest.(check (list (pair int int))) "point range" [ (7, 7) ] (Btree.range bt ~lo:7 ~hi:7)
+
+let test_btree_degree_validation () =
+  Alcotest.check_raises "degree too small"
+    (Invalid_argument "Btree.create: degree must be at least 2") (fun () ->
+      ignore (Btree.create ~degree:1 ~cmp:compare ()))
+
+let prop_btree_model =
+  QCheck.Test.make ~name:"btree behaves like a map under random insert/remove" ~count:120
+    QCheck.(pair (int_range 2 6) (list (pair bool (int_range 0 60))))
+    (fun (degree, ops) ->
+      let bt = Btree.create ~degree ~cmp:compare () in
+      let model = Hashtbl.create 32 in
+      List.for_all
+        (fun (is_insert, k) ->
+          if is_insert then begin
+            Btree.insert bt k (k * 7);
+            Hashtbl.replace model k (k * 7)
+          end
+          else begin
+            Btree.remove bt k;
+            Hashtbl.remove model k
+          end;
+          Btree.check_invariants bt = Ok ()
+          && Btree.size bt = Hashtbl.length model
+          && Hashtbl.fold (fun k v acc -> acc && Btree.find bt k = Some v) model true)
+        ops)
+
+let prop_btree_iteration_sorted =
+  QCheck.Test.make ~name:"btree iteration is always sorted" ~count:100
+    QCheck.(list small_int)
+    (fun keys ->
+      let bt = make_btree () in
+      List.iter (fun k -> Btree.insert bt k k) keys;
+      let out = List.map fst (Btree.to_list bt) in
+      out = List.sort_uniq compare keys)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let feq ?(eps = 1e-6) a b = abs_float (a -. b) < eps
+
+let test_stats_mean () = Alcotest.(check bool) "mean" true (feq (Stats.mean [ 1.0; 2.0; 3.0 ]) 2.0)
+
+let test_stats_mean_empty () = Alcotest.(check bool) "mean []" true (Stats.mean [] = 0.0)
+
+let test_stats_stddev () =
+  Alcotest.(check bool) "stddev" true (feq (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]) 2.138089935)
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check bool) "p0" true (feq (Stats.percentile xs 0.0) 1.0);
+  Alcotest.(check bool) "p50" true (feq (Stats.percentile xs 50.0) 3.0);
+  Alcotest.(check bool) "p100" true (feq (Stats.percentile xs 100.0) 5.0);
+  Alcotest.(check bool) "p25" true (feq (Stats.percentile xs 25.0) 2.0)
+
+let test_stats_median_interpolates () =
+  Alcotest.(check bool) "median of 4" true (feq (Stats.median [ 1.0; 2.0; 3.0; 4.0 ]) 2.5)
+
+let test_stats_cdf () =
+  let pts = Stats.cdf [ 3.0; 1.0; 2.0 ] in
+  Alcotest.(check bool) "cdf shape" true
+    (pts = [ (1.0, 1.0 /. 3.0); (2.0, 2.0 /. 3.0); (3.0, 1.0) ])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:4 ~lo:0.0 ~hi:4.0 [ 0.5; 1.5; 1.6; 3.9; -1.0; 9.0 ] in
+  Alcotest.(check (array int)) "buckets" [| 2; 2; 0; 2 |] h
+
+let test_gammln_factorial () =
+  (* Gamma(n) = (n-1)! *)
+  Alcotest.(check bool) "Gamma(5)=24" true (feq ~eps:1e-6 (exp (Stats.gammln 5.0)) 24.0);
+  Alcotest.(check bool) "Gamma(1)=1" true (feq ~eps:1e-6 (exp (Stats.gammln 1.0)) 1.0)
+
+let test_chi2_known_values () =
+  (* chi2 CDF complement checked against standard tables. *)
+  Alcotest.(check bool) "df=1, x=3.841 -> p ~ 0.05" true
+    (feq ~eps:1e-3 (Stats.chi2_cdf_complement ~df:1 3.841) 0.05);
+  Alcotest.(check bool) "df=10, x=18.307 -> p ~ 0.05" true
+    (feq ~eps:1e-3 (Stats.chi2_cdf_complement ~df:10 18.307) 0.05);
+  Alcotest.(check bool) "df=5, x=15.086 -> p ~ 0.01" true
+    (feq ~eps:1e-3 (Stats.chi2_cdf_complement ~df:5 15.086) 0.01)
+
+let test_chi2_statistic () =
+  let x2 = Stats.chi2_statistic ~observed:[| 10; 20 |] ~expected:[| 15.0; 15.0 |] in
+  Alcotest.(check bool) "stat" true (feq x2 (25.0 /. 15.0 *. 2.0))
+
+let test_chi2_uniform_accepts_uniform () =
+  Alcotest.(check bool) "uniform accepted" true
+    (Stats.chi2_uniform_test ~confidence:0.99 [| 100; 101; 99; 100 |])
+
+let test_chi2_uniform_rejects_skewed () =
+  Alcotest.(check bool) "skew rejected" false
+    (Stats.chi2_uniform_test ~confidence:0.99 [| 400; 10; 10; 10 |])
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.0) 100.0)) (float_range 0.0 100.0))
+    (fun (xs, p) ->
+      let v = Stats.percentile xs p in
+      let mn = List.fold_left min infinity xs and mx = List.fold_left max neg_infinity xs in
+      v >= mn -. 1e-9 && v <= mx +. 1e-9)
+
+let prop_mean_bounds =
+  QCheck.Test.make ~name:"mean within min/max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_range (-1000.0) 1000.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let mn = List.fold_left min infinity xs and mx = List.fold_left max neg_infinity xs in
+      m >= mn -. 1e-9 && m <= mx +. 1e-9)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_uniformish;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "lognormal median" `Quick test_rng_lognormal_median;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick test_rng_sample_without_replacement;
+          Alcotest.test_case "sample clamps k" `Quick test_rng_sample_all_when_k_large;
+          Alcotest.test_case "pick singleton" `Quick test_rng_pick_singleton;
+          Alcotest.test_case "pick empty raises" `Quick test_rng_pick_empty;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "ordering" `Quick test_pqueue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_pqueue_fifo_ties;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "peek" `Quick test_pqueue_peek_does_not_remove;
+          Alcotest.test_case "interleaved" `Quick test_pqueue_interleaved;
+          Alcotest.test_case "clear" `Quick test_pqueue_clear;
+          QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+          QCheck_alcotest.to_alcotest prop_pqueue_model;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "empty" `Quick test_btree_empty;
+          Alcotest.test_case "insert/find" `Quick test_btree_insert_find;
+          Alcotest.test_case "replace" `Quick test_btree_replace;
+          Alcotest.test_case "ordered iteration" `Quick test_btree_ordered_iteration;
+          Alcotest.test_case "range" `Quick test_btree_range;
+          Alcotest.test_case "delete" `Quick test_btree_delete;
+          Alcotest.test_case "delete everything" `Quick test_btree_delete_everything;
+          Alcotest.test_case "logarithmic height" `Quick test_btree_height_logarithmic;
+          Alcotest.test_case "degree validation" `Quick test_btree_degree_validation;
+          Alcotest.test_case "range bounds" `Quick test_btree_empty_range_bounds;
+          QCheck_alcotest.to_alcotest prop_btree_model;
+          QCheck_alcotest.to_alcotest prop_btree_iteration_sorted;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "mean empty" `Quick test_stats_mean_empty;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "median interpolates" `Quick test_stats_median_interpolates;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "gammln factorial" `Quick test_gammln_factorial;
+          Alcotest.test_case "chi2 table values" `Quick test_chi2_known_values;
+          Alcotest.test_case "chi2 statistic" `Quick test_chi2_statistic;
+          Alcotest.test_case "chi2 accepts uniform" `Quick test_chi2_uniform_accepts_uniform;
+          Alcotest.test_case "chi2 rejects skew" `Quick test_chi2_uniform_rejects_skewed;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
+          QCheck_alcotest.to_alcotest prop_mean_bounds;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+open Atum_workload
+module Atum = Atum_core.Atum
+module Params = Atum_core.Params
+
+let small_params seed =
+  { Params.default with Params.hc = 3; rwl = 4; round_duration = 0.5; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_params_validate_default () =
+  Alcotest.(check bool) "default valid" true (Params.validate Params.default = Ok ());
+  Alcotest.(check bool) "async valid" true (Params.validate Params.default_async = Ok ())
+
+let test_params_validate_rejects () =
+  let bad fields =
+    match Params.validate fields with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "hc=0" true (bad { Params.default with Params.hc = 0 });
+  Alcotest.(check bool) "rwl=0" true (bad { Params.default with Params.rwl = 0 });
+  Alcotest.(check bool) "gmax<gmin" true (bad { Params.default with Params.gmax = 2; gmin = 4 });
+  Alcotest.(check bool) "split remerges" true
+    (bad { Params.default with Params.gmin = 6; gmax = 8 });
+  Alcotest.(check bool) "round<=0" true
+    (bad { Params.default with Params.round_duration = 0.0 });
+  Alcotest.(check bool) "eviction < heartbeat" true
+    (bad { Params.default with Params.eviction_timeout = 1.0; heartbeat_period = 10.0 })
+
+let test_params_sizing_monotone () =
+  let rwl n = (Params.for_system_size n).Params.rwl in
+  Alcotest.(check bool) "bigger systems need longer walks" true (rwl 2000 >= rwl 20)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_grows_exact () =
+  let b = Builder.grow ~params:(small_params 1) ~n:30 ~seed:1 () in
+  Alcotest.(check int) "exact size" 30 (Atum.size b.Builder.atum);
+  Alcotest.(check bool) "consistent" true
+    (Atum.check_consistency b.Builder.atum = Ok ())
+
+let test_builder_places_byzantine () =
+  let b = Builder.grow ~params:(small_params 2) ~n:20 ~byzantine:3 ~seed:2 () in
+  Alcotest.(check int) "three byzantine" 3 (List.length b.Builder.byzantine);
+  Alcotest.(check bool) "bootstrap stays correct" true
+    (not (List.mem b.Builder.first b.Builder.byzantine));
+  Alcotest.(check int) "correct members" 17 (List.length (Builder.correct_members b))
+
+(* ------------------------------------------------------------------ *)
+(* Growth (Fig 6 / Fig 13 machinery)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_growth_reaches_target () =
+  let r = Growth.run ~params:(small_params 3) ~target:40 ~seed:3 () in
+  Alcotest.(check bool) "reached" true r.Growth.reached_target;
+  Alcotest.(check bool) "curve monotone" true
+    (let sizes = List.map (fun (p : Growth.point) -> p.Growth.size) r.Growth.curve in
+     List.sort compare sizes = sizes)
+
+let test_growth_counts_exchanges () =
+  let r = Growth.run ~params:(small_params 4) ~target:40 ~seed:4 () in
+  Alcotest.(check bool) "exchanges recorded" true
+    (r.Growth.exchanges_completed + r.Growth.exchanges_suppressed > 0);
+  Alcotest.(check bool) "completion rate in [0,1]" true
+    (r.Growth.completion_rate >= 0.0 && r.Growth.completion_rate <= 1.0)
+
+let test_growth_faster_rate_more_suppression () =
+  (* Fig 13's claim: higher join rates suppress more exchanges. *)
+  let rate r =
+    (Growth.run ~params:(small_params 5) ~join_rate_per_min:r ~target:60 ~seed:5 ())
+      .Growth.completion_rate
+  in
+  let slow = rate 0.05 and fast = rate 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "slow %.3f >= fast %.3f - 0.05" slow fast)
+    true
+    (slow >= fast -. 0.05)
+
+(* ------------------------------------------------------------------ *)
+(* Churn (Fig 7 machinery)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_churn_probe_gentle_rate_sustained () =
+  let b = Builder.grow ~params:(small_params 6) ~n:30 ~seed:6 () in
+  let p = Churn.probe b ~rate_per_min:3.0 ~duration:120.0 ~seed:6 in
+  Alcotest.(check bool) "gentle churn sustained" true p.Churn.sustained;
+  Alcotest.(check bool) "size held" true (p.Churn.size_after >= 27)
+
+let test_churn_ladder_returns_probes () =
+  let b = Builder.grow ~params:(small_params 7) ~n:24 ~seed:7 () in
+  let best, probes = Churn.max_sustained ~rates:[ 2.0; 4.0 ] ~duration:60.0 b ~seed:7 in
+  Alcotest.(check bool) "probes recorded" true (List.length probes >= 1);
+  Alcotest.(check bool) "best is one of the rates or zero" true
+    (List.mem best [ 0.0; 2.0; 4.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Latency experiment (Fig 8 machinery)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_latency_exp_full_delivery () =
+  let b = Builder.grow ~params:(small_params 8) ~n:30 ~seed:8 () in
+  let r = Latency_exp.run b ~messages:5 ~gap:3.0 ~seed:8 in
+  Alcotest.(check int) "every correct node delivers every message"
+    r.Latency_exp.expected_deliveries r.Latency_exp.observed_deliveries;
+  Alcotest.(check int) "samples" r.Latency_exp.observed_deliveries
+    (List.length r.Latency_exp.latencies)
+
+let test_latency_exp_byzantine_no_decay () =
+  (* §6.1.3's headline: latency unchanged with a Byzantine minority. *)
+  let clean =
+    let b = Builder.grow ~params:(small_params 9) ~n:30 ~seed:9 () in
+    Latency_exp.run b ~messages:5 ~gap:3.0 ~seed:9
+  in
+  let dirty =
+    let b = Builder.grow ~params:(small_params 9) ~n:33 ~byzantine:3 ~seed:9 () in
+    Latency_exp.run b ~messages:5 ~gap:3.0 ~seed:9
+  in
+  Alcotest.(check bool) "clean full delivery" true (clean.Latency_exp.delivery_fraction > 0.999);
+  Alcotest.(check bool) "dirty full delivery to correct nodes" true
+    (dirty.Latency_exp.delivery_fraction > 0.999);
+  let p90 r = Atum_util.Stats.percentile r.Latency_exp.latencies 90.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p90 %.2f vs %.2f: no decay" (p90 dirty) (p90 clean))
+    true
+    (p90 dirty <= p90 clean +. 2.0)
+
+let test_latency_cdf_shape () =
+  let b = Builder.grow ~params:(small_params 10) ~n:20 ~seed:10 () in
+  let r = Latency_exp.run b ~messages:3 ~gap:3.0 ~seed:10 in
+  let cdf = Latency_exp.cdf r in
+  Alcotest.(check bool) "cdf ends at 1" true
+    (match List.rev cdf with (_, f) :: _ -> abs_float (f -. 1.0) < 1e-9 | [] -> false);
+  Alcotest.(check bool) "cdf nondecreasing" true
+    (let fs = List.map snd cdf in
+     List.sort compare fs = fs)
+
+(* ------------------------------------------------------------------ *)
+(* AShare / AStream experiments                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig9_shape () =
+  let rows = Ashare_exp.fig9 ~sizes_mb:[ 2.0; 512.0 ] ~seed:11 () in
+  match rows with
+  | [ small; big ] ->
+    Alcotest.(check bool) "nfs wins small files" true
+      (small.Ashare_exp.nfs <= small.Ashare_exp.simple);
+    Alcotest.(check bool) "parallel wins big files by >=1.5x" true
+      (big.Ashare_exp.nfs /. big.Ashare_exp.parallel >= 1.5);
+    Alcotest.(check bool) "per-MB latency amortizes" true
+      (big.Ashare_exp.nfs < small.Ashare_exp.nfs)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_fig10_shape () =
+  let rows = Ashare_exp.byzantine_reads ~n:24 ~files:39 ~byzantine:5 ~rho:8 ~seed:12 in
+  Alcotest.(check bool) "rows produced" true (List.length rows >= 10);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "faulty >= clean at r=%d" r.Ashare_exp.replicas)
+        true
+        (r.Ashare_exp.faulty_latency_per_mb >= r.Ashare_exp.clean_latency_per_mb -. 1e-6))
+    rows
+
+let test_fig12_shape () =
+  let rows = Astream_exp.run ~sizes:[ 16; 40 ] ~seed:13 () in
+  match rows with
+  | [ small; big ] ->
+    Alcotest.(check bool) "positive latencies" true
+      (small.Astream_exp.single_ms > 0.0 && big.Astream_exp.double_ms > 0.0);
+    Alcotest.(check bool) "double <= single (big system)" true
+      (big.Astream_exp.double_ms <= big.Astream_exp.single_ms +. 1.0)
+  | _ -> Alcotest.fail "expected two rows"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_runs_are_deterministic () =
+  (* Every experiment is seeded; the same seed must reproduce the same
+     simulation bit for bit. *)
+  let run () =
+    let r = Growth.run ~params:(small_params 99) ~target:30 ~seed:99 () in
+    ( List.map (fun (p : Growth.point) -> (p.Growth.time, p.Growth.size)) r.Growth.curve,
+      r.Growth.exchanges_completed,
+      r.Growth.exchanges_suppressed,
+      r.Growth.duration )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical runs" true (a = b)
+
+let test_latency_deterministic () =
+  let run () =
+    let b = Builder.grow ~params:(small_params 98) ~n:16 ~seed:98 () in
+    (Latency_exp.run b ~messages:3 ~gap:3.0 ~seed:98).Latency_exp.latencies
+  in
+  Alcotest.(check bool) "identical latency samples" true (run () = run ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_ablation_forward_policies_tradeoff () =
+  let rows = Ablation.forward_policies ~n:60 ~messages:6 ~seed:14 () in
+  match rows with
+  | [ flood; two; single ] ->
+    Alcotest.(check bool) "all deliver" true
+      (flood.Ablation.delivery_fraction > 0.999
+      && two.Ablation.delivery_fraction > 0.999
+      && single.Ablation.delivery_fraction > 0.999);
+    Alcotest.(check bool) "flood fastest" true
+      (flood.Ablation.p50_latency <= single.Ablation.p50_latency +. 1e-6);
+    Alcotest.(check bool) "single cheapest" true
+      (single.Ablation.messages_per_broadcast <= flood.Ablation.messages_per_broadcast)
+  | _ -> Alcotest.fail "expected three rows"
+
+let test_ablation_shuffling_disperses () =
+  let on = Ablation.join_leave_attack ~n:60 ~attackers:6 ~rounds:8 ~shuffling:true ~seed:15 () in
+  let off = Ablation.join_leave_attack ~n:60 ~attackers:6 ~rounds:8 ~shuffling:false ~seed:15 () in
+  (* Statistical at this size, so only require the direction. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "concentration on=%.2f <= off=%.2f + slack" on.Ablation.concentration
+       off.Ablation.concentration)
+    true
+    (on.Ablation.concentration <= off.Ablation.concentration +. 0.15)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "default valid" `Quick test_params_validate_default;
+          Alcotest.test_case "rejects bad" `Quick test_params_validate_rejects;
+          Alcotest.test_case "sizing monotone" `Quick test_params_sizing_monotone;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "grows exact" `Slow test_builder_grows_exact;
+          Alcotest.test_case "byzantine placement" `Slow test_builder_places_byzantine;
+        ] );
+      ( "growth",
+        [
+          Alcotest.test_case "reaches target" `Slow test_growth_reaches_target;
+          Alcotest.test_case "counts exchanges" `Slow test_growth_counts_exchanges;
+          Alcotest.test_case "rate vs suppression" `Slow test_growth_faster_rate_more_suppression;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "gentle sustained" `Slow test_churn_probe_gentle_rate_sustained;
+          Alcotest.test_case "ladder" `Slow test_churn_ladder_returns_probes;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "full delivery" `Slow test_latency_exp_full_delivery;
+          Alcotest.test_case "byzantine no decay" `Slow test_latency_exp_byzantine_no_decay;
+          Alcotest.test_case "cdf shape" `Slow test_latency_cdf_shape;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig9 shape" `Slow test_fig9_shape;
+          Alcotest.test_case "fig10 shape" `Slow test_fig10_shape;
+          Alcotest.test_case "fig12 shape" `Slow test_fig12_shape;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "growth deterministic" `Slow test_runs_are_deterministic;
+          Alcotest.test_case "latency deterministic" `Slow test_latency_deterministic;
+        ] );
+      ( "ablation",
+        [
+          Alcotest.test_case "forward policies" `Slow test_ablation_forward_policies_tradeoff;
+          Alcotest.test_case "shuffling disperses" `Slow test_ablation_shuffling_disperses;
+        ] );
+    ]
