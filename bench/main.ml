@@ -3,18 +3,39 @@
    rows/series the paper reports; EXPERIMENTS.md records the
    paper-vs-measured comparison.
 
-   Usage:   dune exec bench/main.exe [-- fig4 fig6 ... micro]
-   Scale:   ATUM_BENCH_SCALE=quick|default|full  (default: default)   *)
+   Usage:   dune exec bench/main.exe [-- fig4 fig6 ... micro] [--json DIR]
+   Scale:   ATUM_BENCH_SCALE=quick|default|full  (default: default)
+
+   With [--json DIR] (or ATUM_BENCH_JSON=DIR) every figure also writes
+   a machine-readable BENCH_<fig>.json artifact into DIR carrying the
+   same rows as the text output plus seed, scale and wall time — see
+   the schema note in EXPERIMENTS.md.  All fields except wall_s are
+   deterministic; set ATUM_BENCH_JSON_CANON=1 to zero wall_s and get
+   byte-identical files across same-seed runs.                          *)
 
 module Params = Atum_core.Params
 module Atum = Atum_core.Atum
 module W = Atum_workload
+module Json = Atum_util.Json
 
 let scale =
   match Sys.getenv_opt "ATUM_BENCH_SCALE" with
   | Some ("quick" | "QUICK") -> `Quick
   | Some ("full" | "FULL") -> `Full
   | _ -> `Default
+
+let scale_name =
+  match scale with `Quick -> "quick" | `Default -> "default" | `Full -> "full"
+
+let json_dir = ref (Sys.getenv_opt "ATUM_BENCH_JSON")
+
+let emit_json ~fig ~seed ~wall_s ?extra rows =
+  match !json_dir with
+  | None -> ()
+  | Some dir ->
+    let doc = W.Report.envelope ~fig ~scale:scale_name ~seed ~wall_s ?extra ~rows () in
+    let path = W.Report.write ~dir ~fig doc in
+    Printf.printf "  [json] wrote %s\n%!" path
 
 let section title =
   Printf.printf "\n================================================================\n";
@@ -26,22 +47,42 @@ let wall f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* Append figure-specific fields to a row built by a shared helper. *)
+let with_fields extra = function
+  | Json.Obj fields -> Json.Obj (extra @ fields)
+  | j -> j
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: system parameters                                          *)
 (* ------------------------------------------------------------------ *)
 
 let table1 () =
   section "Table 1: system parameters (defaults in this reproduction)";
-  let show label (p : Params.t) =
-    Printf.printf "  %-22s hc=%-2d rwl=%-2d gmin=%-2d gmax=%-2d round=%.1fs\n" label p.Params.hc
-      p.rwl p.gmin p.gmax p.round_duration
+  let entries =
+    [ ("sync default", Params.default); ("async default", Params.default_async) ]
+    @ List.map
+        (fun n -> (Printf.sprintf "sized for N=%d" n, Params.for_system_size n))
+        [ 50; 200; 800; 1400 ]
   in
-  show "sync default" Params.default;
-  show "async default" Params.default_async;
   List.iter
-    (fun n -> show (Printf.sprintf "sized for N=%d" n) (Params.for_system_size n))
-    [ 50; 200; 800; 1400 ];
-  Printf.printf "  typical ranges (paper): hc 2..12, rwl 4..15, gmin = gmax/2, k 3..7\n%!"
+    (fun (label, (p : Params.t)) ->
+      Printf.printf "  %-22s hc=%-2d rwl=%-2d gmin=%-2d gmax=%-2d round=%.1fs\n" label
+        p.Params.hc p.rwl p.gmin p.gmax p.round_duration)
+    entries;
+  Printf.printf "  typical ranges (paper): hc 2..12, rwl 4..15, gmin = gmax/2, k 3..7\n%!";
+  emit_json ~fig:"table1" ~seed:0 ~wall_s:0.0
+    (List.map
+       (fun (label, (p : Params.t)) ->
+         Json.Obj
+           [
+             ("label", Json.String label);
+             ("hc", Json.Int p.Params.hc);
+             ("rwl", Json.Int p.rwl);
+             ("gmin", Json.Int p.gmin);
+             ("gmax", Json.Int p.gmax);
+             ("round_s", Json.Float p.round_duration);
+           ])
+       entries)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 4: configuration guideline                                      *)
@@ -73,7 +114,25 @@ let fig4 () =
         cols;
       print_newline ())
     rows;
-  Printf.printf "  (chi-squared uniformity at 0.99 confidence; %.1fs)\n%!" dt
+  Printf.printf "  (chi-squared uniformity at 0.99 confidence; %.1fs)\n%!" dt;
+  emit_json ~fig:"fig4" ~seed:42 ~wall_s:dt
+    (List.map
+       (fun (vg, cols) ->
+         Json.Obj
+           [
+             ("vgroups", Json.Int vg);
+             ( "optimal_rwl",
+               Json.List
+                 (List.map
+                    (fun (hc, rwl) ->
+                      Json.Obj
+                        [
+                          ("hc", Json.Int hc);
+                          ("rwl", match rwl with Some r -> Json.Int r | None -> Json.Null);
+                        ])
+                    cols) );
+           ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 6: growth speed                                                 *)
@@ -87,6 +146,8 @@ let fig6 () =
   let protocols =
     match scale with `Quick -> [ Params.Sync ] | _ -> [ Params.Sync; Params.Async ]
   in
+  let rows = ref [] in
+  let total_wall = ref 0.0 in
   List.iter
     (fun protocol ->
       List.iter
@@ -96,18 +157,24 @@ let fig6 () =
             wall (fun () ->
                 W.Growth.run ~params ~target ~seed:7 ~sample_every:250.0 ())
           in
+          total_wall := !total_wall +. dt;
+          let proto_name =
+            match protocol with Params.Sync -> "SYNC" | Params.Async -> "ASYNC"
+          in
           Printf.printf
-            "  %s target=%d: reached %d in %.0f simulated s; join latency p50=%.1fs p90=%.1fs (wall %.1fs)\n"
-            (match protocol with Params.Sync -> "SYNC " | Params.Async -> "ASYNC")
-            target r.W.Growth.final_size r.duration r.join_latency_p50 r.join_latency_p90 dt;
+            "  %-5s target=%d: reached %d in %.0f simulated s; join latency p50=%.1fs p90=%.1fs (wall %.1fs)\n"
+            proto_name target r.W.Growth.final_size r.duration r.join_latency_p50
+            r.join_latency_p90 dt;
           Printf.printf "    curve (t, size): ";
           List.iter
             (fun (p : W.Growth.point) ->
               Printf.printf "(%.0f, %d) " p.W.Growth.time p.W.Growth.size)
             r.curve;
-          Printf.printf "\n%!")
+          Printf.printf "\n%!";
+          rows := W.Report.growth_row ~protocol:proto_name ~target r :: !rows)
         targets)
-    protocols
+    protocols;
+  emit_json ~fig:"fig6" ~seed:7 ~wall_s:!total_wall (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 7: churn tolerance                                              *)
@@ -129,6 +196,8 @@ let fig7 () =
         fun n -> Params.for_system_size ~protocol:Params.Async n );
     ]
   in
+  let rows = ref [] in
+  let total_wall = ref 0.0 in
   List.iter
     (fun (label, mk) ->
       Printf.printf "  %s\n" label;
@@ -140,13 +209,25 @@ let fig7 () =
                 let built = W.Builder.grow ~params ~n ~seed:(19 + n) () in
                 W.Churn.max_sustained built ~seed:(23 + n))
           in
+          total_wall := !total_wall +. dt;
           Printf.printf
             "    N=%-4d max sustained %.0f re-joins/min (%.1f%%/min), probes=%d (wall %.1fs)\n%!"
             n rate
             (100.0 *. rate /. float_of_int n)
-            (List.length probes) dt)
+            (List.length probes) dt;
+          rows :=
+            Json.Obj
+              [
+                ("config", Json.String label);
+                ("n", Json.Int n);
+                ("max_sustained_per_min", Json.Float rate);
+                ("pct_per_min", Json.Float (100.0 *. rate /. float_of_int n));
+                ("probes", Json.Int (List.length probes));
+              ]
+            :: !rows)
         sizes)
-    configs
+    configs;
+  emit_json ~fig:"fig7" ~seed:19 ~wall_s:!total_wall (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 8: group communication latency                                  *)
@@ -162,10 +243,28 @@ let pp_cdf_line label latencies =
       (List.fold_left max 0.0 latencies)
   end
 
+let cdf_row ~label latencies =
+  let pct p =
+    if latencies = [] then Json.Null else Json.Float (Atum_util.Stats.percentile latencies p)
+  in
+  Json.Obj
+    [
+      ("label", Json.String label);
+      ("n", Json.Int (List.length latencies));
+      ("p10_s", pct 10.0);
+      ("p50_s", pct 50.0);
+      ("p90_s", pct 90.0);
+      ("p99_s", pct 99.0);
+      ( "max_s",
+        if latencies = [] then Json.Null else Json.Float (List.fold_left max 0.0 latencies) );
+    ]
+
 let fig8 () =
   section "Fig 8: group communication latency CDF (seconds)";
   let messages = match scale with `Quick -> 30 | `Default -> 100 | `Full -> 300 in
   let sizes = match scale with `Quick -> [ 200 ] | _ -> [ 200; 400; 800 ] in
+  let rows = ref [] in
+  let total_wall = ref 0.0 in
   let run_one label ~protocol ~n ~byz =
     let params =
       { (Params.for_system_size ~protocol n) with Params.seed = 47 + n; round_duration = 1.5 }
@@ -175,8 +274,13 @@ let fig8 () =
           let built = W.Builder.grow ~params ~byzantine:byz ~n:(n + byz) ~seed:(47 + n) () in
           W.Latency_exp.run built ~messages ~gap:2.0 ~seed:(53 + n))
     in
+    total_wall := !total_wall +. dt;
     pp_cdf_line label r.W.Latency_exp.latencies;
-    Printf.printf "      delivery fraction %.4f (wall %.1fs)\n%!" r.delivery_fraction dt
+    Printf.printf "      delivery fraction %.4f (wall %.1fs)\n%!" r.delivery_fraction dt;
+    let proto_name = match protocol with Params.Sync -> "SYNC" | Params.Async -> "ASYNC" in
+    rows :=
+      with_fields [ ("protocol", Json.String proto_name) ] (W.Report.latency_row ~label r)
+      :: !rows
   in
   Printf.printf "  Atum SYNC (rounds of 1.5s):\n";
   List.iter (fun n -> run_one (Printf.sprintf "N = %d" n) ~protocol:Params.Sync ~n ~byz:0) sizes;
@@ -186,10 +290,23 @@ let fig8 () =
   run_one "N = 850* (50 Byz)" ~protocol:Params.Async ~n:800 ~byz:50;
   Printf.printf "  Baselines (N = 850):\n";
   let g = Atum_baselines.Gossip.run ~n:850 ~fanout:10 ~seed:3 in
-  pp_cdf_line "S.Gossip" (Atum_baselines.Gossip.latencies g ~round_duration:1.5);
+  let gossip_lats = Atum_baselines.Gossip.latencies g ~round_duration:1.5 in
+  pp_cdf_line "S.Gossip" gossip_lats;
+  rows :=
+    with_fields [ ("protocol", Json.String "baseline") ] (cdf_row ~label:"S.Gossip" gossip_lats)
+    :: !rows;
   let smr = Atum_baselines.Global_smr.run ~n:850 ~faults:50 ~round_duration:1.5 in
-  pp_cdf_line "S.SMR (850*, 50 faults)" (Atum_baselines.Global_smr.latencies smr ~n:850);
-  Printf.printf "%!"
+  let smr_lats = Atum_baselines.Global_smr.latencies smr ~n:850 in
+  pp_cdf_line "S.SMR (850*, 50 faults)" smr_lats;
+  rows :=
+    with_fields
+      [ ("protocol", Json.String "baseline") ]
+      (cdf_row ~label:"S.SMR (850*, 50 faults)" smr_lats)
+    :: !rows;
+  Printf.printf "%!";
+  emit_json ~fig:"fig8" ~seed:47 ~wall_s:!total_wall
+    ~extra:[ ("messages", Json.Int messages) ]
+    (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 9: AShare read performance                                      *)
@@ -204,7 +321,18 @@ let fig9 () =
       Printf.printf "  %-10.0f %-8.3f %-14.3f %-16.3f\n" r.W.Ashare_exp.size_mb r.nfs r.simple
         r.parallel)
     rows;
-  Printf.printf "  (wall %.1fs)\n%!" dt
+  Printf.printf "  (wall %.1fs)\n%!" dt;
+  emit_json ~fig:"fig9" ~seed:61 ~wall_s:dt
+    (List.map
+       (fun (r : W.Ashare_exp.fig9_row) ->
+         Json.Obj
+           [
+             ("size_mb", Json.Float r.W.Ashare_exp.size_mb);
+             ("nfs_s_per_mb", Json.Float r.nfs);
+             ("simple_s_per_mb", Json.Float r.simple);
+             ("parallel_s_per_mb", Json.Float r.parallel);
+           ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Figs 10 & 11: Byzantine impact on AShare reads                      *)
@@ -224,7 +352,18 @@ let fig10_11 () =
         Printf.printf "  %-10d %-22.3f %-22.3f\n" r.W.Ashare_exp.replicas
           r.clean_latency_per_mb r.faulty_latency_per_mb)
       rows;
-    Printf.printf "  (wall %.1fs)\n%!" dt
+    Printf.printf "  (wall %.1fs)\n%!" dt;
+    emit_json ~fig:(Printf.sprintf "fig%d" fig) ~seed:67 ~wall_s:dt
+      ~extra:[ ("n", Json.Int n); ("files", Json.Int files) ]
+      (List.map
+         (fun (r : W.Ashare_exp.fig10_row) ->
+           Json.Obj
+             [
+               ("replicas", Json.Int r.W.Ashare_exp.replicas);
+               ("clean_s_per_mb", Json.Float r.clean_latency_per_mb);
+               ("faulty_s_per_mb", Json.Float r.faulty_latency_per_mb);
+             ])
+         rows)
   in
   let files = match scale with `Quick -> 65 | `Default -> 260 | `Full -> 520 in
   run ~fig:10 ~n:50 ~files;
@@ -244,7 +383,19 @@ let fig12 () =
       Printf.printf "  %-8d %-16.0f %-16.0f %-18.0f %-18.0f\n" r.W.Astream_exp.n r.single_ms
         r.double_ms r.single_sim_ms r.double_sim_ms)
     rows;
-  Printf.printf "  (wall %.1fs)\n%!" dt
+  Printf.printf "  (wall %.1fs)\n%!" dt;
+  emit_json ~fig:"fig12" ~seed:71 ~wall_s:dt
+    (List.map
+       (fun (r : W.Astream_exp.row) ->
+         Json.Obj
+           [
+             ("n", Json.Int r.W.Astream_exp.n);
+             ("single_model_ms", Json.Float r.single_ms);
+             ("double_model_ms", Json.Float r.double_ms);
+             ("single_sim_ms", Json.Float r.single_sim_ms);
+             ("double_sim_ms", Json.Float r.double_sim_ms);
+           ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 13: exchange completion under aggressive growth                 *)
@@ -255,6 +406,8 @@ let fig13 () =
   let target = match scale with `Quick -> 150 | _ -> 400 in
   Printf.printf "  %-10s %-12s %-12s %-12s %-10s\n" "join rate" "completed" "suppressed"
     "completion" "time (s)";
+  let rows = ref [] in
+  let total_wall = ref 0.0 in
   List.iter
     (fun rate ->
       let r, dt =
@@ -263,10 +416,17 @@ let fig13 () =
               ~params:(Params.for_system_size ~seed:73 target)
               ~join_rate_per_min:rate ~target ~seed:73 ())
       in
+      total_wall := !total_wall +. dt;
       Printf.printf "  %-10s %-12d %-12d %-12.3f %-10.0f (wall %.1fs)\n%!"
         (Printf.sprintf "%.0f%%/min" (100.0 *. rate))
-        r.W.Growth.exchanges_completed r.exchanges_suppressed r.completion_rate r.duration dt)
-    [ 0.08; 0.20; 0.24 ]
+        r.W.Growth.exchanges_completed r.exchanges_suppressed r.completion_rate r.duration dt;
+      rows :=
+        with_fields
+          [ ("join_rate_per_min", Json.Float rate) ]
+          (W.Report.growth_row ~protocol:"SYNC" ~target r)
+        :: !rows)
+    [ 0.08; 0.20; 0.24 ];
+  emit_json ~fig:"fig13" ~seed:73 ~wall_s:!total_wall (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: design choices DESIGN.md calls out                       *)
@@ -276,28 +436,53 @@ let ablation () =
   section "Ablation 1: random-walk shuffling vs. a join-leave attack";
   Printf.printf
     "  an adversary re-joins its nodes to concentrate them in one vgroup;\n    \  'concentration' is the worst per-vgroup Byzantine fraction (0.5 = captured)\n";
+  let rows = ref [] in
+  let total_wall = ref 0.0 in
   List.iter
     (fun shuffling ->
       let r, dt =
         wall (fun () -> W.Ablation.join_leave_attack ~shuffling ~seed:81 ())
       in
+      total_wall := !total_wall +. dt;
       Printf.printf
         "  shuffling %-3s: %.1f%% attackers -> concentration %.2f%s (wall %.1fs)\n%!"
         (if shuffling then "ON" else "OFF")
         (100.0 *. r.W.Ablation.byzantine_fraction)
         r.concentration
         (if r.any_vgroup_captured then "  ** vgroup captured **" else "")
-        dt)
+        dt;
+      rows :=
+        Json.Obj
+          [
+            ("section", Json.String "join_leave_attack");
+            ("shuffling", Json.Bool shuffling);
+            ("byzantine_fraction", Json.Float r.W.Ablation.byzantine_fraction);
+            ("concentration", Json.Float r.concentration);
+            ("any_vgroup_captured", Json.Bool r.any_vgroup_captured);
+          ]
+        :: !rows)
     [ true; false ];
   section "Ablation 2: forward-callback policies (latency vs. traffic, §3.3.4)";
-  let rows, dt = wall (fun () -> W.Ablation.forward_policies ~seed:83 ()) in
+  let policy_rows, dt = wall (fun () -> W.Ablation.forward_policies ~seed:83 ()) in
+  total_wall := !total_wall +. dt;
   Printf.printf "  %-20s %-10s %-12s %-12s\n" "policy" "delivery" "p50 latency" "msgs/bcast";
   List.iter
     (fun r ->
       Printf.printf "  %-20s %-10.3f %-12.2f %-12.0f\n" r.W.Ablation.label
-        r.delivery_fraction r.p50_latency r.messages_per_broadcast)
-    rows;
-  Printf.printf "  (wall %.1fs)\n%!" dt
+        r.delivery_fraction r.p50_latency r.messages_per_broadcast;
+      rows :=
+        Json.Obj
+          [
+            ("section", Json.String "forward_policies");
+            ("policy", Json.String r.W.Ablation.label);
+            ("delivery_fraction", Json.Float r.delivery_fraction);
+            ("p50_latency_s", Json.Float r.p50_latency);
+            ("messages_per_broadcast", Json.Float r.messages_per_broadcast);
+          ]
+        :: !rows)
+    policy_rows;
+  Printf.printf "  (wall %.1fs)\n%!" dt;
+  emit_json ~fig:"ablation" ~seed:81 ~wall_s:!total_wall (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Extension: the DHT alternative of footnote 5                        *)
@@ -306,12 +491,18 @@ let ablation () =
 let dht_bench () =
   section "Extension (footnote 5): Chord DHT vs. AShare's broadcast-replicated index";
   let module Dht = Atum_apps.Dht in
+  let rows = ref [] in
   Printf.printf "  Lookup cost scales logarithmically:\n";
   Printf.printf "    %-8s %-12s\n" "N" "mean hops";
   List.iter
     (fun n ->
       let d = Dht.build ~node_ids:(List.init n Fun.id) () in
-      Printf.printf "    %-8d %-12.2f\n" n (Dht.mean_lookup_hops d ~samples:500 ~seed:3))
+      let hops = Dht.mean_lookup_hops d ~samples:500 ~seed:3 in
+      Printf.printf "    %-8d %-12.2f\n" n hops;
+      rows :=
+        Json.Obj
+          [ ("section", Json.String "hops"); ("n", Json.Int n); ("mean_hops", Json.Float hops) ]
+        :: !rows)
     [ 64; 256; 1024; 4096 ];
   Printf.printf
     "  ...but quiet Byzantine routers silently swallow queries (N=512, 4 replicas,\n    \  3 retries), where Atum's broadcast index keeps a full copy at every node:\n";
@@ -325,23 +516,42 @@ let dht_bench () =
         Atum_util.Rng.sample_without_replacement rng (n * pct / 100) (List.init n Fun.id)
       in
       List.iter (Dht.mark_byzantine d) byz;
+      let success = Dht.lookup_success_rate d ~samples:600 ~seed:7 in
       Printf.printf "    %-12s %-22.3f %-22s\n"
         (Printf.sprintf "%d%%" pct)
-        (Dht.lookup_success_rate d ~samples:600 ~seed:7)
-        "1.000 (local read)")
+        success "1.000 (local read)";
+      rows :=
+        Json.Obj
+          [
+            ("section", Json.String "byzantine");
+            ("byzantine_pct", Json.Int pct);
+            ("dht_lookup_success", Json.Float success);
+            ("broadcast_index_success", Json.Float 1.0);
+          ]
+        :: !rows)
     [ 0; 5; 10; 20; 30 ];
   Printf.printf "  Churn: 20%% of 512 nodes leave between stabilizations:\n";
   let d = Dht.build ~node_ids:(List.init 512 Fun.id) () in
   let rng = Atum_util.Rng.create 11 in
   List.iter (Dht.mark_dead d)
     (Atum_util.Rng.sample_without_replacement rng 102 (List.init 512 Fun.id));
-  Printf.printf "    before stabilization: success %.3f, mean hops %.2f\n"
-    (Dht.lookup_success_rate d ~samples:500 ~seed:13)
-    (Dht.mean_lookup_hops d ~samples:500 ~seed:13);
-  let fresh = Dht.rebuild d in
-  Printf.printf "    after stabilization:  success %.3f, mean hops %.2f\n%!"
-    (Dht.lookup_success_rate fresh ~samples:500 ~seed:13)
-    (Dht.mean_lookup_hops fresh ~samples:500 ~seed:13)
+  let churn_row phase d =
+    let success = Dht.lookup_success_rate d ~samples:500 ~seed:13 in
+    let hops = Dht.mean_lookup_hops d ~samples:500 ~seed:13 in
+    Printf.printf "    %s: success %.3f, mean hops %.2f\n%!" phase success hops;
+    rows :=
+      Json.Obj
+        [
+          ("section", Json.String "churn");
+          ("phase", Json.String phase);
+          ("lookup_success", Json.Float success);
+          ("mean_hops", Json.Float hops);
+        ]
+      :: !rows
+  in
+  churn_row "before stabilization" d;
+  churn_row "after stabilization " (Dht.rebuild d);
+  emit_json ~fig:"dht" ~seed:3 ~wall_s:0.0 (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel)                                         *)
@@ -349,6 +559,8 @@ let dht_bench () =
 
 let micro () =
   section "Micro-benchmarks (Bechamel, ns/op)";
+  (* No JSON artifact: wall-clock estimates are inherently
+     nondeterministic and would defeat the BENCH_*.json diff workflow. *)
   let open Bechamel in
   let data_1k = String.make 1024 'x' in
   let rng = Atum_util.Rng.create 1 in
@@ -402,13 +614,26 @@ let all_figs =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_figs
+  (* Strip --json DIR (CLI overrides the ATUM_BENCH_JSON env var);
+     whatever remains names the figures to run. *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: dir :: rest ->
+      json_dir := Some dir;
+      parse acc rest
+    | "--json" :: [] ->
+      prerr_endline "--json requires a directory argument";
+      exit 2
+    | arg :: rest -> parse (arg :: acc) rest
   in
-  Printf.printf "Atum benchmark harness — scale=%s\n"
-    (match scale with `Quick -> "quick" | `Default -> "default" | `Full -> "full");
+  let names = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = if names = [] then List.map fst all_figs else names in
+  (match !json_dir with
+  | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
+    Printf.eprintf "--json: %s is not a directory\n" dir;
+    exit 2
+  | _ -> ());
+  Printf.printf "Atum benchmark harness — scale=%s\n" scale_name;
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

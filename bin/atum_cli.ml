@@ -12,6 +12,7 @@ open Cmdliner
 module Atum = Atum_core.Atum
 module Params = Atum_core.Params
 module W = Atum_workload
+module Json = Atum_util.Json
 
 let protocol_conv =
   let parse = function
@@ -29,15 +30,47 @@ let nodes_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "json" ]
+        ~docv:"DIR"
+        ~doc:
+          "Also write a machine-readable ATUM_$(i,CMD).json artifact into $(docv): \
+           run parameters, a metrics snapshot (counters + series summaries) and the \
+           structured event trace.  Same JSON dialect as the bench harness's \
+           BENCH_*.json files (see EXPERIMENTS.md).")
+
+(* Mirrors the bench harness envelope: provenance first, then the
+   command-specific summary, then the full observability payload. *)
+let write_json_artifact ~dir ~cmd ~seed atum summary =
+  let doc =
+    Json.Obj
+      ([
+         ("schema_version", Json.Int W.Report.schema_version);
+         ("cmd", Json.String cmd);
+         ("seed", Json.Int seed);
+       ]
+      @ summary
+      @ [
+          ("metrics", Atum_sim.Metrics.to_json (Atum.metrics atum));
+          ("trace", Atum_sim.Trace.to_json (Atum.trace atum));
+        ])
+  in
+  let path = Filename.concat dir (Printf.sprintf "ATUM_%s.json" cmd) in
+  Json.write_file ~path doc;
+  Printf.printf "json             : wrote %s\n" path
+
 let protocol_arg =
   Arg.(
     value
     & opt protocol_conv Params.Sync
     & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"SMR protocol: sync or async.")
 
-let build ~protocol ~n ~seed ~byzantine =
+let build ?(trace = false) ~protocol ~n ~seed ~byzantine () =
   let params = { (Params.for_system_size ~protocol n) with Params.seed } in
-  W.Builder.grow ~params ~byzantine ~n:(n + byzantine) ~seed ()
+  W.Builder.grow ~params ~trace ~byzantine ~n:(n + byzantine) ~seed ()
 
 let report_build built =
   let atum = built.W.Builder.atum in
@@ -54,18 +87,31 @@ let report_build built =
   Printf.printf "simulated time   : %.0f s\n" (Atum.now atum)
 
 let grow_cmd =
-  let run protocol n seed =
-    let built = build ~protocol ~n ~seed ~byzantine:0 in
+  let run protocol n seed json =
+    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine:0 () in
     report_build built;
-    let m = Atum.metrics built.W.Builder.atum in
+    let atum = built.W.Builder.atum in
+    let m = Atum.metrics atum in
     List.iter
       (fun c -> Printf.printf "%-17s: %d\n" c (Atum_sim.Metrics.counter m c))
       [ "join.completed"; "vgroup.split"; "vgroup.merge"; "exchange.completed";
-        "exchange.suppressed"; "walk.completed" ]
+        "exchange.suppressed"; "walk.completed" ];
+    Option.iter
+      (fun dir ->
+        write_json_artifact ~dir ~cmd:"grow" ~seed atum
+          [
+            ("n", Json.Int n);
+            ("size", Json.Int (Atum.size atum));
+            ("vgroups", Json.Int (Atum.vgroup_count atum));
+            ("messages_sent", Json.Int (Atum.messages_sent atum));
+            ("bytes_sent", Json.Int (Atum.bytes_sent atum));
+            ("sim_time_s", Json.Float (Atum.now atum));
+          ])
+      json
   in
   Cmd.v
     (Cmd.info "grow" ~doc:"Grow a deployment and report overlay statistics.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg)
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ json_arg)
 
 let broadcast_cmd =
   let messages_arg =
@@ -74,19 +120,29 @@ let broadcast_cmd =
   let byz_arg =
     Arg.(value & opt int 0 & info [ "byzantine" ] ~docv:"B" ~doc:"Byzantine nodes to add.")
   in
-  let run protocol n seed messages byzantine =
-    let built = build ~protocol ~n ~seed ~byzantine in
+  let run protocol n seed messages byzantine json =
+    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine () in
     let r = W.Latency_exp.run built ~messages ~gap:2.0 ~seed in
     let p q = Atum_util.Stats.percentile r.W.Latency_exp.latencies q in
     Printf.printf "deliveries       : %d/%d (%.2f%%)\n" r.W.Latency_exp.observed_deliveries
       r.expected_deliveries (100.0 *. r.delivery_fraction);
     Printf.printf "latency (s)      : p10=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n" (p 10.0)
       (p 50.0) (p 90.0) (p 99.0)
-      (List.fold_left max 0.0 r.latencies)
+      (List.fold_left max 0.0 r.latencies);
+    Option.iter
+      (fun dir ->
+        write_json_artifact ~dir ~cmd:"broadcast" ~seed built.W.Builder.atum
+          [
+            ("n", Json.Int n);
+            ("byzantine", Json.Int byzantine);
+            ("messages", Json.Int messages);
+            ("latency", W.Report.latency_row ~label:"broadcast" r);
+          ])
+      json
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Measure broadcast latency on a fresh deployment.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ messages_arg $ byz_arg)
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ messages_arg $ byz_arg $ json_arg)
 
 let churn_cmd =
   let rate_arg =
@@ -99,19 +155,33 @@ let churn_cmd =
       value & opt float 180.0
       & info [ "d"; "duration" ] ~docv:"SEC" ~doc:"Churn duration in simulated seconds.")
   in
-  let run protocol n seed rate duration =
-    let built = build ~protocol ~n ~seed ~byzantine:0 in
+  let run protocol n seed rate duration json =
+    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine:0 () in
     let p = W.Churn.probe built ~rate_per_min:rate ~duration ~seed in
     Printf.printf "rate             : %.1f re-joins/min (%.1f%% of N)\n" rate
       (100.0 *. rate /. float_of_int n);
     Printf.printf "joins            : %d started, %d completed\n" p.W.Churn.joins_started
       p.joins_completed;
     Printf.printf "size             : %d -> %d\n" p.size_before p.size_after;
-    Printf.printf "verdict          : %s\n" (if p.sustained then "SUSTAINED" else "NOT sustained")
+    Printf.printf "verdict          : %s\n" (if p.sustained then "SUSTAINED" else "NOT sustained");
+    Option.iter
+      (fun dir ->
+        write_json_artifact ~dir ~cmd:"churn" ~seed built.W.Builder.atum
+          [
+            ("n", Json.Int n);
+            ("rate_per_min", Json.Float rate);
+            ("duration_s", Json.Float duration);
+            ("joins_started", Json.Int p.W.Churn.joins_started);
+            ("joins_completed", Json.Int p.joins_completed);
+            ("size_before", Json.Int p.size_before);
+            ("size_after", Json.Int p.size_after);
+            ("sustained", Json.Bool p.sustained);
+          ])
+      json
   in
   Cmd.v
     (Cmd.info "churn" ~doc:"Probe a churn rate for sustainability.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ rate_arg $ duration_arg)
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ rate_arg $ duration_arg $ json_arg)
 
 let guideline_cmd =
   let vgroups_arg =
@@ -133,8 +203,8 @@ let simulate_cmd =
   let minutes_arg =
     Arg.(value & opt float 10.0 & info [ "minutes" ] ~docv:"MIN" ~doc:"Simulated minutes.")
   in
-  let run protocol n seed minutes =
-    let built = build ~protocol ~n ~seed ~byzantine:0 in
+  let run protocol n seed minutes json =
+    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine:0 () in
     let atum = built.W.Builder.atum in
     Atum.start_heartbeats atum;
     let rng = Atum_util.Rng.create seed in
@@ -155,11 +225,23 @@ let simulate_cmd =
       Printf.printf "t=%3.0f min  size=%-4d vgroups=%-3d deliveries=%d\n"
         (Atum.now atum /. 60.0) (Atum.size atum) (Atum.vgroup_count atum) !delivered
     done;
-    report_build built
+    report_build built;
+    Option.iter
+      (fun dir ->
+        write_json_artifact ~dir ~cmd:"simulate" ~seed atum
+          [
+            ("n", Json.Int n);
+            ("minutes", Json.Float minutes);
+            ("deliveries", Json.Int !delivered);
+            ("size", Json.Int (Atum.size atum));
+            ("vgroups", Json.Int (Atum.vgroup_count atum));
+            ("sim_time_s", Json.Float (Atum.now atum));
+          ])
+      json
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Free-run a deployment with churn and broadcasts.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg)
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg)
 
 let dht_cmd =
   let byz_pct_arg =

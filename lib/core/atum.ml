@@ -46,6 +46,8 @@ let members_of_vgroup t vid =
   match System.vgroup_opt t vid with Some vg -> vg.System.members | None -> []
 
 let metrics = System.metrics
+let trace = System.trace
+let engine = System.engine
 
 let messages_sent t = Atum_sim.Network.messages_sent (System.network t)
 let bytes_sent t = Atum_sim.Network.bytes_sent (System.network t)

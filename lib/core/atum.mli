@@ -84,6 +84,12 @@ val members_of_vgroup : t -> int -> node_id list
 
 val metrics : t -> Atum_sim.Metrics.t
 
+val trace : t -> Atum_sim.Trace.t
+(** Structured event trace (disabled unless
+    [Atum_sim.Trace.set_enabled] is called). *)
+
+val engine : t -> Atum_sim.Engine.t
+
 val messages_sent : t -> int
 val bytes_sent : t -> int
 

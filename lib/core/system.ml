@@ -13,6 +13,7 @@ module Engine = Atum_sim.Engine
 module Network = Atum_sim.Network
 module Rounds = Atum_sim.Rounds
 module Metrics = Atum_sim.Metrics
+module Trace = Atum_sim.Trace
 module Hgraph = Atum_overlay.Hgraph
 module Random_walk = Atum_overlay.Random_walk
 module Grouping = Atum_overlay.Grouping
@@ -84,6 +85,7 @@ type t = {
   keyring : Atum_crypto.Signature.keyring;
   rng : Rng.t;
   metrics : Metrics.t;
+  trace : Trace.t;
   nodes : (node_id, node) Hashtbl.t;
   vgroups : (vg_id, vgroup) Hashtbl.t;
   mutable hgraph : Hgraph.t;
@@ -124,6 +126,9 @@ let create ?(net_config : Network.config option) (params : Params.t) =
   | Ok () -> ()
   | Error e -> invalid_arg ("System.create: " ^ e));
   let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let trace = Trace.create () in
+  Engine.set_trace engine trace;
   let net_config =
     match net_config with
     | Some c -> c
@@ -132,7 +137,9 @@ let create ?(net_config : Network.config option) (params : Params.t) =
       | Params.Sync -> Network.datacenter_config ~seed:(params.seed + 1)
       | Params.Async -> Network.wan_config ~seed:(params.seed + 1))
   in
-  let net = Network.create engine net_config in
+  (* The network shares the system's metrics (so net.drop.* counters
+     land in one snapshot) and its trace. *)
+  let net = Network.create ~metrics ~trace engine net_config in
   let rounds =
     match params.protocol with
     | Params.Sync ->
@@ -147,7 +154,8 @@ let create ?(net_config : Network.config option) (params : Params.t) =
     rounds;
     keyring = Atum_crypto.Signature.create_keyring ~seed:(params.seed + 2);
     rng = Rng.create params.seed;
-    metrics = Metrics.create ();
+    metrics;
+    trace;
     nodes = Hashtbl.create 1024;
     vgroups = Hashtbl.create 256;
     hgraph = Hgraph.singleton ~cycles:params.hc (-1);
@@ -171,7 +179,14 @@ let create ?(net_config : Network.config option) (params : Params.t) =
 
 let engine t = t.engine
 let metrics t = t.metrics
+let trace t = t.trace
 let network t = t.net
+
+(* Protocol-level trace events; the enabled-check keeps the disabled
+   cost to one load. *)
+let trace_emit t ~kind ?node ?peer ?vgroup ?size () =
+  if Trace.enabled t.trace then
+    Trace.emit t.trace ~time:(Engine.now t.engine) ~kind ?node ?peer ?vgroup ?size ()
 let now t = Engine.now t.engine
 let params t = t.params
 
@@ -463,7 +478,7 @@ let start_walk t ~from_vg ~k =
       end
       else begin
         let links = Hgraph.neighbors t.hgraph v in
-        let _, next = List.nth links (c mod List.length links) in
+        let _, next = List.nth links (Random_walk.choice_index ~degree:(List.length links) c) in
         let certs =
           if t.params.protocol = Params.Async then
             match certificate t ~walk_id ~hop:(List.length path) ~from_vg:v ~next with
@@ -520,6 +535,7 @@ let start_walk t ~from_vg ~k =
     match vgroup_opt t v with
     | Some dst when not dst.retired ->
       Metrics.incr t.metrics "walk.completed";
+      trace_emit t ~kind:"walk.completed" ~vgroup:v ();
       k v
     | _ ->
       Metrics.incr t.metrics "walk.lost";
@@ -647,6 +663,7 @@ and split t vg =
         if vg.retired then vg.busy <- false
         else begin
           Metrics.incr t.metrics "vgroup.split";
+          trace_emit t ~kind:"vgroup.split" ~vgroup:vg.vid ();
           let keep, depart = Grouping.split_halves t.rng vg.members in
           let evid = fresh_vg_id t in
           let e =
@@ -728,6 +745,7 @@ and merge t vg ~attempts =
               end
               else begin
                 Metrics.incr t.metrics "vgroup.merge";
+                trace_emit t ~kind:"vgroup.merge" ~vgroup:mvid ();
                 let moving = vg.members in
                 Hgraph.remove t.hgraph vg.vid;
                 vg.retired <- true;
@@ -857,6 +875,7 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
   if j.vg <> None then invalid_arg "System.join: node already in the system";
   let t0 = now t in
   Metrics.incr t.metrics "join.requested";
+  trace_emit t ~kind:"join.requested" ~node:joiner ~peer:contact ();
   match Option.bind (node_opt t contact) (fun c -> c.vg) with
   | None -> invalid_arg "System.join: contact node not in the system"
   | Some cvid ->
@@ -883,6 +902,8 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
                                   else begin
                                     add_member t d joiner;
                                     Metrics.incr t.metrics "join.completed";
+                                    trace_emit t ~kind:"join.completed" ~node:joiner
+                                      ~vgroup:d.vid ();
                                     Atum_sim.Metrics.observe t.metrics "join.latency"
                                       (now t -. t0);
                                     k d.vid;
@@ -929,6 +950,7 @@ let leave t ~target ?k () = depart t ~target ~reason:"leave" ?k ()
 
 let evict t ~target ?k () =
   Metrics.incr t.metrics "eviction.triggered";
+  trace_emit t ~kind:"eviction.triggered" ~node:target ();
   depart t ~target ~reason:"evicted" ?k ()
 
 (* ------------------------------------------------------------------ *)
@@ -950,6 +972,7 @@ let node_deliver t nid ~bid ~origin ~body =
       Atum_sim.Metrics.observe t.metrics "broadcast.latency" (now t -. meta.started)
     | None -> ());
     Metrics.incr t.metrics "broadcast.delivered";
+    trace_emit t ~kind:"broadcast.delivered" ~node:nid ~peer:origin ();
     t.on_deliver nid ~bid ~origin body;
     match n.vg with
     | None -> ()
@@ -1003,6 +1026,7 @@ let broadcast t ~from body =
     t.next_bid <- bid + 1;
     Hashtbl.replace t.bcasts bid { started = now t; origin_node = from };
     Metrics.incr t.metrics "broadcast.sent";
+    trace_emit t ~kind:"broadcast.sent" ~node:from ~vgroup:vid ~size:(String.length body) ();
     (* Phase one: the raw bcast operation goes through the vgroup's
        SMR; each member's execution delivers and starts the gossip. *)
     let proposer =

@@ -60,6 +60,12 @@ val create : ?net_config:Atum_sim.Network.config -> Params.t -> t
 val engine : t -> Atum_sim.Engine.t
 val network : t -> wire Atum_sim.Network.t
 val metrics : t -> Atum_sim.Metrics.t
+
+val trace : t -> Atum_sim.Trace.t
+(** The structured event trace shared by the engine, the network and
+    the protocol layer.  Disabled by default; call
+    [Atum_sim.Trace.set_enabled] to start recording. *)
+
 val params : t -> Params.t
 val now : t -> float
 val run_until : t -> float -> unit

@@ -15,11 +15,22 @@ let walk_path g rng ~start ~length =
 let bulk_choices rng ~length =
   List.init length (fun _ -> Atum_util.Rng.int rng 1_000_000_007)
 
+(* Reducing a bounded draw with [mod] is biased whenever the draw
+   bound is not a multiple of the degree, and the degree (2·hc, or
+   fewer during reconfiguration) is not known when the choices are
+   drawn.  Seeding a throwaway splitmix stream with the choice and
+   rejection-sampling from it is unbiased for every degree, still a
+   pure function of the pre-drawn choice (replay stays deterministic),
+   and distributed like [step]'s uniform [Rng.pick]. *)
+let choice_index ~degree choice =
+  if degree <= 0 then invalid_arg "Random_walk.choice_index: degree must be positive";
+  Atum_util.Rng.int (Atum_util.Rng.create choice) degree
+
 let walk_with_choices g ~start ~choices =
   List.fold_left
     (fun v choice ->
       let links = Hgraph.neighbors g v in
-      snd (List.nth links (choice mod List.length links)))
+      snd (List.nth links (choice_index ~degree:(List.length links) choice)))
     start choices
 
 let step_fast g rng v =

@@ -19,9 +19,17 @@ val walk_path : Hgraph.t -> Atum_util.Rng.t -> start:int -> length:int -> int li
 
 val bulk_choices : Atum_util.Rng.t -> length:int -> int list
 (** The paper's bulk RNG (§5.1): draw all [length] hop decisions up
-    front; each is an index later reduced modulo the local degree.
+    front; each is later reduced to a link index by {!choice_index}.
     Drawing ahead of time prevents a Byzantine node from biasing hop
     choices by draining a pre-computed randomness pool. *)
+
+val choice_index : degree:int -> int -> int
+(** [choice_index ~degree choice] reduces a pre-drawn hop decision to
+    a uniform link index in [\[0, degree)].  Unlike [choice mod
+    degree] this has no modulo bias, so a replayed walk is distributed
+    exactly like a live walk ({!step}'s uniform [Rng.pick]).
+    Deterministic in [choice].  Raises [Invalid_argument] when
+    [degree <= 0]. *)
 
 val walk_with_choices : Hgraph.t -> start:int -> choices:int list -> int
 (** Replay a walk from pre-drawn hop decisions. *)

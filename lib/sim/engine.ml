@@ -3,11 +3,15 @@ type t = {
   mutable clock : float;
   mutable stopped : bool;
   mutable processed : int;
+  mutable trace : Trace.t option;
 }
 
-let create () = { queue = Atum_util.Pqueue.create (); clock = 0.0; stopped = false; processed = 0 }
+let create () =
+  { queue = Atum_util.Pqueue.create (); clock = 0.0; stopped = false; processed = 0; trace = None }
 
 let now t = t.clock
+
+let set_trace t trace = t.trace <- Some trace
 
 let schedule_at t ~time f =
   let time = if time < t.clock then t.clock else time in
@@ -28,13 +32,21 @@ let step t =
 
 let run ?until ?max_events t =
   t.stopped <- false;
+  let at_entry = t.processed in
   let budget = ref (match max_events with None -> max_int | Some n -> n) in
   let continue = ref true in
   while !continue do
     if t.stopped || !budget = 0 then continue := false
     else begin
       match Atum_util.Pqueue.peek t.queue with
-      | None -> continue := false
+      | None ->
+        (* The queue drained before the time limit: the clock must
+           still advance to [until], otherwise rates derived from
+           [now] are skewed by the gap after the last event. *)
+        (match until with
+        | Some limit when limit > t.clock -> t.clock <- limit
+        | _ -> ());
+        continue := false
       | Some (time, _) ->
         (match until with
         | Some limit when time > limit ->
@@ -44,7 +56,11 @@ let run ?until ?max_events t =
           ignore (step t);
           decr budget)
     end
-  done
+  done;
+  match t.trace with
+  | Some tr when Trace.enabled tr ->
+    Trace.emit tr ~time:t.clock ~kind:"engine.run" ~size:(t.processed - at_entry) ()
+  | _ -> ()
 
 let stop t = t.stopped <- true
 

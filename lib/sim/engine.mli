@@ -21,7 +21,14 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Processes events in timestamp order until the queue drains, the
     clock passes [until], [max_events] have run, or {!stop} is
-    called.  Events scheduled past [until] stay queued. *)
+    called.  Events scheduled past [until] stay queued.  On return
+    from a run with [until], the clock is at [until] even when the
+    queue drained early, so durations measured via {!now} are exact. *)
+
+val set_trace : t -> Trace.t -> unit
+(** Attach a structured trace; each {!run} then logs one
+    ["engine.run"] event carrying the number of events it processed
+    (when the trace is enabled). *)
 
 val step : t -> bool
 (** Process a single event; [false] when the queue is empty. *)

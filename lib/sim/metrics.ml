@@ -24,9 +24,101 @@ let samples t name =
 let series_names t =
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.series [])
 
+let counter_names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.counters [])
+
 let clear t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.series
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / merge / JSON export                                      *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_series : (string * float list) list;
+}
+
+let snapshot t =
+  {
+    snap_counters = List.map (fun k -> (k, counter t k)) (counter_names t);
+    snap_series = List.map (fun k -> (k, samples t k)) (series_names t);
+  }
+
+let merge ~into src =
+  List.iter (fun (k, v) -> incr ~by:v into k) (snapshot src).snap_counters;
+  List.iter
+    (fun (k, xs) -> List.iter (observe into k) xs)
+    (snapshot src).snap_series
+
+let series_summary_json xs =
+  let open Atum_util.Json in
+  let n = List.length xs in
+  if n = 0 then Obj [ ("n", Int 0) ]
+  else
+    Obj
+      [
+        ("n", Int n);
+        ("mean", Float (Atum_util.Stats.mean xs));
+        ("p50", Float (Atum_util.Stats.percentile xs 50.0));
+        ("p99", Float (Atum_util.Stats.percentile xs 99.0));
+      ]
+
+let to_json ?(include_series = false) t =
+  let open Atum_util.Json in
+  let snap = snapshot t in
+  let counters = List.map (fun (k, v) -> (k, Int v)) snap.snap_counters in
+  let series =
+    List.map
+      (fun (k, xs) ->
+        let summary = series_summary_json xs in
+        let v =
+          if include_series then
+            match summary with
+            | Obj fields -> Obj (fields @ [ ("samples", List (List.map (fun x -> Float x) xs)) ])
+            | j -> j
+          else summary
+        in
+        (k, v))
+      snap.snap_series
+  in
+  Obj [ ("counters", Obj counters); ("series", Obj series) ]
+
+let of_json json =
+  let open Atum_util.Json in
+  let t = create () in
+  let err msg = Error ("Metrics.of_json: " ^ msg) in
+  match json with
+  | Obj _ ->
+    let counters = Option.value ~default:(Obj []) (member "counters" json) in
+    let series = Option.value ~default:(Obj []) (member "series" json) in
+    (match (counters, series) with
+    | Obj cs, Obj ss ->
+      let bad = ref None in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Int n -> incr ~by:n t k
+          | _ -> bad := Some ("counter " ^ k ^ " is not an integer"))
+        cs;
+      List.iter
+        (fun (k, v) ->
+          match member "samples" v with
+          | Some (List xs) ->
+            List.iter
+              (fun x ->
+                match x with
+                | Float f -> observe t k f
+                | Int i -> observe t k (float_of_int i)
+                | _ -> bad := Some ("sample in " ^ k ^ " is not a number"))
+              xs
+          | Some _ -> bad := Some ("samples of " ^ k ^ " is not a list")
+          | None -> () (* summary-only export: series cannot be restored *))
+        ss;
+      (match !bad with None -> Ok t | Some msg -> err msg)
+    | _ -> err "counters/series must be objects")
+  | _ -> err "expected an object"
 
 let pp_summary fmt t =
   let counters =

@@ -30,13 +30,15 @@ type 'msg t = {
   handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
   partitions : (int, int) Hashtbl.t;
   ready : (int, float) Hashtbl.t; (* per-node processing queue tail *)
+  metrics : Metrics.t;
+  trace : Trace.t option;
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
 }
 
-let create engine config =
+let create ?metrics ?trace engine config =
   {
     engine;
     config;
@@ -44,6 +46,8 @@ let create engine config =
     handlers = Hashtbl.create 256;
     partitions = Hashtbl.create 64;
     ready = Hashtbl.create 256;
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
+    trace;
     sent = 0;
     delivered = 0;
     dropped = 0;
@@ -51,6 +55,7 @@ let create engine config =
   }
 
 let engine t = t.engine
+let metrics t = t.metrics
 
 let register t node handler = Hashtbl.replace t.handlers node handler
 
@@ -69,36 +74,65 @@ let set_partition t node tag = Hashtbl.replace t.partitions node tag
 
 let crash t node = Hashtbl.replace t.partitions node (-node - 1)
 
+let trace_emit t ~kind ?node ?peer ?size () =
+  match t.trace with
+  | Some tr when Trace.enabled tr ->
+    Trace.emit tr ~time:(Engine.now t.engine) ~kind ?node ?peer ?size ()
+  | _ -> ()
+
+(* Every drop is counted once in the aggregate [dropped] and once
+   under a reason-specific metric, so accounting bugs show up as a
+   mismatch between the two. *)
+let drop t ~reason ~src ~dst =
+  t.dropped <- t.dropped + 1;
+  Metrics.incr t.metrics ("net.drop." ^ reason);
+  trace_emit t ~kind:("net.drop." ^ reason) ~node:src ~peer:dst ()
+
 let send ?(size = 64) t ~src ~dst msg =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
+  trace_emit t ~kind:"net.send" ~node:src ~peer:dst ~size ();
   let crosses_partition = partition_of t src <> partition_of t dst in
   let lost = Atum_util.Rng.bernoulli t.rng t.config.drop_probability in
-  if crosses_partition || lost then t.dropped <- t.dropped + 1
+  if crosses_partition then drop t ~reason:"partition" ~src ~dst
+  else if lost then drop t ~reason:"loss" ~src ~dst
   else begin
     let delay = sample_latency t in
-    let delay =
-      match t.config.node_capacity with
-      | None -> delay
-      | Some capacity ->
-        (* The receiver serves messages in arrival order at a bounded
-           rate; a hot node's queue tail pushes delivery out. *)
-        let arrival = Engine.now t.engine +. delay in
-        let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
-        let finish = Float.max arrival tail +. (1.0 /. capacity) in
-        Hashtbl.replace t.ready dst finish;
-        finish -. Engine.now t.engine
-    in
+    (* The arrival event only covers network transit.  Receiver
+       service time (node_capacity) is charged at arrival time, and
+       only for messages that are actually processed: a message
+       dropped by the delivery-time partition re-check or a missing
+       handler must not advance the receiver's queue tail, or dropped
+       traffic would permanently consume receiver capacity. *)
     Engine.schedule t.engine ~delay (fun () ->
-        (* Re-check the partition at delivery time: a node isolated
-           mid-flight does not receive the message. *)
-        if partition_of t src <> partition_of t dst then t.dropped <- t.dropped + 1
+        if partition_of t src <> partition_of t dst then
+          drop t ~reason:"partition" ~src ~dst
         else begin
           match Hashtbl.find_opt t.handlers dst with
-          | None -> t.dropped <- t.dropped + 1
-          | Some handler ->
-            t.delivered <- t.delivered + 1;
-            handler ~src msg
+          | None -> drop t ~reason:"no_handler" ~src ~dst
+          | Some _ ->
+            let deliver () =
+              (* Re-resolve the handler: it may have been replaced (or
+                 removed) while the message waited in the receiver's
+                 service queue. *)
+              match Hashtbl.find_opt t.handlers dst with
+              | None -> drop t ~reason:"no_handler" ~src ~dst
+              | Some handler ->
+                t.delivered <- t.delivered + 1;
+                trace_emit t ~kind:"net.deliver" ~node:dst ~peer:src ~size ();
+                handler ~src msg
+            in
+            (match t.config.node_capacity with
+            | None -> deliver ()
+            | Some capacity ->
+              (* The receiver serves messages in arrival order at a
+                 bounded rate; a hot node's queue tail pushes delivery
+                 out. *)
+              let arrival = Engine.now t.engine in
+              let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
+              let finish = Float.max arrival tail +. (1.0 /. capacity) in
+              Hashtbl.replace t.ready dst finish;
+              Engine.schedule t.engine ~delay:(finish -. arrival) deliver)
         end)
   end
 

@@ -34,9 +34,16 @@ val wan_config : seed:int -> config
 
 type 'msg t
 
-val create : Engine.t -> config -> 'msg t
+val create : ?metrics:Metrics.t -> ?trace:Trace.t -> Engine.t -> config -> 'msg t
+(** [metrics] receives per-reason drop counters (["net.drop.partition"],
+    ["net.drop.loss"], ["net.drop.no_handler"]); pass the owning
+    system's metrics to aggregate, or omit for a private one.
+    [trace] (when enabled) records ["net.send"], ["net.deliver"] and
+    ["net.drop.*"] events. *)
 
 val engine : 'msg t -> Engine.t
+
+val metrics : 'msg t -> Metrics.t
 
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Install the message handler for a node id (replaces any previous
@@ -64,6 +71,11 @@ val crash : 'msg t -> int -> unit
 
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
+
 val messages_dropped : 'msg t -> int
+(** Aggregate of every drop; {!metrics} holds the same total split by
+    reason.  A message dropped at delivery time (partition re-check or
+    missing handler) does {e not} consume receiver capacity. *)
+
 val bytes_sent : 'msg t -> int
 val reset_counters : 'msg t -> unit

@@ -1,0 +1,69 @@
+type event = {
+  time : float;
+  kind : string;
+  node : int;
+  peer : int;
+  vgroup : int;
+  size : int;
+}
+
+type t = {
+  mutable enabled : bool;
+  buf : event option array;
+  mutable next : int; (* next write slot *)
+  mutable total : int; (* events ever emitted *)
+}
+
+let default_capacity = 65_536
+
+let create ?(capacity = default_capacity) ?(enabled = false) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled; buf = Array.make capacity None; next = 0; total = 0 }
+
+let enabled t = t.enabled
+let set_enabled t flag = t.enabled <- flag
+let capacity t = Array.length t.buf
+let total t = t.total
+let length t = min t.total (Array.length t.buf)
+let dropped t = t.total - length t
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.total <- 0
+
+(* Hot path: callers are expected to guard with [enabled], but emit
+   re-checks so an unguarded call on a disabled trace stays a no-op. *)
+let emit t ~time ~kind ?(node = -1) ?(peer = -1) ?(vgroup = -1) ?(size = 0) () =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { time; kind; node; peer; vgroup; size };
+    t.next <- (t.next + 1) mod Array.length t.buf;
+    t.total <- t.total + 1
+  end
+
+let events t =
+  let cap = Array.length t.buf in
+  let len = length t in
+  (* Oldest event sits at [next] once the ring has wrapped. *)
+  let start = if t.total > cap then t.next else 0 in
+  List.init len (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let event_to_json (e : event) =
+  let open Atum_util.Json in
+  let base = [ ("t", Float e.time); ("kind", String e.kind) ] in
+  let opt name v = if v < 0 then [] else [ (name, Int v) ] in
+  let size = if e.size = 0 then [] else [ ("size", Int e.size) ] in
+  Obj (base @ opt "node" e.node @ opt "peer" e.peer @ opt "vgroup" e.vgroup @ size)
+
+let to_json t =
+  let open Atum_util.Json in
+  Obj
+    [
+      ("capacity", Int (capacity t));
+      ("total", Int t.total);
+      ("dropped", Int (dropped t));
+      ("events", List (List.map event_to_json (events t)));
+    ]

@@ -1,0 +1,58 @@
+(** Ring-buffered structured event log for the simulator.
+
+    [Engine], [Network] and [Atum_core.System] emit events into a
+    shared trace behind a cheap enabled-check (one mutable-bool read),
+    so tracing costs nothing when off and never allocates more than
+    the fixed ring when on.  Once the ring wraps, the oldest events
+    are overwritten; [dropped] reports how many were lost. *)
+
+type event = {
+  time : float;  (** simulated seconds *)
+  kind : string;  (** e.g. ["net.send"], ["vgroup.split"] *)
+  node : int;  (** primary node id, [-1] when not applicable *)
+  peer : int;  (** secondary node id (e.g. destination), [-1] if none *)
+  vgroup : int;  (** vgroup id, [-1] if none *)
+  size : int;  (** payload bytes, [0] if not applicable *)
+}
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** Default capacity 65536 events, disabled.  Raises
+    [Invalid_argument] on non-positive capacity. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit :
+  t ->
+  time:float ->
+  kind:string ->
+  ?node:int ->
+  ?peer:int ->
+  ?vgroup:int ->
+  ?size:int ->
+  unit ->
+  unit
+(** No-op when disabled. *)
+
+val events : t -> event list
+(** Buffered events, oldest first (at most [capacity] of them). *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Events currently buffered. *)
+
+val total : t -> int
+(** Events ever emitted (while enabled). *)
+
+val dropped : t -> int
+(** [total - length]: events overwritten by ring wraparound. *)
+
+val clear : t -> unit
+
+val to_json : t -> Atum_util.Json.t
+(** [{capacity; total; dropped; events: [{t; kind; node?; peer?;
+    vgroup?; size?}]}] — negative ids and zero sizes are omitted from
+    each event object. *)

@@ -16,7 +16,7 @@ let percentile xs p =
   | [] -> invalid_arg "Stats.percentile: empty list"
   | _ ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n = 1 then a.(0)
     else begin
@@ -31,17 +31,16 @@ let median xs = percentile xs 50.0
 
 let cdf xs =
   let a = Array.of_list xs in
-  Array.sort compare a;
+  Array.sort Float.compare a;
   let n = float_of_int (Array.length a) in
   Array.to_list (Array.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) a)
 
 let histogram ~buckets ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets must be positive";
+  if hi <= lo then invalid_arg "Stats.histogram: hi must exceed lo";
   let counts = Array.make buckets 0 in
   let width = (hi -. lo) /. float_of_int buckets in
-  let bucket_of x =
-    if width <= 0.0 then 0
-    else max 0 (min (buckets - 1) (int_of_float ((x -. lo) /. width)))
-  in
+  let bucket_of x = max 0 (min (buckets - 1) (int_of_float ((x -. lo) /. width))) in
   List.iter (fun x -> counts.(bucket_of x) <- counts.(bucket_of x) + 1) xs;
   counts
 

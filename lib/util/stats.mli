@@ -19,7 +19,9 @@ val cdf : float list -> (float * float) list
 
 val histogram : buckets:int -> lo:float -> hi:float -> float list -> int array
 (** Counts per equal-width bucket; out-of-range samples clamp to the
-    first/last bucket. *)
+    first/last bucket.  Raises [Invalid_argument] when [buckets <= 0]
+    or [hi <= lo] (an empty range would silently pile every sample
+    into bucket 0). *)
 
 val gammln : float -> float
 (** Log of the Gamma function (Lanczos approximation). *)

@@ -10,13 +10,15 @@ type built = {
 let live_ids atum =
   List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
 
-let grow ?params ?net_config ?(byzantine = 0) ?(batch = 8) ?(settle = 90.0) ~n ~seed () =
+let grow ?params ?net_config ?(trace = false) ?(byzantine = 0) ?(batch = 8) ?(settle = 90.0)
+    ~n ~seed () =
   let params =
     match params with
     | Some p -> p
     | None -> Atum_core.Params.for_system_size ~seed n
   in
   let atum = Atum.create ~params ?net_config () in
+  if trace then Atum_sim.Trace.set_enabled (Atum.trace atum) true;
   let rng = Atum_util.Rng.create (seed + 31) in
   let first = Atum.bootstrap atum in
   let stall = ref 0 in

@@ -11,6 +11,7 @@ type built = {
 val grow :
   ?params:Atum_core.Params.t ->
   ?net_config:Atum_sim.Network.config ->
+  ?trace:bool ->
   ?byzantine:int ->
   ?batch:int ->
   ?settle:float ->
@@ -22,7 +23,9 @@ val grow :
     nodes in small batches through random contacts, letting each batch
     settle, then mark [byzantine] random non-bootstrap members as
     quiet-Byzantine (§6.1.3). Parameters default to
-    {!Atum_core.Params.for_system_size}. *)
+    {!Atum_core.Params.for_system_size}.  [trace] (default [false])
+    enables the deployment's structured event trace before growth
+    starts. *)
 
 val random_member :
   built -> Atum_util.Rng.t -> Atum_core.Atum.node_id

@@ -13,6 +13,7 @@ type result = {
   completion_rate : float;
   join_latency_p50 : float;
   join_latency_p90 : float;
+  events_processed : int;
 }
 
 let live_ids atum =
@@ -67,4 +68,5 @@ let run ?params ?(join_rate_per_min = 0.08) ?(time_limit = 20_000.0) ?(sample_ev
       (if total = 0 then 1.0 else float_of_int completed /. float_of_int total);
     join_latency_p50 = pct 50.0;
     join_latency_p90 = pct 90.0;
+    events_processed = Atum_sim.Engine.events_processed (Atum.engine atum);
   }

@@ -13,6 +13,7 @@ type result = {
   completion_rate : float;  (** completed / (completed + suppressed) *)
   join_latency_p50 : float;  (** seconds from request to installation *)
   join_latency_p90 : float;
+  events_processed : int;  (** simulator events the run consumed *)
 }
 
 val run :

@@ -1,0 +1,70 @@
+module Json = Atum_util.Json
+
+let schema_version = 1
+
+(* Wall-clock time is the only nondeterministic field in a benchmark
+   artifact; zeroing it (ATUM_BENCH_JSON_CANON) makes same-seed runs
+   byte-identical, which is what the determinism guard and any
+   CI-level BENCH_*.json diffing rely on. *)
+let canonical () =
+  match Sys.getenv_opt "ATUM_BENCH_JSON_CANON" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let envelope ~fig ~scale ~seed ~wall_s ?(extra = []) ~rows () =
+  let wall_s = if canonical () then 0.0 else wall_s in
+  Json.Obj
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("fig", Json.String fig);
+       ("scale", Json.String scale);
+       ("seed", Json.Int seed);
+       ("wall_s", Json.Float wall_s);
+     ]
+    @ extra
+    @ [ ("rows", Json.List rows) ])
+
+let filename ~fig = Printf.sprintf "BENCH_%s.json" fig
+
+let write ~dir ~fig json =
+  let path = Filename.concat dir (filename ~fig) in
+  Json.write_file ~path json;
+  path
+
+let growth_row ~protocol ~target (r : Growth.result) =
+  Json.Obj
+    [
+      ("protocol", Json.String protocol);
+      ("target", Json.Int target);
+      ("final_size", Json.Int r.Growth.final_size);
+      ("duration_s", Json.Float r.duration);
+      ("reached_target", Json.Bool r.reached_target);
+      ("join_latency_p50_s", Json.Float r.join_latency_p50);
+      ("join_latency_p90_s", Json.Float r.join_latency_p90);
+      ("exchanges_completed", Json.Int r.exchanges_completed);
+      ("exchanges_suppressed", Json.Int r.exchanges_suppressed);
+      ("completion_rate", Json.Float r.completion_rate);
+      ("engine_events", Json.Int r.events_processed);
+      ( "curve",
+        Json.List
+          (List.map
+             (fun (p : Growth.point) ->
+               Json.Obj [ ("t", Json.Float p.Growth.time); ("size", Json.Int p.Growth.size) ])
+             r.curve) );
+    ]
+
+let latency_row ~label (r : Latency_exp.result) =
+  let lats = r.Latency_exp.latencies in
+  let pct p = if lats = [] then Json.Null else Json.Float (Atum_util.Stats.percentile lats p) in
+  Json.Obj
+    [
+      ("label", Json.String label);
+      ("n", Json.Int (List.length lats));
+      ("p10_s", pct 10.0);
+      ("p50_s", pct 50.0);
+      ("p90_s", pct 90.0);
+      ("p99_s", pct 99.0);
+      ( "max_s",
+        if lats = [] then Json.Null else Json.Float (List.fold_left max 0.0 lats) );
+      ("delivery_fraction", Json.Float r.delivery_fraction);
+    ]

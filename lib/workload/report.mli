@@ -1,0 +1,43 @@
+(** Machine-readable benchmark artifacts.
+
+    Every figure the bench harness prints can also be exported as one
+    [BENCH_<fig>.json] file (see the "Observability" section of
+    README.md and the schema note in EXPERIMENTS.md).  The envelope
+    carries run provenance (seed, scale, wall time, schema version)
+    around the same rows the text output prints, so successive PRs can
+    diff artifacts to prove speedups or catch regressions. *)
+
+val schema_version : int
+
+val canonical : unit -> bool
+(** True when [ATUM_BENCH_JSON_CANON] is set (to anything but ["0"] or
+    the empty string): {!envelope} then writes [wall_s] as [0.0] so
+    same-seed runs are byte-identical. *)
+
+val envelope :
+  fig:string ->
+  scale:string ->
+  seed:int ->
+  wall_s:float ->
+  ?extra:(string * Atum_util.Json.t) list ->
+  rows:Atum_util.Json.t list ->
+  unit ->
+  Atum_util.Json.t
+(** [{schema_version; fig; scale; seed; wall_s; ...extra; rows}].
+    Every field except [wall_s] is deterministic for a fixed seed and
+    scale. *)
+
+val filename : fig:string -> string
+(** ["BENCH_<fig>.json"]. *)
+
+val write : dir:string -> fig:string -> Atum_util.Json.t -> string
+(** Write the artifact into [dir]; returns the full path. *)
+
+val growth_row : protocol:string -> target:int -> Growth.result -> Atum_util.Json.t
+(** One Fig-6/Fig-13 row: final size, duration, join-latency
+    percentiles, exchange counts, engine event count, and the full
+    (t, size) curve. *)
+
+val latency_row : label:string -> Latency_exp.result -> Atum_util.Json.t
+(** One Fig-8 CDF row: sample count, p10/p50/p90/p99/max latency and
+    delivery fraction ([null] percentiles when there are no samples). *)

@@ -157,6 +157,60 @@ let test_bulk_choices_replay () =
   let b = Random_walk.walk_with_choices g ~start:0 ~choices in
   Alcotest.(check int) "deterministic replay" a b
 
+let test_choice_index_unbiased () =
+  (* Regression for the [choice mod degree] bias: reducing pre-drawn
+     hop decisions to link indices must stay uniform even when the
+     degree does not divide the choice domain. *)
+  let degree = 6 in
+  let r = Atum_util.Rng.create 77 in
+  let counts = Array.make degree 0 in
+  List.iter
+    (fun choice ->
+      let i = Random_walk.choice_index ~degree choice in
+      Alcotest.(check bool) "in range" true (i >= 0 && i < degree);
+      Alcotest.(check int) "deterministic" i (Random_walk.choice_index ~degree choice);
+      counts.(i) <- counts.(i) + 1)
+    (Random_walk.bulk_choices r ~length:6000);
+  Alcotest.(check bool) "uniform across links" true
+    (Atum_util.Stats.chi2_uniform_test ~confidence:0.99 counts);
+  Alcotest.check_raises "bad degree"
+    (Invalid_argument "Random_walk.choice_index: degree must be positive") (fun () ->
+      ignore (Random_walk.choice_index ~degree:0 1))
+
+let test_replay_matches_live_distribution () =
+  (* Replayed walks (bulk choices) and live walks (Rng.pick per hop)
+     must draw endpoints from the same distribution: two-sample chi2
+     test for homogeneity over the endpoint counts. *)
+  let n = 16 in
+  let g = Hgraph.create ~cycles:3 (rng ()) (List.init n Fun.id) in
+  let trials = 4000 and length = 10 in
+  let live = Array.make n 0 and replayed = Array.make n 0 in
+  let r1 = Atum_util.Rng.create 101 and r2 = Atum_util.Rng.create 202 in
+  for _ = 1 to trials do
+    let v = Random_walk.walk g r1 ~start:0 ~length in
+    live.(v) <- live.(v) + 1;
+    let w =
+      Random_walk.walk_with_choices g ~start:0
+        ~choices:(Random_walk.bulk_choices r2 ~length)
+    in
+    replayed.(w) <- replayed.(w) + 1
+  done;
+  (* With equal trial counts the pooled expectation per cell is just
+     the mean of the two observations; df = occupied cells - 1. *)
+  let x2 = ref 0.0 and df = ref (-1) in
+  Array.iteri
+    (fun i a ->
+      let b = replayed.(i) in
+      if a + b > 0 then begin
+        incr df;
+        let e = float_of_int (a + b) /. 2.0 in
+        let d1 = float_of_int a -. e and d2 = float_of_int b -. e in
+        x2 := !x2 +. (((d1 *. d1) +. (d2 *. d2)) /. e)
+      end)
+    live;
+  let p = Atum_util.Stats.chi2_cdf_complement ~df:!df !x2 in
+  Alcotest.(check bool) (Printf.sprintf "same distribution (p=%.4f)" p) true (p >= 0.01)
+
 let test_long_walk_mixes () =
   (* On a small dense graph, long walks should hit most vertices. *)
   let n = 16 in
@@ -297,6 +351,9 @@ let () =
           Alcotest.test_case "path structure" `Quick test_walk_path_structure;
           Alcotest.test_case "stays in graph" `Quick test_walk_endpoint_stays_in_graph;
           Alcotest.test_case "bulk choices" `Quick test_bulk_choices_replay;
+          Alcotest.test_case "choice index unbiased" `Quick test_choice_index_unbiased;
+          Alcotest.test_case "replay matches live" `Quick
+            test_replay_matches_live_distribution;
           Alcotest.test_case "long walks mix" `Quick test_long_walk_mixes;
         ] );
       ( "guideline",

@@ -45,6 +45,19 @@ let test_engine_until () =
   Engine.run e;
   Alcotest.(check int) "rest run later" 10 !count
 
+let test_engine_until_empty_queue_advances_clock () =
+  (* Regression: when the queue drains before [until], the clock must
+     still advance to [until] — callers rely on [run_for d] moving
+     simulated time by exactly [d] even through quiet periods. *)
+  let e = Engine.create () in
+  Engine.schedule e ~delay:2.0 (fun () -> ());
+  Engine.run ~until:10.0 e;
+  Alcotest.(check (float 1e-9)) "advances past last event" 10.0 (Engine.now e);
+  Engine.run ~until:15.0 e;
+  Alcotest.(check (float 1e-9)) "advances with empty queue" 15.0 (Engine.now e);
+  Engine.run ~until:4.0 e;
+  Alcotest.(check (float 1e-9)) "never moves backwards" 15.0 (Engine.now e)
+
 let test_engine_stop () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -232,6 +245,88 @@ let test_network_capacity_idle_resets () =
   Engine.run e;
   Alcotest.(check bool) "no stale queueing" true (!at < 10.3)
 
+let test_network_capacity_not_charged_for_presend_drops () =
+  (* Regression: messages dropped before transit (partitioned sender)
+     must not occupy the receiver's service queue. *)
+  let e = Engine.create () in
+  let config =
+    {
+      (Network.datacenter_config ~seed:4) with
+      Network.latency = Network.Fixed 0.001;
+      node_capacity = Some 10.0;
+    }
+  in
+  let net : int Network.t = Network.create e config in
+  let at = ref nan in
+  Network.register net 9 (fun ~src:_ _ -> at := Engine.now e);
+  Network.set_partition net 9 7;
+  for _ = 1 to 5 do
+    Network.send net ~src:1 ~dst:9 0
+  done;
+  Network.set_partition net 9 0;
+  Network.send net ~src:1 ~dst:9 0;
+  Engine.run e;
+  Alcotest.(check int) "five dropped" 5 (Network.messages_dropped net);
+  Alcotest.(check int) "one delivered" 1 (Network.messages_delivered net);
+  Alcotest.(check bool)
+    (Printf.sprintf "no queueing behind dropped traffic (at %.3fs)" !at)
+    true (!at < 0.2)
+
+let test_network_capacity_not_charged_for_arrival_drops () =
+  (* Regression: messages that arrive but drop (no handler) must not
+     occupy the receiver's service queue either. *)
+  let e = Engine.create () in
+  let config =
+    {
+      (Network.datacenter_config ~seed:5) with
+      Network.latency = Network.Fixed 0.001;
+      node_capacity = Some 10.0;
+    }
+  in
+  let net : int Network.t = Network.create e config in
+  let at = ref nan in
+  (* No handler registered yet: these arrive at t=0.001 and drop. *)
+  for _ = 1 to 5 do
+    Network.send net ~src:1 ~dst:9 0
+  done;
+  Engine.schedule e ~delay:0.05 (fun () ->
+      Network.register net 9 (fun ~src:_ _ -> at := Engine.now e);
+      Network.send net ~src:1 ~dst:9 0);
+  Engine.run e;
+  Alcotest.(check int) "five dropped" 5 (Network.messages_dropped net);
+  (* Leaky accounting would push the finish time past 0.6s. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no stale service tail (at %.3fs)" !at)
+    true (!at < 0.2)
+
+let test_network_drop_reason_counters () =
+  let e = Engine.create () in
+  let config =
+    { (Network.datacenter_config ~seed:6) with Network.latency = Network.Fixed 0.001 }
+  in
+  let net : int Network.t = Network.create e config in
+  Network.register net 2 (fun ~src:_ _ -> ());
+  Network.set_partition net 1 7;
+  Network.send net ~src:1 ~dst:2 0;
+  Network.set_partition net 1 0;
+  Network.send net ~src:1 ~dst:99 0;
+  Engine.run e;
+  let m = Network.metrics net in
+  Alcotest.(check int) "partition" 1 (Metrics.counter m "net.drop.partition");
+  Alcotest.(check int) "no_handler" 1 (Metrics.counter m "net.drop.no_handler");
+  Alcotest.(check int) "aggregate" 2 (Network.messages_dropped net);
+  let lossy = Engine.create () in
+  let net2 : int Network.t =
+    Network.create lossy
+      { (Network.datacenter_config ~seed:7) with Network.drop_probability = 1.0 }
+  in
+  Network.register net2 2 (fun ~src:_ _ -> ());
+  for _ = 1 to 3 do
+    Network.send net2 ~src:1 ~dst:2 0
+  done;
+  Engine.run lossy;
+  Alcotest.(check int) "loss" 3 (Metrics.counter (Network.metrics net2) "net.drop.loss")
+
 (* ------------------------------------------------------------------ *)
 (* Rounds                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -342,6 +437,92 @@ let test_metrics_clear () =
   Alcotest.(check int) "counter gone" 0 (Metrics.counter m "a");
   Alcotest.(check (list (float 0.0))) "series gone" [] (Metrics.samples m "s")
 
+let test_metrics_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr ~by:2 a "x";
+  Metrics.observe a "lat" 1.0;
+  Metrics.incr ~by:3 b "x";
+  Metrics.incr b "y";
+  Metrics.observe b "lat" 2.0;
+  Metrics.merge ~into:a b;
+  Alcotest.(check int) "counters added" 5 (Metrics.counter a "x");
+  Alcotest.(check int) "new counter" 1 (Metrics.counter a "y");
+  Alcotest.(check (list (float 0.0))) "samples appended" [ 1.0; 2.0 ] (Metrics.samples a "lat");
+  Alcotest.(check int) "source untouched" 3 (Metrics.counter b "x")
+
+let test_metrics_json_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.incr ~by:7 m "net.drop.loss";
+  Metrics.incr m "join.completed";
+  List.iter (Metrics.observe m "join.latency") [ 0.5; 1.25; 3.0 ];
+  let s = Atum_util.Json.to_string (Metrics.to_json ~include_series:true m) in
+  match Atum_util.Json.of_string s with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok j -> (
+      match Metrics.of_json j with
+      | Error e -> Alcotest.failf "of_json failed: %s" e
+      | Ok m' ->
+          Alcotest.(check (list string))
+            "counter names" (Metrics.counter_names m) (Metrics.counter_names m');
+          List.iter
+            (fun c ->
+              Alcotest.(check int) c (Metrics.counter m c) (Metrics.counter m' c))
+            (Metrics.counter_names m);
+          Alcotest.(check (list (float 1e-12)))
+            "samples" [ 0.5; 1.25; 3.0 ]
+            (Metrics.samples m' "join.latency"))
+
+let test_metrics_json_summary_only () =
+  let m = Metrics.create () in
+  Metrics.observe m "lat" 4.0;
+  let j = Metrics.to_json m in
+  (* Without include_series the summary is exported but not samples. *)
+  match Atum_util.Json.member "series" j with
+  | Some (Atum_util.Json.Obj [ ("lat", summary) ]) ->
+      Alcotest.(check bool) "has n" true (Atum_util.Json.member "n" summary <> None);
+      Alcotest.(check bool) "no samples" true
+        (Atum_util.Json.member "samples" summary = None)
+  | _ -> Alcotest.fail "unexpected series shape"
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_noop () =
+  let t = Trace.create ~capacity:8 () in
+  Trace.emit t ~time:1.0 ~kind:"k" ();
+  Alcotest.(check int) "nothing recorded" 0 (Trace.total t);
+  Trace.set_enabled t true;
+  Trace.emit t ~time:2.0 ~kind:"k" ();
+  Alcotest.(check int) "recorded once enabled" 1 (Trace.total t)
+
+let test_trace_ring_wraparound () =
+  let t = Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 10 do
+    Trace.emit t ~time:(float_of_int i) ~kind:"tick" ~node:i ()
+  done;
+  Alcotest.(check int) "total" 10 (Trace.total t);
+  Alcotest.(check int) "length capped" 4 (Trace.length t);
+  Alcotest.(check int) "dropped" 6 (Trace.dropped t);
+  let nodes = List.map (fun (ev : Trace.event) -> ev.Trace.node) (Trace.events t) in
+  Alcotest.(check (list int)) "oldest-first tail" [ 7; 8; 9; 10 ] nodes;
+  (match Trace.to_json t with
+  | Atum_util.Json.Obj fields ->
+      Alcotest.(check bool) "json dropped" true
+        (List.assoc_opt "dropped" fields = Some (Atum_util.Json.Int 6))
+  | _ -> Alcotest.fail "trace json not an object");
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (Trace.length t)
+
+let test_trace_engine_emits () =
+  let e = Engine.create () in
+  let t = Trace.create ~enabled:true () in
+  Engine.set_trace e t;
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  Engine.run e;
+  let kinds = List.map (fun (ev : Trace.event) -> ev.Trace.kind) (Trace.events t) in
+  Alcotest.(check bool) "engine.run recorded" true (List.mem "engine.run" kinds)
+
 let () =
   Alcotest.run "sim"
     [
@@ -351,6 +532,8 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_engine_same_time_fifo;
           Alcotest.test_case "nested" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "until past drained queue" `Quick
+            test_engine_until_empty_queue_advances_clock;
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "max_events" `Quick test_engine_max_events;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
@@ -369,6 +552,11 @@ let () =
           Alcotest.test_case "fixed latency" `Quick test_network_fixed_latency;
           Alcotest.test_case "node capacity queues" `Quick test_network_node_capacity_queues;
           Alcotest.test_case "capacity idle reset" `Quick test_network_capacity_idle_resets;
+          Alcotest.test_case "drops don't charge capacity (pre-send)" `Quick
+            test_network_capacity_not_charged_for_presend_drops;
+          Alcotest.test_case "drops don't charge capacity (arrival)" `Quick
+            test_network_capacity_not_charged_for_arrival_drops;
+          Alcotest.test_case "drop reason counters" `Quick test_network_drop_reason_counters;
         ] );
       ( "rounds",
         [
@@ -390,5 +578,14 @@ let () =
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "series" `Quick test_metrics_series;
           Alcotest.test_case "clear" `Quick test_metrics_clear;
+          Alcotest.test_case "merge" `Quick test_metrics_merge;
+          Alcotest.test_case "json roundtrip" `Quick test_metrics_json_roundtrip;
+          Alcotest.test_case "json summary only" `Quick test_metrics_json_summary_only;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled noop" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
+          Alcotest.test_case "engine emits" `Quick test_trace_engine_emits;
         ] );
     ]

@@ -397,6 +397,122 @@ let test_chi2_uniform_rejects_skewed () =
   Alcotest.(check bool) "skew rejected" false
     (Stats.chi2_uniform_test ~confidence:0.99 [| 400; 10; 10; 10 |])
 
+let test_stats_histogram_rejects_bad_bounds () =
+  Alcotest.check_raises "hi = lo"
+    (Invalid_argument "Stats.histogram: hi must exceed lo") (fun () ->
+      ignore (Stats.histogram ~buckets:4 ~lo:1.0 ~hi:1.0 [ 1.0 ]));
+  Alcotest.check_raises "hi < lo"
+    (Invalid_argument "Stats.histogram: hi must exceed lo") (fun () ->
+      ignore (Stats.histogram ~buckets:4 ~lo:2.0 ~hi:1.0 [ 1.0 ]))
+
+let test_stats_percentile_negative_values () =
+  (* Regression: sorting must use a float comparison, so mixed-sign
+     samples land in numeric (not structural) order. *)
+  let xs = [ 3.0; -7.5; 0.0; -1.25; 12.0 ] in
+  Alcotest.(check bool) "p0 is min" true (feq (Stats.percentile xs 0.0) (-7.5));
+  Alcotest.(check bool) "p50 is median" true (feq (Stats.percentile xs 50.0) 0.0);
+  Alcotest.(check bool) "p100 is max" true (feq (Stats.percentile xs 100.0) 12.0);
+  match Stats.cdf xs with
+  | (first, _) :: _ -> Alcotest.(check bool) "cdf starts at min" true (feq first (-7.5))
+  | [] -> Alcotest.fail "empty cdf"
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_examples =
+  Json.
+    [
+      Null;
+      Bool true;
+      Int (-42);
+      Int max_int;
+      Float 0.1;
+      Float (-1.5e300);
+      Float 1234567.0;
+      String "plain";
+      String "esc \"quotes\" \\ back \n tab \t ctrl \x01 end";
+      List [ Int 1; Null; String "x" ];
+      Obj [ ("a", Int 1); ("nested", Obj [ ("b", List [ Bool false ]) ]); ("", Null) ];
+    ]
+
+let test_json_roundtrip_examples () =
+  List.iter
+    (fun j ->
+      let compact = Json.to_string ~pretty:false j in
+      let pretty = Json.to_string j in
+      (match Json.of_string compact with
+      | Ok j' -> Alcotest.(check bool) ("compact: " ^ compact) true (Json.equal j j')
+      | Error e -> Alcotest.failf "compact reparse of %s failed: %s" compact e);
+      match Json.of_string pretty with
+      | Ok j' -> Alcotest.(check bool) ("pretty: " ^ compact) true (Json.equal j j')
+      | Error e -> Alcotest.failf "pretty reparse failed: %s" e)
+    json_examples
+
+let test_json_float_format () =
+  Alcotest.(check string) "integral floats keep a point" "2.0"
+    (Json.to_string ~pretty:false (Json.Float 2.0));
+  Alcotest.(check string) "short decimals stay short" "0.25"
+    (Json.to_string ~pretty:false (Json.Float 0.25));
+  Alcotest.(check string) "non-finite becomes null" "null"
+    (Json.to_string ~pretty:false (Json.Float nan));
+  Alcotest.(check string) "infinity becomes null" "null"
+    (Json.to_string ~pretty:false (Json.Float infinity));
+  (* Round-trip precision even for awkward doubles. *)
+  let x = 0.1 +. 0.2 in
+  match Json.of_string (Json.to_string ~pretty:false (Json.Float x)) with
+  | Ok (Json.Float y) -> Alcotest.(check bool) "exact bits" true (x = y)
+  | _ -> Alcotest.fail "float did not reparse as a float"
+
+let test_json_member () =
+  let j = Json.Obj [ ("a", Json.Int 1); ("b", Json.Null) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" j = Some (Json.Int 1));
+  Alcotest.(check bool) "null member present" true (Json.member "b" j = Some Json.Null);
+  Alcotest.(check bool) "absent" true (Json.member "c" j = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let prop_json_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) int;
+                map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
+                map (fun s -> Json.String s) (string_size (0 -- 12));
+              ]
+          in
+          if n <= 0 then leaf
+          else
+            frequency
+              [
+                (3, leaf);
+                (1, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun kvs -> Json.Obj kvs)
+                    (list_size (0 -- 4)
+                       (pair (string_size (0 -- 6)) (self (n / 2)))) );
+              ]))
+  in
+  QCheck.Test.make ~name:"json print/parse roundtrip" ~count:200
+    (QCheck.make ~print:(fun j -> Json.to_string j) gen)
+    (fun j ->
+      match Json.of_string (Json.to_string ~pretty:false j) with
+      | Ok j' -> Json.equal j j'
+      | Error _ -> false)
+
 let prop_percentile_bounds =
   QCheck.Test.make ~name:"percentile stays within min/max" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range (-100.0) 100.0)) (float_range 0.0 100.0))
@@ -469,6 +585,10 @@ let () =
           Alcotest.test_case "median interpolates" `Quick test_stats_median_interpolates;
           Alcotest.test_case "cdf" `Quick test_stats_cdf;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "histogram bad bounds" `Quick
+            test_stats_histogram_rejects_bad_bounds;
+          Alcotest.test_case "percentile negatives" `Quick
+            test_stats_percentile_negative_values;
           Alcotest.test_case "gammln factorial" `Quick test_gammln_factorial;
           Alcotest.test_case "chi2 table values" `Quick test_chi2_known_values;
           Alcotest.test_case "chi2 statistic" `Quick test_chi2_statistic;
@@ -476,5 +596,13 @@ let () =
           Alcotest.test_case "chi2 rejects skew" `Quick test_chi2_uniform_rejects_skewed;
           QCheck_alcotest.to_alcotest prop_percentile_bounds;
           QCheck_alcotest.to_alcotest prop_mean_bounds;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip examples" `Quick test_json_roundtrip_examples;
+          Alcotest.test_case "float format" `Quick test_json_float_format;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
     ]

@@ -225,6 +225,51 @@ let test_ablation_shuffling_disperses () =
     true
     (on.Ablation.concentration <= off.Ablation.concentration +. 0.15)
 
+(* ------------------------------------------------------------------ *)
+(* Bench JSON artifacts                                                *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_bench_json_deterministic () =
+  (* Acceptance gate for the observability pipeline: two same-seed
+     quick runs must write byte-identical BENCH_fig6.json (wall time
+     is zeroed by ATUM_BENCH_JSON_CANON). *)
+  (* This test binary lives in _build/default/test/, the bench harness
+     in _build/default/bench/ — resolve it relative to ourselves so the
+     test works under both [dune runtest] and [dune exec]. *)
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bench/main.exe"
+  in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Printf.sprintf "bench executable missing at %s" exe);
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let cmd =
+      Printf.sprintf
+        "ATUM_BENCH_SCALE=quick ATUM_BENCH_JSON_CANON=1 ATUM_BENCH_JSON=%s %s fig6 \
+         > /dev/null"
+        (Filename.quote dir) (Filename.quote exe)
+    in
+    Alcotest.(check int) ("exit status of " ^ cmd) 0 (Sys.command cmd);
+    read_file (Filename.concat dir "BENCH_fig6.json")
+  in
+  let a = run "bench_json_a" and b = run "bench_json_b" in
+  Alcotest.(check bool) "artifact non-trivial" true (String.length a > 200);
+  Alcotest.(check bool) "byte-identical across same-seed runs" true (String.equal a b);
+  match Atum_util.Json.of_string a with
+  | Error e -> Alcotest.failf "artifact is not valid JSON: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "fig tagged" true
+        (Atum_util.Json.member "fig" j = Some (Atum_util.Json.String "fig6"));
+      Alcotest.(check bool) "has rows" true (Atum_util.Json.member "rows" j <> None)
+
 let () =
   Alcotest.run "workload"
     [
@@ -272,4 +317,6 @@ let () =
           Alcotest.test_case "forward policies" `Slow test_ablation_forward_policies_tradeoff;
           Alcotest.test_case "shuffling disperses" `Slow test_ablation_shuffling_disperses;
         ] );
+      ( "bench-json",
+        [ Alcotest.test_case "same-seed determinism" `Slow test_bench_json_deterministic ] );
     ]
