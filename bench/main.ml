@@ -265,16 +265,22 @@ let fig8 () =
   let sizes = match scale with `Quick -> [ 200 ] | _ -> [ 200; 400; 800 ] in
   let rows = ref [] in
   let total_wall = ref 0.0 in
+  (* Per-run metrics merged into one aggregate, exported with the
+     artifact — the counters behind the CDFs (deliveries, walks,
+     suppressed exchanges) summed over every Atum run of the figure. *)
+  let agg = Atum_sim.Metrics.create () in
   let run_one label ~protocol ~n ~byz =
     let params =
       { (Params.for_system_size ~protocol n) with Params.seed = 47 + n; round_duration = 1.5 }
     in
-    let r, dt =
+    let (built, r), dt =
       wall (fun () ->
           let built = W.Builder.grow ~params ~byzantine:byz ~n:(n + byz) ~seed:(47 + n) () in
-          W.Latency_exp.run built ~messages ~gap:2.0 ~seed:(53 + n))
+          (built, W.Latency_exp.run built ~messages ~gap:2.0 ~seed:(53 + n)))
     in
     total_wall := !total_wall +. dt;
+    Atum_sim.Metrics.merge ~into:agg
+      (Atum_core.Atum.metrics built.W.Builder.atum);
     pp_cdf_line label r.W.Latency_exp.latencies;
     Printf.printf "      delivery fraction %.4f (wall %.1fs)\n%!" r.delivery_fraction dt;
     let proto_name = match protocol with Params.Sync -> "SYNC" | Params.Async -> "ASYNC" in
@@ -305,7 +311,11 @@ let fig8 () =
     :: !rows;
   Printf.printf "%!";
   emit_json ~fig:"fig8" ~seed:47 ~wall_s:!total_wall
-    ~extra:[ ("messages", Json.Int messages) ]
+    ~extra:
+      [
+        ("messages", Json.Int messages);
+        ("metrics_aggregate", Atum_sim.Metrics.to_json agg);
+      ]
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)

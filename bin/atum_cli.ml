@@ -5,7 +5,8 @@
      broadcast  measure broadcast latency on a fresh deployment
      churn      probe a churn rate for sustainability
      guideline  print the optimal rwl for a (vgroups, hc) pair
-     simulate   free-run a deployment with churn and broadcasts        *)
+     simulate   free-run a deployment with churn and broadcasts
+     analyze    reconstruct causality from an ATUM_*.json artifact     *)
 
 open Cmdliner
 
@@ -68,9 +69,12 @@ let protocol_arg =
     & opt protocol_conv Params.Sync
     & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"SMR protocol: sync or async.")
 
+(* [--json] runs carry the full observability payload, so they also
+   get the online invariant monitor: its monitor.violation.* counters
+   land in the metrics snapshot the analyzer reads. *)
 let build ?(trace = false) ~protocol ~n ~seed ~byzantine () =
   let params = { (Params.for_system_size ~protocol n) with Params.seed } in
-  W.Builder.grow ~params ~trace ~byzantine ~n:(n + byzantine) ~seed ()
+  W.Builder.grow ~params ~trace ~monitor:trace ~byzantine ~n:(n + byzantine) ~seed ()
 
 let report_build built =
   let atum = built.W.Builder.atum in
@@ -243,6 +247,47 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Free-run a deployment with churn and broadcasts.")
     Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg)
 
+let analyze_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"An ATUM_*.json artifact written by a subcommand run with --json.")
+  in
+  let run file json =
+    match W.Analyze.load_file file with
+    | Error e ->
+      Printf.eprintf "analyze: %s: %s\n" file e;
+      exit 1
+    | Ok r ->
+      Format.printf "@[<v>%a@]@." W.Analyze.pp r;
+      Option.iter
+        (fun dir ->
+          let fields =
+            match W.Analyze.to_json r with
+            | Json.Obj fields -> fields
+            | j -> [ ("analysis", j) ]
+          in
+          let path = Filename.concat dir "ATUM_analyze.json" in
+          Json.write_file ~path
+            (Json.Obj
+               ([
+                  ("schema_version", Json.Int W.Report.schema_version);
+                  ("cmd", Json.String "analyze");
+                  ("source", Json.String file);
+                ]
+               @ fields));
+          Printf.printf "json             : wrote %s\n" path)
+        json
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Reconstruct per-broadcast dissemination trees, saga durations and the \
+          invariant-violation summary from an ATUM_*.json trace artifact.")
+    Term.(const run $ file_arg $ json_arg)
+
 let dht_cmd =
   let byz_pct_arg =
     Arg.(value & opt int 0 & info [ "byzantine-pct" ] ~docv:"PCT" ~doc:"Percent of Byzantine routers.")
@@ -269,4 +314,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; dht_cmd ]))
+          [
+            grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; analyze_cmd;
+            dht_cmd;
+          ]))

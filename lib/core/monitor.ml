@@ -1,0 +1,137 @@
+(* Online invariant monitor: continuous, cheap re-checking of the
+   registry properties that [System.check_consistency] asserts only
+   when a test calls it.  The monitor piggybacks on the simulation in
+   two ways: a periodic engine task sweeps every vgroup, and the
+   [System.audit] hook re-checks the touched vgroup synchronously on
+   every reconfiguration and screens every delivery.
+
+   Violations are counted per kind under the "monitor.violation.*"
+   metrics namespace, mirrored as trace events, and can optionally
+   abort the run (fail-fast). *)
+
+module Engine = Atum_sim.Engine
+module Metrics = Atum_sim.Metrics
+module Trace = Atum_sim.Trace
+module Hgraph = Atum_overlay.Hgraph
+
+type config = {
+  period : float;  (* seconds between full sweeps *)
+  s_lo : int;  (* inclusive lower bound on active vgroup size *)
+  s_hi : int;  (* inclusive upper bound on active vgroup size *)
+  fail_fast : bool;
+}
+
+let default_config (p : Params.t) =
+  (* A vgroup legitimately overshoots gmax while joins pile up faster
+     than its split drains it and undershoots gmin while a merge
+     empties it, so the hard envelope is twice the configured maximum
+     and "non-empty" — and it only applies to quiescent vgroups (no
+     saga running or queued that would correct the size). *)
+  { period = 5.0; s_lo = 1; s_hi = 2 * p.gmax; fail_fast = false }
+
+exception Violation of string
+
+type t = {
+  sys : System.t;
+  cfg : config;
+  counts : (string, int ref) Hashtbl.t;
+  seen : (System.node_id * int, unit) Hashtbl.t; (* (node, bid) delivered *)
+  mutable active : bool;
+}
+
+let violations t =
+  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts [])
+
+let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t.counts 0
+
+let violate t kind ?node ?vgroup ?bid detail =
+  (match Hashtbl.find_opt t.counts kind with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts kind (ref 1));
+  let name = "monitor.violation." ^ kind in
+  Metrics.incr (System.metrics t.sys) name;
+  let trace = System.trace t.sys in
+  if Trace.enabled trace then
+    Trace.emit trace ~time:(System.now t.sys) ~kind:name ?node ?vgroup ?bid ();
+  if t.cfg.fail_fast then raise (Violation (kind ^ ": " ^ detail))
+
+(* Size envelope, Byzantine minority, and no-traffic-to-retired for one
+   vgroup.  [transient] relaxes the emptiness check: a vgroup is
+   legitimately empty for the instant between losing its last member
+   and being retired, and the audit hook fires inside that window. *)
+let check_vgroup t ~transient vid =
+  match System.vgroup_opt t.sys vid with
+  | None -> ()
+  | Some vg ->
+    if vg.System.retired then begin
+      (* The overlay must drop a vgroup before (or at the moment) it
+         retires; a retired vertex would keep attracting gossip. *)
+      if Hgraph.mem (System.hgraph t.sys) vid && System.vgroup_count t.sys > 0 then
+        violate t "retired_reachable" ~vgroup:vid
+          (Printf.sprintf "retired vgroup %d still in overlay" vid)
+    end
+    else begin
+      let size = List.length vg.System.members in
+      (* The size envelope is only meaningful for a quiescent vgroup:
+         at audit time [check_size] has not run yet, and a busy or
+         shuffle-pending vgroup is already being corrected (splits and
+         merges re-check the size synchronously when they finish, so a
+         healthy out-of-envelope vgroup is never idle). *)
+      if (not transient) && (not vg.System.busy) && not vg.System.shuffle_pending
+      then begin
+        if size > t.cfg.s_hi then
+          violate t "vg_oversize" ~vgroup:vid
+            (Printf.sprintf "vgroup %d has %d members (max %d)" vid size t.cfg.s_hi);
+        if size < t.cfg.s_lo then
+          violate t "vg_undersize" ~vgroup:vid
+            (Printf.sprintf "vgroup %d has %d members (min %d)" vid size t.cfg.s_lo)
+      end;
+      let byz =
+        List.length
+          (List.filter
+             (fun m ->
+               match System.node_opt t.sys m with
+               | Some n -> n.System.byzantine
+               | None -> false)
+             vg.System.members)
+      in
+      if byz > 0 && 2 * byz >= size then
+        violate t "byz_majority" ~vgroup:vid
+          (Printf.sprintf "vgroup %d has %d Byzantine of %d members" vid byz size)
+    end
+
+let sweep t =
+  let before = total t in
+  List.iter (check_vgroup t ~transient:false) (System.vgroup_ids t.sys);
+  total t - before
+
+let on_audit t = function
+  | System.Audit_reconfig vid -> check_vgroup t ~transient:true vid
+  | System.Audit_deliver { node; bid; known } ->
+    if not known then
+      violate t "unknown_bid" ~node ~bid
+        (Printf.sprintf "node %d delivered bid %d that was never broadcast" node bid);
+    if Hashtbl.mem t.seen (node, bid) then
+      violate t "dup_delivery" ~node ~bid
+        (Printf.sprintf "node %d delivered bid %d twice" node bid)
+    else Hashtbl.replace t.seen (node, bid) ()
+
+let detach t =
+  if t.active then begin
+    t.active <- false;
+    System.set_audit t.sys None
+  end
+
+let attach ?config sys =
+  let cfg =
+    match config with Some c -> c | None -> default_config (System.params sys)
+  in
+  if cfg.period <= 0.0 then invalid_arg "Monitor.attach: period must be positive";
+  let t = { sys; cfg; counts = Hashtbl.create 8; seen = Hashtbl.create 1024; active = true } in
+  System.set_audit sys (Some (fun a -> if t.active then on_audit t a));
+  (* The sweep only reads simulation state, so interleaving it with
+     protocol events cannot perturb a seeded run's behaviour. *)
+  Engine.every (System.engine sys) ~period:cfg.period (fun () ->
+      if t.active then ignore (sweep t);
+      t.active);
+  t

@@ -1,0 +1,51 @@
+(** Online invariant monitor.
+
+    Continuously re-checks the registry properties that
+    {!System.check_consistency} asserts only on demand: vgroup sizes
+    inside a configured envelope, Byzantine members in the minority of
+    every vgroup, no delivery of a broadcast id that was never issued,
+    no duplicate delivery per node, and no retired vgroup still
+    reachable in the overlay.  Checks run from a periodic engine task
+    ({!config.period}) and synchronously from the {!System.audit}
+    hook on every reconfiguration and delivery.
+
+    Each violation increments a ["monitor.violation.<kind>"] counter
+    in the system's metrics, emits a trace event of the same kind, and
+    — with [fail_fast] — raises {!Violation}.  Kinds: [vg_oversize],
+    [vg_undersize], [byz_majority], [unknown_bid], [dup_delivery],
+    [retired_reachable]. *)
+
+type config = {
+  period : float;  (** seconds between full sweeps *)
+  s_lo : int;  (** inclusive lower bound on active vgroup size *)
+  s_hi : int;  (** inclusive upper bound on active vgroup size *)
+  fail_fast : bool;  (** raise {!Violation} on the first violation *)
+}
+
+val default_config : Params.t -> config
+(** period 5s, size envelope [\[1, 2*gmax\]], no fail-fast.  The
+    envelope is enforced only for quiescent vgroups — one with a saga
+    running ([busy]) or queued ([shuffle_pending]) is already being
+    corrected, and splits/merges re-check the size synchronously when
+    they finish. *)
+
+exception Violation of string
+
+type t
+
+val attach : ?config:config -> System.t -> t
+(** Subscribe to the system's audit hook (displacing any previous
+    auditor) and schedule the periodic sweep.  The monitor only reads
+    simulation state, so attaching it never changes the behaviour of a
+    seeded run. *)
+
+val sweep : t -> int
+(** Check every vgroup now; returns the number of new violations. *)
+
+val violations : t -> (string * int) list
+(** Per-kind violation counts, sorted by kind. *)
+
+val total : t -> int
+
+val detach : t -> unit
+(** Unsubscribe from the audit hook and let the periodic task lapse. *)

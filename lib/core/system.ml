@@ -23,7 +23,7 @@ type vg_id = int
 
 type gm_payload =
   | Control of { label : string }
-  | Bcast of { bid : int; origin : node_id; body : string }
+  | Bcast of { bid : int; origin : node_id; body : string; cycle : int }
 
 type wire =
   | Sync_msg of { vg : vg_id; epoch : int; m : Atum_smr.Sync_smr.msg }
@@ -77,6 +77,13 @@ type gm_state = {
 
 type bcast_meta = { started : float; origin_node : node_id }
 
+(* Semantic checkpoints for an external auditor (the invariant
+   monitor): fired synchronously at the point where the registry or a
+   node's delivery log actually changes. *)
+type audit =
+  | Audit_deliver of { node : node_id; bid : int; known : bool }
+  | Audit_reconfig of vg_id
+
 type t = {
   params : Params.t;
   engine : Engine.t;
@@ -100,7 +107,9 @@ type t = {
   gms : (int, gm_state) Hashtbl.t;
   pending_ops : (vg_id, pending_op list ref) Hashtbl.t;
   bcasts : (int, bcast_meta) Hashtbl.t;
+  mutable next_span : int;
   mutable on_deliver : node_id -> bid:int -> origin:node_id -> string -> unit;
+  mutable on_audit : (audit -> unit) option;
   mutable forward_policy : bid:int -> from_vg:vg_id -> cycle:int -> neighbor:vg_id -> bool;
   mutable heartbeats_running : bool;
   mutable heartbeats_since : float;
@@ -170,7 +179,9 @@ let create ?(net_config : Network.config option) (params : Params.t) =
     gms = Hashtbl.create 256;
     pending_ops = Hashtbl.create 64;
     bcasts = Hashtbl.create 64;
+    next_span = 0;
     on_deliver = (fun _ ~bid:_ ~origin:_ _ -> ());
+    on_audit = None;
     forward_policy = random_forward;
     heartbeats_running = false;
     heartbeats_since = infinity;
@@ -184,13 +195,35 @@ let network t = t.net
 
 (* Protocol-level trace events; the enabled-check keeps the disabled
    cost to one load. *)
-let trace_emit t ~kind ?node ?peer ?vgroup ?size () =
+let trace_emit t ~kind ?node ?peer ?vgroup ?size ?bid ?span ?parent ?cycle () =
   if Trace.enabled t.trace then
-    Trace.emit t.trace ~time:(Engine.now t.engine) ~kind ?node ?peer ?vgroup ?size ()
+    Trace.emit t.trace ~time:(Engine.now t.engine) ~kind ?node ?peer ?vgroup ?size ?bid ?span
+      ?parent ?cycle ()
 let now t = Engine.now t.engine
 let params t = t.params
 
+(* Saga spans: a ["saga.<name>.begin"] / ["saga.<name>.end"] pair
+   shares a fresh span id, and [parent] nests child sagas (a join's
+   walk, a split's agreement) under their initiator.  Ids are drawn
+   unconditionally so enabling the trace never perturbs the id
+   sequence between otherwise identical runs. *)
+let fresh_span t =
+  let id = t.next_span in
+  t.next_span <- id + 1;
+  id
+
+let span_begin t ~saga ?node ?vgroup ?parent () =
+  let span = fresh_span t in
+  trace_emit t ~kind:("saga." ^ saga ^ ".begin") ?node ?vgroup ~span ?parent ();
+  span
+
+let span_end t ~saga ?node ?vgroup span =
+  trace_emit t ~kind:("saga." ^ saga ^ ".end") ?node ?vgroup ~span ()
+
+let audit t a = match t.on_audit with Some f -> f a | None -> ()
+
 let set_deliver t f = t.on_deliver <- f
+let set_audit t f = t.on_audit <- f
 let set_forward_policy t f = t.forward_policy <- f
 
 let node t id = Hashtbl.find t.nodes id
@@ -213,6 +246,9 @@ let system_size t = List.length (live_nodes t)
 
 let vgroup_count t =
   Hashtbl.fold (fun _ vg acc -> if vg.retired then acc else acc + 1) t.vgroups 0
+
+let vgroup_ids t =
+  List.sort compare (Hashtbl.fold (fun vid _ acc -> vid :: acc) t.vgroups [])
 
 let vgroup_sizes t =
   Hashtbl.fold
@@ -364,13 +400,19 @@ let reconfigure t vg =
         end)
       !pend
   end
-  else vg.smr <- None
+  else vg.smr <- None;
+  audit t (Audit_reconfig vg.vid)
 
-let agree t vg ?proposer payload action =
+let agree t vg ?proposer ?parent payload action =
   if vg.retired then ()
   else begin
     let op_id = string_of_int t.next_op in
     t.next_op <- t.next_op + 1;
+    let span = span_begin t ~saga:"agree" ~vgroup:vg.vid ?parent () in
+    let action () =
+      span_end t ~saga:"agree" ~vgroup:vg.vid span;
+      action ()
+    in
     let p = { op_id; op_payload = payload; action; fired = false; execs = [] } in
     let pend = pending_of t vg.vid in
     pend := p :: !pend;
@@ -465,10 +507,11 @@ let verify_certificates t chain =
    Termination: backward phase for Sync (the reply retraces the path),
    certificate chain for Async (one reply carrying per-hop vgroup
    certificates, verified by the origin). *)
-let start_walk t ~from_vg ~k =
+let start_walk ?parent t ~from_vg ~k =
   let choices = Random_walk.bulk_choices t.rng ~length:t.params.rwl in
   let walk_id = fresh_gm_id t in
   Metrics.incr t.metrics "walk.started";
+  let span = span_begin t ~saga:"walk" ~vgroup:from_vg ?parent () in
   let rec forward v path certs = function
     | [] -> terminate v path certs
     | c :: rest ->
@@ -536,6 +579,7 @@ let start_walk t ~from_vg ~k =
     | Some dst when not dst.retired ->
       Metrics.incr t.metrics "walk.completed";
       trace_emit t ~kind:"walk.completed" ~vgroup:v ();
+      span_end t ~saga:"walk" ~vgroup:v span;
       k v
     | _ ->
       Metrics.incr t.metrics "walk.lost";
@@ -548,7 +592,9 @@ let start_walk t ~from_vg ~k =
       Engine.schedule t.engine ~delay:0.01 (fun () ->
           let choices = Random_walk.bulk_choices t.rng ~length:t.params.rwl in
           forward from_vg [] [] choices)
-    | _ -> Metrics.incr t.metrics "walk.abandoned"
+    | _ ->
+      Metrics.incr t.metrics "walk.abandoned";
+      span_end t ~saga:"walk" ~vgroup:from_vg span
   in
   forward from_vg [] [] choices
 
@@ -659,8 +705,12 @@ and split t vg =
   if (not vg.retired) && not vg.busy then begin
     vg.busy <- true;
     arm_saga_watchdog t vg;
-    agree t vg "split" (fun () ->
-        if vg.retired then vg.busy <- false
+    let span = span_begin t ~saga:"split" ~vgroup:vg.vid () in
+    agree t vg ~parent:span "split" (fun () ->
+        if vg.retired then begin
+          vg.busy <- false;
+          span_end t ~saga:"split" ~vgroup:vg.vid span
+        end
         else begin
           Metrics.incr t.metrics "vgroup.split";
           trace_emit t ~kind:"vgroup.split" ~vgroup:vg.vid ();
@@ -687,7 +737,7 @@ and split t vg =
           (* One walk per cycle decides where E lands on that cycle. *)
           let remaining = ref t.params.hc in
           for cycle = 0 to t.params.hc - 1 do
-            start_walk t ~from_vg:vg.vid ~k:(fun w ->
+            start_walk t ~parent:span ~from_vg:vg.vid ~k:(fun w ->
                 let anchor =
                   if Hgraph.mem t.hgraph w && w <> evid then w else vg.vid
                 in
@@ -702,6 +752,7 @@ and split t vg =
                   notify_neighbors t e;
                   e.busy <- false;
                   vg.busy <- false;
+                  span_end t ~saga:"split" ~vgroup:vg.vid span;
                   check_size t vg;
                   check_size t e
                 end)
@@ -737,11 +788,13 @@ and merge t vg ~attempts =
       m.busy <- true;
       arm_saga_watchdog t vg;
       arm_saga_watchdog t m;
-      agree t vg "merge-out" (fun () ->
-          agree t m "merge-in" (fun () ->
+      let span = span_begin t ~saga:"merge" ~vgroup:vg.vid () in
+      agree t vg ~parent:span "merge-out" (fun () ->
+          agree t m ~parent:span "merge-in" (fun () ->
               if vg.retired || m.retired then begin
                 vg.busy <- false;
-                m.busy <- false
+                m.busy <- false;
+                span_end t ~saga:"merge" ~vgroup:vg.vid span
               end
               else begin
                 Metrics.incr t.metrics "vgroup.merge";
@@ -759,6 +812,7 @@ and merge t vg ~attempts =
                 notify_neighbors t m;
                 vg.busy <- false;
                 m.busy <- false;
+                span_end t ~saga:"merge" ~vgroup:mvid span;
                 (* Deferred shuffle of the merged vgroup (§3.3.3). *)
                 shuffle t m
               end))
@@ -779,6 +833,7 @@ and shuffle t vg =
     vg.busy <- true;
     arm_saga_watchdog t vg;
     Metrics.incr t.metrics "shuffle.started";
+    let span = span_begin t ~saga:"shuffle" ~vgroup:vg.vid () in
     let members0 = vg.members in
     let remaining = ref (List.length members0) in
     let finish_one () =
@@ -786,6 +841,7 @@ and shuffle t vg =
       if !remaining = 0 then begin
         vg.busy <- false;
         Metrics.incr t.metrics "shuffle.completed";
+        span_end t ~saga:"shuffle" ~vgroup:vg.vid span;
         let rerun = vg.shuffle_pending in
         vg.shuffle_pending <- false;
         if rerun then shuffle t vg else check_size t vg
@@ -793,12 +849,13 @@ and shuffle t vg =
     in
     if members0 = [] then begin
       vg.busy <- false;
+      span_end t ~saga:"shuffle" ~vgroup:vg.vid span;
       check_size t vg
     end
     else
       List.iter
         (fun m ->
-          start_walk t ~from_vg:vg.vid ~k:(fun pvid ->
+          start_walk t ~parent:span ~from_vg:vg.vid ~k:(fun pvid ->
               (* Suppression is per node (§3.2 / Fig 13): the exchange
                  is abandoned when the chosen partner (or the departing
                  member) is already engaged in another exchange, or the
@@ -854,8 +911,10 @@ and shuffle t vg =
                             finish_one ()
                           end
                   in
-                  agree t vg ("swap-out:" ^ string_of_int m) (fun () -> on_agreed proceed);
-                  agree t p ("swap-in:" ^ string_of_int partner) (fun () -> on_agreed proceed)
+                  agree t vg ~parent:span ("swap-out:" ^ string_of_int m) (fun () ->
+                      on_agreed proceed);
+                  agree t p ~parent:span ("swap-in:" ^ string_of_int partner) (fun () ->
+                      on_agreed proceed)
                 end
               | _ ->
                 Metrics.incr t.metrics "exchange.suppressed";
@@ -879,6 +938,11 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
   match Option.bind (node_opt t contact) (fun c -> c.vg) with
   | None -> invalid_arg "System.join: contact node not in the system"
   | Some cvid ->
+    let span = span_begin t ~saga:"join" ~node:joiner () in
+    let fail () =
+      Metrics.incr t.metrics "join.failed";
+      span_end t ~saga:"join" ~node:joiner span
+    in
     direct_send t ~src:joiner ~dst:contact ~label:"join-contact"
       ~k:(fun () ->
         direct_send t ~src:contact ~dst:joiner ~label:"contact-reply"
@@ -886,8 +950,8 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
             match vgroup_opt t cvid with
             | Some c when not c.retired ->
               (* The joiner asks all of C; C agrees on handling it. *)
-              agree t c ("join:" ^ string_of_int joiner) (fun () ->
-                  start_walk t ~from_vg:c.vid ~k:(fun dvid ->
+              agree t c ~parent:span ("join:" ^ string_of_int joiner) (fun () ->
+                  start_walk t ~parent:span ~from_vg:c.vid ~k:(fun dvid ->
                       match vgroup_opt t dvid with
                       | Some _ ->
                         (* C tells j the composition of D; j contacts D. *)
@@ -896,9 +960,9 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
                           ~k:(fun () ->
                             match vgroup_opt t dvid with
                             | Some d when (not d.retired) && j.alive ->
-                              agree t d ("add:" ^ string_of_int joiner) (fun () ->
-                                  if d.retired || not j.alive then
-                                    Metrics.incr t.metrics "join.failed"
+                              agree t d ~parent:span ("add:" ^ string_of_int joiner)
+                                (fun () ->
+                                  if d.retired || not j.alive then fail ()
                                   else begin
                                     add_member t d joiner;
                                     Metrics.incr t.metrics "join.completed";
@@ -906,13 +970,14 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
                                       ~vgroup:d.vid ();
                                     Atum_sim.Metrics.observe t.metrics "join.latency"
                                       (now t -. t0);
+                                    span_end t ~saga:"join" ~node:joiner ~vgroup:d.vid span;
                                     k d.vid;
                                     shuffle t d
                                   end)
-                            | _ -> Metrics.incr t.metrics "join.failed")
+                            | _ -> fail ())
                           ()
-                      | None -> Metrics.incr t.metrics "join.failed"))
-            | _ -> Metrics.incr t.metrics "join.failed")
+                      | None -> fail ()))
+            | _ -> fail ())
           ())
       ()
 
@@ -925,11 +990,17 @@ let depart t ~target ~reason ?(k = fun () -> ()) () =
   | Some vid ->
     (match vgroup_opt t vid with
     | Some vg when not vg.retired ->
-      agree t vg (reason ^ ":" ^ string_of_int target) (fun () ->
-          if vg.retired || not (List.mem target vg.members) then k ()
+      let saga = if reason = "evicted" then "evict" else reason in
+      let span = span_begin t ~saga ~node:target ~vgroup:vid () in
+      agree t vg ~parent:span (reason ^ ":" ^ string_of_int target) (fun () ->
+          if vg.retired || not (List.mem target vg.members) then begin
+            span_end t ~saga ~node:target span;
+            k ()
+          end
           else begin
             remove_member t vg target;
             Metrics.incr t.metrics ("node." ^ reason);
+            span_end t ~saga ~node:target ~vgroup:vid span;
             k ();
             if vg.members = [] then begin
               (* Last member gone: retire the vgroup entirely. *)
@@ -967,25 +1038,33 @@ let node_deliver t nid ~bid ~origin ~body =
   let n = node t nid in
   if (not (Hashtbl.mem n.delivered bid)) && is_correct n then begin
     Hashtbl.replace n.delivered bid ();
+    audit t (Audit_deliver { node = nid; bid; known = Hashtbl.mem t.bcasts bid });
     (match Hashtbl.find_opt t.bcasts bid with
     | Some meta ->
       Atum_sim.Metrics.observe t.metrics "broadcast.latency" (now t -. meta.started)
     | None -> ());
     Metrics.incr t.metrics "broadcast.delivered";
-    trace_emit t ~kind:"broadcast.delivered" ~node:nid ~peer:origin ();
+    trace_emit t ~kind:"broadcast.delivered" ~node:nid ~peer:origin ~bid ();
     t.on_deliver nid ~bid ~origin body;
     match n.vg with
     | None -> ()
     | Some vid ->
       if Hgraph.mem t.hgraph vid then begin
+        (* One group message per selected neighbor, tagged with the
+           lowest cycle that selected it so the receiving side can
+           attribute the hop to an H-graph cycle.  The neighbor order
+           (sorted by id) matches the pre-lineage behaviour, keeping
+           scheduling bit-identical for a given seed. *)
         let targets =
-          List.sort_uniq compare
-            (List.filter_map
-               (fun (cycle, nb) ->
-                 if nb <> vid && t.forward_policy ~bid ~from_vg:vid ~cycle ~neighbor:nb then
-                   Some nb
-                 else None)
-               (Hgraph.neighbors t.hgraph vid))
+          let chosen = Hashtbl.create 8 in
+          List.iter
+            (fun (cycle, nb) ->
+              if nb <> vid && t.forward_policy ~bid ~from_vg:vid ~cycle ~neighbor:nb then
+                match Hashtbl.find_opt chosen nb with
+                | Some c when c <= cycle -> ()
+                | _ -> Hashtbl.replace chosen nb cycle)
+            (Hgraph.neighbors t.hgraph vid);
+          List.sort compare (Hashtbl.fold (fun nb c acc -> (nb, c) :: acc) chosen [])
         in
         let vg = vgroup t vid in
         let src_size = List.length vg.members in
@@ -1000,14 +1079,19 @@ let node_deliver t nid ~bid ~origin ~body =
         let bytes = if full then 64 + String.length body else 32 in
         defer t (fun () ->
             List.iter
-              (fun nb ->
+              (fun (nb, cycle) ->
                 match vgroup_opt t nb with
                 | Some nbg when not nbg.retired ->
                   List.iter
                     (fun d ->
                       Network.send ~size:bytes t.net ~src:nid ~dst:d
                         (Group_part
-                           { gm_id = -1; src_vg = vid; src_size; payload = Bcast { bid; origin; body } }))
+                           {
+                             gm_id = -1;
+                             src_vg = vid;
+                             src_size;
+                             payload = Bcast { bid; origin; body; cycle };
+                           }))
                     nbg.members
                 | _ -> ())
               targets)
@@ -1026,7 +1110,7 @@ let broadcast t ~from body =
     t.next_bid <- bid + 1;
     Hashtbl.replace t.bcasts bid { started = now t; origin_node = from };
     Metrics.incr t.metrics "broadcast.sent";
-    trace_emit t ~kind:"broadcast.sent" ~node:from ~vgroup:vid ~size:(String.length body) ();
+    trace_emit t ~kind:"broadcast.sent" ~node:from ~vgroup:vid ~size:(String.length body) ~bid ();
     (* Phase one: the raw bcast operation goes through the vgroup's
        SMR; each member's execution delivers and starts the gossip. *)
     let proposer =
@@ -1218,7 +1302,7 @@ let handle_wire t nid ~src wire =
               | None -> ()
             end
           end
-        | Bcast { bid; origin; body } ->
+        | Bcast { bid; origin; body; cycle } ->
           if not (Hashtbl.mem n.delivered bid) then begin
             let key = (bid, src_vg) in
             let senders =
@@ -1232,9 +1316,19 @@ let handle_wire t nid ~src wire =
             if not (List.mem src !senders) then senders := src :: !senders;
             if List.length !senders >= needed_src then begin
               Hashtbl.remove n.bcast_senders key;
+              (* Gossip lineage: this node accepts the broadcast from
+                 vgroup [src_vg]; first delivery is a hop edge in the
+                 dissemination tree. *)
+              trace_emit t ~kind:"bcast.hop" ~node:nid ?vgroup:n.vg ~parent:src_vg ~bid
+                ~cycle ();
               node_deliver t nid ~bid ~origin ~body
             end
-          end)
+          end
+          else
+            (* Redundant receive: the gossip reached a node that had
+               already delivered [bid]. *)
+            trace_emit t ~kind:"bcast.dup" ~node:nid ?vgroup:n.vg ~parent:src_vg ~bid
+              ~cycle ())
       | Direct { token; label = _ } -> (
         match Hashtbl.find_opt t.tokens token with
         | Some k ->

@@ -103,6 +103,17 @@ val broadcast : t -> from:node_id -> string -> int
 
 val set_deliver : t -> (node_id -> bid:int -> origin:node_id -> string -> unit) -> unit
 
+(** Semantic checkpoints fired synchronously where the registry or a
+    node's delivery log changes — the invariant monitor subscribes via
+    {!set_audit}.  [Audit_deliver.known] is whether the delivered
+    broadcast id was ever issued by {!broadcast} on this instance. *)
+type audit =
+  | Audit_deliver of { node : node_id; bid : int; known : bool }
+  | Audit_reconfig of vg_id
+
+val set_audit : t -> (audit -> unit) option -> unit
+(** At most one auditor; [None] unsubscribes. *)
+
 val set_forward_policy :
   t -> (bid:int -> from_vg:vg_id -> cycle:int -> neighbor:vg_id -> bool) -> unit
 (** Replace the gossip forward callback.  The default is
@@ -124,19 +135,21 @@ val stop_heartbeats : t -> unit
 
 (* --- overlay protocols (exposed for tests and experiments) ----------- *)
 
-val start_walk : t -> from_vg:vg_id -> k:(vg_id -> unit) -> unit
+val start_walk : ?parent:int -> t -> from_vg:vg_id -> k:(vg_id -> unit) -> unit
 (** Distributed random walk: rwl group-message hops with bulk RNG,
     then backward phase (Sync) or certificate reply (Async); [k]
-    receives the selected vgroup. *)
+    receives the selected vgroup.  [parent] links the walk's trace
+    span under an enclosing saga. *)
 
 val shuffle : t -> vgroup -> unit
 val split : t -> vgroup -> unit
 val merge : t -> vgroup -> attempts:int -> unit
 
 val agree :
-  t -> vgroup -> ?proposer:node_id -> string -> (unit -> unit) -> unit
+  t -> vgroup -> ?proposer:node_id -> ?parent:int -> string -> (unit -> unit) -> unit
 (** Run one operation through the vgroup's SMR; the action fires once,
-    when a majority of members have executed it. *)
+    when a majority of members have executed it.  [parent] links the
+    agreement's trace span under an enclosing saga. *)
 
 (* --- introspection --------------------------------------------------- *)
 
@@ -147,6 +160,9 @@ val vgroup_opt : t -> vg_id -> vgroup option
 val live_nodes : t -> node list
 val system_size : t -> int
 val vgroup_count : t -> int
+val vgroup_ids : t -> vg_id list
+(** Every vgroup id ever created, retired ones included, sorted. *)
+
 val vgroup_sizes : t -> int list
 val correct_members : t -> vgroup -> node_id list
 val hgraph : t -> Atum_overlay.Hgraph.t

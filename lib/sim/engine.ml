@@ -21,6 +21,12 @@ let schedule t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
   schedule_at t ~time:(t.clock +. delay) f
 
+let every t ?start ~period f =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  let first = match start with None -> t.clock +. period | Some s -> s in
+  let rec tick () = if f () then schedule t ~delay:period tick in
+  schedule_at t ~time:first tick
+
 let step t =
   match Atum_util.Pqueue.pop t.queue with
   | None -> false

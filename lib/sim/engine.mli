@@ -25,6 +25,12 @@ val run : ?until:float -> ?max_events:int -> t -> unit
     from a run with [until], the clock is at [until] even when the
     queue drained early, so durations measured via {!now} are exact. *)
 
+val every : t -> ?start:float -> period:float -> (unit -> bool) -> unit
+(** [every t ~period f] runs [f] at [start] (default [now t +.
+    period]) and then every [period] seconds for as long as [f]
+    returns [true].  Raises [Invalid_argument] on a non-positive
+    period. *)
+
 val set_trace : t -> Trace.t -> unit
 (** Attach a structured trace; each {!run} then logs one
     ["engine.run"] event carrying the number of events it processed

@@ -5,6 +5,10 @@ type event = {
   peer : int;
   vgroup : int;
   size : int;
+  bid : int;
+  span : int;
+  parent : int;
+  cycle : int;
 }
 
 type t = {
@@ -12,13 +16,20 @@ type t = {
   buf : event option array;
   mutable next : int; (* next write slot *)
   mutable total : int; (* events ever emitted *)
+  dropped_kinds : (string, int ref) Hashtbl.t; (* kind -> overwritten count *)
 }
 
 let default_capacity = 65_536
 
 let create ?(capacity = default_capacity) ?(enabled = false) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { enabled; buf = Array.make capacity None; next = 0; total = 0 }
+  {
+    enabled;
+    buf = Array.make capacity None;
+    next = 0;
+    total = 0;
+    dropped_kinds = Hashtbl.create 16;
+  }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
@@ -27,43 +38,70 @@ let total t = t.total
 let length t = min t.total (Array.length t.buf)
 let dropped t = t.total - length t
 
+let dropped_by_kind t =
+  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.dropped_kinds [])
+
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
+  Hashtbl.reset t.dropped_kinds;
   t.next <- 0;
   t.total <- 0
 
 (* Hot path: callers are expected to guard with [enabled], but emit
    re-checks so an unguarded call on a disabled trace stays a no-op. *)
-let emit t ~time ~kind ?(node = -1) ?(peer = -1) ?(vgroup = -1) ?(size = 0) () =
+let emit t ~time ~kind ?(node = -1) ?(peer = -1) ?(vgroup = -1) ?(size = 0) ?(bid = -1)
+    ?(span = -1) ?(parent = -1) ?(cycle = -1) () =
   if t.enabled then begin
-    t.buf.(t.next) <- Some { time; kind; node; peer; vgroup; size };
+    (match t.buf.(t.next) with
+    | Some old -> (
+      match Hashtbl.find_opt t.dropped_kinds old.kind with
+      | Some r -> incr r
+      | None -> Hashtbl.replace t.dropped_kinds old.kind (ref 1))
+    | None -> ());
+    t.buf.(t.next) <- Some { time; kind; node; peer; vgroup; size; bid; span; parent; cycle };
     t.next <- (t.next + 1) mod Array.length t.buf;
     t.total <- t.total + 1
   end
 
-let events t =
+let iter t f =
   let cap = Array.length t.buf in
   let len = length t in
   (* Oldest event sits at [next] once the ring has wrapped. *)
   let start = if t.total > cap then t.next else 0 in
-  List.init len (fun i ->
-      match t.buf.((start + i) mod cap) with
-      | Some e -> e
-      | None -> assert false)
+  for i = 0 to len - 1 do
+    match t.buf.((start + i) mod cap) with
+    | Some e -> f e
+    | None -> assert false
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let events t =
+  List.rev (fold t ~init:[] ~f:(fun acc e -> e :: acc))
 
 let event_to_json (e : event) =
   let open Atum_util.Json in
   let base = [ ("t", Float e.time); ("kind", String e.kind) ] in
   let opt name v = if v < 0 then [] else [ (name, Int v) ] in
   let size = if e.size = 0 then [] else [ ("size", Int e.size) ] in
-  Obj (base @ opt "node" e.node @ opt "peer" e.peer @ opt "vgroup" e.vgroup @ size)
+  Obj
+    (base @ opt "node" e.node @ opt "peer" e.peer @ opt "vgroup" e.vgroup @ size
+    @ opt "bid" e.bid @ opt "span" e.span @ opt "parent" e.parent @ opt "cycle" e.cycle)
 
 let to_json t =
   let open Atum_util.Json in
+  let events_json =
+    List.rev (fold t ~init:[] ~f:(fun acc e -> event_to_json e :: acc))
+  in
   Obj
     [
       ("capacity", Int (capacity t));
       ("total", Int t.total);
       ("dropped", Int (dropped t));
-      ("events", List (List.map event_to_json (events t)));
+      ( "dropped_by_kind",
+        Obj (List.map (fun (k, n) -> (k, Int n)) (dropped_by_kind t)) );
+      ("events", List events_json);
     ]

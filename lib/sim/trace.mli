@@ -4,7 +4,14 @@
     shared trace behind a cheap enabled-check (one mutable-bool read),
     so tracing costs nothing when off and never allocates more than
     the fixed ring when on.  Once the ring wraps, the oldest events
-    are overwritten; [dropped] reports how many were lost. *)
+    are overwritten; [dropped] reports how many were lost, and
+    [dropped_by_kind] which kinds are incomplete.
+
+    Events carry optional correlation fields so post-hoc analysis can
+    reconstruct causality: [bid] links every event touching one
+    broadcast, [span]/[parent] pair begin/end events of sagas (join,
+    shuffle, split, ...) into a tree, and [cycle] records which
+    H-graph cycle a gossip hop travelled on. *)
 
 type event = {
   time : float;  (** simulated seconds *)
@@ -13,6 +20,10 @@ type event = {
   peer : int;  (** secondary node id (e.g. destination), [-1] if none *)
   vgroup : int;  (** vgroup id, [-1] if none *)
   size : int;  (** payload bytes, [0] if not applicable *)
+  bid : int;  (** broadcast id, [-1] if none *)
+  span : int;  (** saga span id, [-1] if none *)
+  parent : int;  (** parent span id, or sender vgroup for ["bcast.hop"]; [-1] if none *)
+  cycle : int;  (** H-graph cycle index for gossip hops, [-1] if none *)
 }
 
 type t
@@ -32,12 +43,23 @@ val emit :
   ?peer:int ->
   ?vgroup:int ->
   ?size:int ->
+  ?bid:int ->
+  ?span:int ->
+  ?parent:int ->
+  ?cycle:int ->
   unit ->
   unit
 (** No-op when disabled. *)
 
+val iter : t -> (event -> unit) -> unit
+(** Visit buffered events oldest-first without materializing a list. *)
+
+val fold : t -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Fold over buffered events oldest-first, allocation-free. *)
+
 val events : t -> event list
-(** Buffered events, oldest first (at most [capacity] of them). *)
+(** Buffered events, oldest first (at most [capacity] of them).
+    Materializes a list; prefer {!iter}/{!fold} on large rings. *)
 
 val capacity : t -> int
 
@@ -50,9 +72,13 @@ val total : t -> int
 val dropped : t -> int
 (** [total - length]: events overwritten by ring wraparound. *)
 
+val dropped_by_kind : t -> (string * int) list
+(** Overwritten-event counts grouped by [kind], sorted by kind.
+    Empty until the ring wraps. *)
+
 val clear : t -> unit
 
 val to_json : t -> Atum_util.Json.t
-(** [{capacity; total; dropped; events: [{t; kind; node?; peer?;
-    vgroup?; size?}]}] — negative ids and zero sizes are omitted from
-    each event object. *)
+(** [{capacity; total; dropped; dropped_by_kind; events: [{t; kind;
+    node?; peer?; vgroup?; size?; bid?; span?; parent?; cycle?}]}] —
+    negative ids and zero sizes are omitted from each event object. *)

@@ -1,0 +1,75 @@
+(** Post-hoc causal analysis of a traced run.
+
+    Reconstructs per-broadcast dissemination trees from the
+    ["bcast.hop"] lineage events, first-delivery latency and
+    redundancy from the delivery events, per-saga duration percentiles
+    from the ["saga.*.begin"/".end"] span pairs, and the
+    invariant-violation summary from the ["monitor.violation.*"]
+    metrics counters.  Consumes either a live trace (allocation-free,
+    via [Trace.iter]) or an [ATUM_*.json] artifact written by
+    [atum-cli --json].
+
+    The trace ring drops its oldest events when full, so results are
+    best-effort by construction: bids whose ["broadcast.sent"] root
+    was overwritten are counted as [orphan_bids], hops whose sender
+    depth is unknown as [incomplete_hops], and the per-kind dropped
+    counts are carried through. *)
+
+type tree = {
+  bid : int;
+  origin : int;  (** broadcasting node, [-1] if unknown *)
+  root_vg : int;  (** origin vgroup, [-1] if unknown *)
+  sent_at : float;
+  deliveries : int;
+  dups : int;  (** redundant receives of this bid *)
+  depth0 : int;  (** deliveries in the origin vgroup (SMR phase) *)
+  max_depth : int;  (** deepest gossip hop in the tree *)
+  incomplete_hops : int;  (** hops whose sender depth was unknown *)
+}
+
+type saga_stats = {
+  saga : string;
+  completed : int;
+  unmatched : int;  (** begun but never ended within the trace window *)
+  d_p50 : float;
+  d_p90 : float;
+  d_max : float;
+}
+
+type result = {
+  trees : tree list;  (** sorted by bid; only bids with a known root *)
+  orphan_bids : int;  (** bids with hops/deliveries but no root event *)
+  deliveries : int;
+  dups : int;
+  redundancy : float;  (** dups / deliveries *)
+  hop_hist : (int * int) list;  (** depth -> first-delivery count *)
+  latency_cdf : (float * float) list;  (** empirical first-delivery CDF *)
+  latency_p : (string * float) list;  (** p50/p90/p99/max *)
+  sagas : saga_stats list;  (** sorted by saga name *)
+  violations : (string * int) list;
+      (** per kind, the max of the [monitor.violation.*] metrics
+          counter and the trace evidence (violation events in the
+          window plus those the ring dropped) — the counters alone can
+          undercount when a workload clears the metrics mid-run *)
+  violations_total : int;
+  events_seen : int;
+  dropped_total : int;
+  dropped_by_kind : (string * int) list;
+}
+
+val of_trace : Atum_sim.Trace.t -> metrics:Atum_sim.Metrics.t -> result
+(** Analyze a live run; violations are read from the metrics
+    counters. *)
+
+val of_artifact : Atum_util.Json.t -> (result, string) Stdlib.result
+(** Analyze a parsed [ATUM_*.json] artifact (needs its [trace]
+    member, i.e. a run with [--json]). *)
+
+val load_file : string -> (result, string) Stdlib.result
+(** Read and parse an artifact file, then {!of_artifact}. *)
+
+val to_json : result -> Atum_util.Json.t
+(** Machine-readable form; see EXPERIMENTS.md for the schema. *)
+
+val pp : Format.formatter -> result -> unit
+(** Human-readable multi-line summary. *)

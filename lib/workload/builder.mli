@@ -12,6 +12,7 @@ val grow :
   ?params:Atum_core.Params.t ->
   ?net_config:Atum_sim.Network.config ->
   ?trace:bool ->
+  ?monitor:bool ->
   ?byzantine:int ->
   ?batch:int ->
   ?settle:float ->
@@ -25,7 +26,9 @@ val grow :
     quiet-Byzantine (§6.1.3). Parameters default to
     {!Atum_core.Params.for_system_size}.  [trace] (default [false])
     enables the deployment's structured event trace before growth
-    starts. *)
+    starts; [monitor] (default [false]) attaches an
+    {!Atum_core.Monitor} with the default config, whose
+    [monitor.violation.*] counters land in the deployment's metrics. *)
 
 val random_member :
   built -> Atum_util.Rng.t -> Atum_core.Atum.node_id

@@ -8,6 +8,7 @@ type probe_result = {
   size_before : int;
   size_after : int;
   sustained : bool;
+  consistency : (unit, string) result;
 }
 
 let live_ids atum =
@@ -51,6 +52,7 @@ let probe (built : Builder.built) ~rate_per_min ~duration ~seed =
     size_before;
     size_after;
     sustained;
+    consistency = System.check_consistency (Atum.system atum);
   }
 
 let default_rates n =

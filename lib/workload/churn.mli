@@ -8,6 +8,8 @@ type probe_result = {
   size_before : int;
   size_after : int;
   sustained : bool;
+  consistency : (unit, string) result;
+      (** [System.check_consistency] after the probe's grace period *)
 }
 
 val probe :

@@ -14,6 +14,7 @@ type result = {
   join_latency_p50 : float;
   join_latency_p90 : float;
   events_processed : int;
+  consistency : (unit, string) Stdlib.result;
 }
 
 let live_ids atum =
@@ -69,4 +70,5 @@ let run ?params ?(join_rate_per_min = 0.08) ?(time_limit = 20_000.0) ?(sample_ev
     join_latency_p50 = pct 50.0;
     join_latency_p90 = pct 90.0;
     events_processed = Atum_sim.Engine.events_processed (Atum.engine atum);
+    consistency = System.check_consistency (Atum.system atum);
   }

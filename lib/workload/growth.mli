@@ -14,6 +14,8 @@ type result = {
   join_latency_p50 : float;  (** seconds from request to installation *)
   join_latency_p90 : float;
   events_processed : int;  (** simulator events the run consumed *)
+  consistency : (unit, string) Stdlib.result;
+      (** [System.check_consistency] at the end of the run *)
 }
 
 val run :

@@ -1,6 +1,9 @@
 module Json = Atum_util.Json
 
-let schema_version = 1
+(* 2: trace events gained correlation fields (bid/span/parent/cycle),
+   trace objects gained dropped_by_kind, and ATUM_analyze.json
+   artifacts exist. *)
+let schema_version = 2
 
 (* Wall-clock time is the only nondeterministic field in a benchmark
    artifact; zeroing it (ATUM_BENCH_JSON_CANON) makes same-seed runs

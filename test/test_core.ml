@@ -480,6 +480,166 @@ let test_broadcast_from_nonmember_rejected () =
     (Invalid_argument "System.broadcast: node not in the system") (fun () ->
       ignore (Atum.broadcast t ~from:stranger "spam"))
 
+(* ------------------------------------------------------------------ *)
+(* Online invariant monitor                                            *)
+(* ------------------------------------------------------------------ *)
+
+let active_vgroups sys =
+  List.filter_map
+    (fun vid ->
+      match System.vgroup_opt sys vid with
+      | Some vg when (not vg.System.retired) && vg.System.members <> [] -> Some vg
+      | _ -> None)
+    (System.vgroup_ids sys)
+
+let test_monitor_clean_run () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let mon = Monitor.attach (Atum.system t) in
+  let n0 = grow t ~target:20 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  ignore (Atum.broadcast t ~from:n0 "news");
+  Atum.run_for t 60.0;
+  ignore (Monitor.sweep mon);
+  Alcotest.(check int) "healthy run has no violations" 0 (Monitor.total mon);
+  Alcotest.(check (list (pair string int))) "no violation counts" []
+    (Monitor.violations mon)
+
+let test_monitor_flags_forced_faults () =
+  let t = Atum.create ~params:quick_sync_params () in
+  ignore (grow t ~target:24 ~settle:120.0);
+  Atum.run_for t 200.0;
+  let sys = Atum.system t in
+  let cfg = Monitor.default_config quick_sync_params in
+  let mon = Monitor.attach ~config:{ cfg with Monitor.period = 1.0 } sys in
+  (match active_vgroups sys with
+  | vg1 :: vg2 :: vg3 :: _ ->
+      (* Oversize: pad the membership list past the envelope. *)
+      while List.length vg1.System.members <= cfg.Monitor.s_hi do
+        vg1.System.members <- vg1.System.members @ vg1.System.members
+      done;
+      (* Byzantine majority: corrupt every member of one vgroup. *)
+      List.iter (System.make_byzantine sys) vg2.System.members;
+      (* Retired vgroup left wired into the overlay. *)
+      vg3.System.retired <- true
+  | _ -> Alcotest.fail "expected at least three active vgroups");
+  let fresh = Monitor.sweep mon in
+  Alcotest.(check bool) "sweep reports new violations" true (fresh >= 3);
+  let count kind = List.assoc_opt kind (Monitor.violations mon) in
+  let counted kind = match count kind with Some c -> c >= 1 | None -> false in
+  Alcotest.(check bool) "vg_oversize flagged" true (counted "vg_oversize");
+  Alcotest.(check bool) "byz_majority flagged" true (counted "byz_majority");
+  Alcotest.(check bool) "retired_reachable flagged" true (counted "retired_reachable");
+  (* Violations also land in the metrics namespace. *)
+  let m = Atum.metrics t in
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        ("monitor.violation." ^ kind ^ " counter")
+        true
+        (Atum_sim.Metrics.counter m ("monitor.violation." ^ kind) >= 1))
+    [ "vg_oversize"; "byz_majority"; "retired_reachable" ];
+  (* fail_fast: a fresh monitor over the same corrupted state raises. *)
+  Monitor.detach mon;
+  let strict =
+    Monitor.attach ~config:{ cfg with Monitor.fail_fast = true } sys
+  in
+  Alcotest.(check bool) "fail_fast raises" true
+    (try
+       ignore (Monitor.sweep strict);
+       false
+     with Monitor.Violation _ -> true)
+
+let test_monitor_dup_delivery () =
+  let t = Atum.create ~params:quick_sync_params () in
+  let n0 = grow t ~target:16 ~settle:120.0 in
+  Atum.run_for t 200.0;
+  let sys = Atum.system t in
+  let mon = Monitor.attach sys in
+  (* Flood maximizes redundant gossip, so after the delivery log is
+     wiped some vgroup's still-in-flight copies re-trigger acceptance
+     and the node delivers the same bid twice.  Wipe only on a node's
+     first delivery — wiping every time would make gossip diverge. *)
+  Atum.on_forward t (fun ~bid:_ ~from_vg:_ ~cycle:_ ~neighbor:_ -> true);
+  let wiped = Hashtbl.create 32 in
+  Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ ->
+      if not (Hashtbl.mem wiped nid) then begin
+        Hashtbl.add wiped nid ();
+        Hashtbl.reset (System.node sys nid).System.delivered
+      end);
+  ignore (Atum.broadcast t ~from:n0 "once");
+  Atum.run_for t 60.0;
+  let dups = List.assoc_opt "dup_delivery" (Monitor.violations mon) in
+  Alcotest.(check bool) "dup_delivery flagged" true
+    (match dups with Some c -> c >= 1 | None -> false);
+  Alcotest.(check bool) "dup_delivery counter" true
+    (Atum_sim.Metrics.counter (Atum.metrics t) "monitor.violation.dup_delivery" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Causal tracing: saga spans and broadcast lineage                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_spans_and_lineage () =
+  let t = Atum.create ~params:quick_sync_params () in
+  Atum_sim.Trace.set_enabled (Atum.trace t) true;
+  let n0 = grow t ~target:12 ~settle:60.0 in
+  Atum.run_for t 120.0;
+  let bid = Atum.broadcast t ~from:n0 "traced" in
+  Atum.run_for t 60.0;
+  let events = Atum_sim.Trace.events (Atum.trace t) in
+  let saga_of kind suffix =
+    (* "saga.join.begin" -> Some "join" *)
+    let plen = String.length "saga." and slen = String.length suffix in
+    let klen = String.length kind in
+    if
+      klen > plen + slen
+      && String.sub kind 0 plen = "saga."
+      && String.sub kind (klen - slen) slen = suffix
+    then Some (String.sub kind plen (klen - plen - slen))
+    else None
+  in
+  let begins = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Atum_sim.Trace.event) ->
+      match saga_of ev.Atum_sim.Trace.kind ".begin" with
+      | Some saga -> Hashtbl.replace begins ev.Atum_sim.Trace.span saga
+      | None -> ())
+    events;
+  let matched = Hashtbl.create 64 in
+  List.iter
+    (fun (ev : Atum_sim.Trace.event) ->
+      match saga_of ev.Atum_sim.Trace.kind ".end" with
+      | Some saga -> (
+          match Hashtbl.find_opt begins ev.Atum_sim.Trace.span with
+          | Some saga' ->
+              Alcotest.(check string)
+                (Printf.sprintf "span %d ends the saga it began" ev.Atum_sim.Trace.span)
+                saga' saga;
+              Hashtbl.replace matched saga ()
+          | None -> () (* begin rotated out of the ring: fine *))
+      | None -> ())
+    events;
+  Alcotest.(check bool) "join spans matched" true (Hashtbl.mem matched "join");
+  Alcotest.(check bool) "agree spans matched" true (Hashtbl.mem matched "agree");
+  (* Every gossip hop of our broadcast carries the bid, the sender
+     vgroup as parent, and the H-graph cycle it travelled on. *)
+  let hops =
+    List.filter
+      (fun (ev : Atum_sim.Trace.event) ->
+        ev.Atum_sim.Trace.kind = "bcast.hop" && ev.Atum_sim.Trace.bid = bid)
+      events
+  in
+  Alcotest.(check bool) "broadcast produced gossip hops" true (hops <> []);
+  List.iter
+    (fun (ev : Atum_sim.Trace.event) ->
+      Alcotest.(check bool) "hop has sender vgroup" true (ev.Atum_sim.Trace.parent >= 0);
+      Alcotest.(check bool) "hop has cycle" true (ev.Atum_sim.Trace.cycle >= 0))
+    hops;
+  Alcotest.(check bool) "broadcast.sent tagged with bid" true
+    (List.exists
+       (fun (ev : Atum_sim.Trace.event) ->
+         ev.Atum_sim.Trace.kind = "broadcast.sent" && ev.Atum_sim.Trace.bid = bid)
+       events)
+
 let () =
   Alcotest.run "core"
     [
@@ -532,5 +692,16 @@ let () =
           Alcotest.test_case "oversized splits" `Slow test_oversized_vgroups_eventually_split;
           Alcotest.test_case "byzantine join" `Slow test_byzantine_join;
           Alcotest.test_case "nonmember broadcast" `Quick test_broadcast_from_nonmember_rejected;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "clean run" `Slow test_monitor_clean_run;
+          Alcotest.test_case "forced faults flagged" `Slow test_monitor_flags_forced_faults;
+          Alcotest.test_case "duplicate delivery flagged" `Slow test_monitor_dup_delivery;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "saga spans + broadcast lineage" `Slow
+            test_trace_spans_and_lineage;
         ] );
     ]

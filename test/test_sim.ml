@@ -484,6 +484,40 @@ let test_metrics_json_summary_only () =
         (Atum_util.Json.member "samples" summary = None)
   | _ -> Alcotest.fail "unexpected series shape"
 
+let test_metrics_merge_of_json_roundtrip () =
+  (* The bench fig8 path: each run's metrics are serialized with
+     [to_json ~include_series:true], restored with [of_json], and
+     merged into one aggregate. *)
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  Metrics.incr m1 "a";
+  Metrics.incr ~by:2 m1 "b";
+  List.iter (Metrics.observe m1 "lat") [ 1.0; 2.0 ];
+  Metrics.incr ~by:3 m2 "b";
+  Metrics.incr ~by:4 m2 "c";
+  Metrics.observe m2 "lat" 3.0;
+  Metrics.observe m2 "size" 9.0;
+  let restore m =
+    let s = Atum_util.Json.to_string (Metrics.to_json ~include_series:true m) in
+    match Atum_util.Json.of_string s with
+    | Error e -> Alcotest.failf "reparse failed: %s" e
+    | Ok j -> (
+        match Metrics.of_json j with
+        | Error e -> Alcotest.failf "of_json failed: %s" e
+        | Ok m' -> m')
+  in
+  let agg = Metrics.create () in
+  Metrics.merge ~into:agg (restore m1);
+  Metrics.merge ~into:agg (restore m2);
+  Alcotest.(check int) "a" 1 (Metrics.counter agg "a");
+  Alcotest.(check int) "b summed across runs" 5 (Metrics.counter agg "b");
+  Alcotest.(check int) "c" 4 (Metrics.counter agg "c");
+  Alcotest.(check (list string)) "counter names" [ "a"; "b"; "c" ]
+    (Metrics.counter_names agg);
+  Alcotest.(check (list (float 1e-12))) "series appended in merge order"
+    [ 1.0; 2.0; 3.0 ] (Metrics.samples agg "lat");
+  Alcotest.(check (list (float 1e-12))) "series unique to one run" [ 9.0 ]
+    (Metrics.samples agg "size")
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -513,6 +547,62 @@ let test_trace_ring_wraparound () =
   | _ -> Alcotest.fail "trace json not an object");
   Trace.clear t;
   Alcotest.(check int) "cleared" 0 (Trace.length t)
+
+let test_trace_iter_fold_dropped_kinds () =
+  let t = Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 6 do
+    Trace.emit t ~time:(float_of_int i) ~kind:"tick" ~node:i ()
+  done;
+  for i = 7 to 10 do
+    Trace.emit t ~time:(float_of_int i) ~kind:"tock" ~node:i ()
+  done;
+  (* iter visits oldest-first, in the same order [events] returns. *)
+  let seen = ref [] in
+  Trace.iter t (fun ev -> seen := ev :: !seen);
+  Alcotest.(check bool) "iter matches events" true (List.rev !seen = Trace.events t);
+  Alcotest.(check (list int)) "iter oldest-first" [ 7; 8; 9; 10 ]
+    (List.rev_map (fun (ev : Trace.event) -> ev.Trace.node) !seen);
+  Alcotest.(check int) "fold counts retained" 4
+    (Trace.fold t ~init:0 ~f:(fun acc _ -> acc + 1));
+  (* The six overwritten events were all ticks. *)
+  Alcotest.(check (list (pair string int))) "dropped by kind" [ ("tick", 6) ]
+    (Trace.dropped_by_kind t);
+  (match Trace.to_json t with
+  | Atum_util.Json.Obj fields ->
+      Alcotest.(check bool) "json dropped_by_kind" true
+        (List.assoc_opt "dropped_by_kind" fields
+        = Some (Atum_util.Json.Obj [ ("tick", Atum_util.Json.Int 6) ]))
+  | _ -> Alcotest.fail "trace json not an object");
+  Trace.clear t;
+  Alcotest.(check (list (pair string int))) "clear resets drop counts" []
+    (Trace.dropped_by_kind t)
+
+let test_trace_correlation_fields () =
+  let t = Trace.create ~capacity:8 ~enabled:true () in
+  Trace.emit t ~time:1.0 ~kind:"bcast.hop" ~node:3 ~bid:7 ~span:2 ~parent:1 ~cycle:0 ();
+  Trace.emit t ~time:2.0 ~kind:"plain" ();
+  (match Trace.events t with
+  | [ hop; plain ] ->
+      Alcotest.(check int) "bid" 7 hop.Trace.bid;
+      Alcotest.(check int) "span" 2 hop.Trace.span;
+      Alcotest.(check int) "parent" 1 hop.Trace.parent;
+      Alcotest.(check int) "cycle" 0 hop.Trace.cycle;
+      Alcotest.(check int) "bid defaults to -1" (-1) plain.Trace.bid;
+      Alcotest.(check int) "span defaults to -1" (-1) plain.Trace.span
+  | _ -> Alcotest.fail "expected two events");
+  (* JSON form: correlation keys present when set, omitted when unset. *)
+  match Trace.to_json t with
+  | Atum_util.Json.Obj fields -> (
+      match List.assoc_opt "events" fields with
+      | Some (Atum_util.Json.List [ hop; plain ]) ->
+          let has key j = Atum_util.Json.member key j <> None in
+          Alcotest.(check bool) "hop has bid/span/parent/cycle" true
+            (has "bid" hop && has "span" hop && has "parent" hop && has "cycle" hop);
+          Alcotest.(check bool) "plain omits them" true
+            (not (has "bid" plain || has "span" plain || has "parent" plain
+                 || has "cycle" plain))
+      | _ -> Alcotest.fail "unexpected events shape")
+  | _ -> Alcotest.fail "trace json not an object"
 
 let test_trace_engine_emits () =
   let e = Engine.create () in
@@ -581,11 +671,16 @@ let () =
           Alcotest.test_case "merge" `Quick test_metrics_merge;
           Alcotest.test_case "json roundtrip" `Quick test_metrics_json_roundtrip;
           Alcotest.test_case "json summary only" `Quick test_metrics_json_summary_only;
+          Alcotest.test_case "merge + of_json roundtrip" `Quick
+            test_metrics_merge_of_json_roundtrip;
         ] );
       ( "trace",
         [
           Alcotest.test_case "disabled noop" `Quick test_trace_disabled_noop;
           Alcotest.test_case "ring wraparound" `Quick test_trace_ring_wraparound;
+          Alcotest.test_case "iter/fold + dropped kinds" `Quick
+            test_trace_iter_fold_dropped_kinds;
+          Alcotest.test_case "correlation fields" `Quick test_trace_correlation_fields;
           Alcotest.test_case "engine emits" `Quick test_trace_engine_emits;
         ] );
     ]

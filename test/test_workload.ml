@@ -55,6 +55,9 @@ let test_builder_places_byzantine () =
 let test_growth_reaches_target () =
   let r = Growth.run ~params:(small_params 3) ~target:40 ~seed:3 () in
   Alcotest.(check bool) "reached" true r.Growth.reached_target;
+  (match r.Growth.consistency with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("registry inconsistent after growth: " ^ e));
   Alcotest.(check bool) "curve monotone" true
     (let sizes = List.map (fun (p : Growth.point) -> p.Growth.size) r.Growth.curve in
      List.sort compare sizes = sizes)
@@ -86,7 +89,10 @@ let test_churn_probe_gentle_rate_sustained () =
   let b = Builder.grow ~params:(small_params 6) ~n:30 ~seed:6 () in
   let p = Churn.probe b ~rate_per_min:3.0 ~duration:120.0 ~seed:6 in
   Alcotest.(check bool) "gentle churn sustained" true p.Churn.sustained;
-  Alcotest.(check bool) "size held" true (p.Churn.size_after >= 27)
+  Alcotest.(check bool) "size held" true (p.Churn.size_after >= 27);
+  match p.Churn.consistency with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("registry inconsistent after churn: " ^ e)
 
 let test_churn_ladder_returns_probes () =
   let b = Builder.grow ~params:(small_params 7) ~n:24 ~seed:7 () in
@@ -270,6 +276,82 @@ let test_bench_json_deterministic () =
         (Atum_util.Json.member "fig" j = Some (Atum_util.Json.String "fig6"));
       Alcotest.(check bool) "has rows" true (Atum_util.Json.member "rows" j <> None)
 
+(* ------------------------------------------------------------------ *)
+(* Analyzer                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_analyze_of_trace () =
+  let b = Builder.grow ~params:(small_params 20) ~trace:true ~monitor:true ~n:20 ~seed:20 () in
+  let r = Latency_exp.run b ~messages:4 ~gap:3.0 ~seed:20 in
+  Alcotest.(check bool) "full delivery" true (r.Latency_exp.delivery_fraction > 0.999);
+  let a =
+    Analyze.of_trace (Atum.trace b.Builder.atum) ~metrics:(Atum.metrics b.Builder.atum)
+  in
+  (* The broadcast-phase events are the newest in the ring, so even if
+     the growth phase rotated out, every tree root survives. *)
+  Alcotest.(check int) "one tree per broadcast" 4 (List.length a.Analyze.trees);
+  Alcotest.(check int) "no orphan bids" 0 a.Analyze.orphan_bids;
+  List.iter
+    (fun (tr : Analyze.tree) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tree %d delivered everywhere" tr.Analyze.bid)
+        true
+        (tr.Analyze.deliveries = Atum.size b.Builder.atum);
+      Alcotest.(check bool) "origin known" true (tr.Analyze.origin >= 0);
+      Alcotest.(check bool) "root vgroup known" true (tr.Analyze.root_vg >= 0))
+    a.Analyze.trees;
+  Alcotest.(check bool) "gossip went beyond the origin vgroup" true
+    (List.exists (fun (d, _) -> d >= 1) a.Analyze.hop_hist);
+  Alcotest.(check bool) "latency percentiles present" true
+    (List.mem_assoc "p50" a.Analyze.latency_p);
+  Alcotest.(check bool) "saga stats include joins" true
+    (List.exists (fun (s : Analyze.saga_stats) -> s.Analyze.saga = "join") a.Analyze.sagas);
+  Alcotest.(check int) "healthy run: no violations" 0 a.Analyze.violations_total;
+  (* Violation evidence in the trace must be surfaced even when the
+     corresponding metrics counter is gone — Latency_exp cleared the
+     metrics above, exactly the situation the merge covers. *)
+  Atum_sim.Trace.emit (Atum.trace b.Builder.atum) ~time:0.0
+    ~kind:"monitor.violation.vg_oversize" ();
+  let a2 =
+    Analyze.of_trace (Atum.trace b.Builder.atum) ~metrics:(Atum.metrics b.Builder.atum)
+  in
+  Alcotest.(check (list (pair string int))) "trace-only violation counted"
+    [ ("vg_oversize", 1) ] a2.Analyze.violations
+
+let test_cli_broadcast_then_analyze () =
+  (* End-to-end artifact pipeline: [atum-cli broadcast --json] writes
+     ATUM_broadcast.json, [atum-cli analyze --json] reconstructs the
+     dissemination trees from it with zero invariant violations. *)
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/atum_cli.exe"
+  in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Printf.sprintf "cli executable missing at %s" exe);
+  let dir = "cli_analyze" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let sh cmd = Alcotest.(check int) ("exit status of " ^ cmd) 0 (Sys.command cmd) in
+  sh
+    (Printf.sprintf "%s broadcast -n 24 -m 6 --seed 5 --json %s > /dev/null"
+       (Filename.quote exe) (Filename.quote dir));
+  let artifact = Filename.concat dir "ATUM_broadcast.json" in
+  sh
+    (Printf.sprintf "%s analyze %s --json %s > /dev/null" (Filename.quote exe)
+       (Filename.quote artifact) (Filename.quote dir));
+  match Atum_util.Json.of_string (read_file (Filename.concat dir "ATUM_analyze.json")) with
+  | Error e -> Alcotest.failf "ATUM_analyze.json is not valid JSON: %s" e
+  | Ok j ->
+      let int_member key =
+        match Atum_util.Json.member key j with
+        | Some (Atum_util.Json.Int n) -> n
+        | _ -> Alcotest.failf "missing int member %s" key
+      in
+      Alcotest.(check bool) "at least one tree" true (int_member "trees" >= 1);
+      Alcotest.(check int) "zero violations" 0 (int_member "violations_total");
+      Alcotest.(check bool) "cmd tagged" true
+        (Atum_util.Json.member "cmd" j = Some (Atum_util.Json.String "analyze"))
+
 let () =
   Alcotest.run "workload"
     [
@@ -316,6 +398,11 @@ let () =
         [
           Alcotest.test_case "forward policies" `Slow test_ablation_forward_policies_tradeoff;
           Alcotest.test_case "shuffling disperses" `Slow test_ablation_shuffling_disperses;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "live trace" `Slow test_analyze_of_trace;
+          Alcotest.test_case "cli pipeline" `Slow test_cli_broadcast_then_analyze;
         ] );
       ( "bench-json",
         [ Alcotest.test_case "same-seed determinism" `Slow test_bench_json_deterministic ] );
