@@ -6,7 +6,8 @@
      churn      probe a churn rate for sustainability
      guideline  print the optimal rwl for a (vgroups, hc) pair
      simulate   free-run a deployment with churn and broadcasts
-     analyze    reconstruct causality from an ATUM_*.json artifact     *)
+     analyze    reconstruct causality from an ATUM_*.json artifact
+     lint       run the determinism & protocol-safety linter (LINT.md) *)
 
 open Cmdliner
 
@@ -288,6 +289,46 @@ let analyze_cmd =
           invariant-violation summary from an ATUM_*.json trace artifact.")
     Term.(const run $ file_arg $ json_arg)
 
+let lint_cmd =
+  let module Driver = Atum_linter.Driver in
+  let root_arg =
+    Arg.(value & opt dir "." & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan from.")
+  in
+  let allow_arg =
+    Arg.(
+      value
+      & opt string "lint.allow"
+      & info [ "allow" ] ~docv:"FILE"
+          ~doc:"Allowlist file (rule:file:line # reason), relative to the root.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print allowlisted findings too.")
+  in
+  let dirs_arg =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin" ]
+      & info [] ~docv:"DIR" ~doc:"Directories to scan, relative to the root.")
+  in
+  let run root allow verbose dirs json =
+    let allow_file = if Filename.is_relative allow then Filename.concat root allow else allow in
+    let r = Driver.run ~root ~dirs ~allow_file () in
+    Driver.print_human ~verbose Format.std_formatter r;
+    Option.iter
+      (fun dir ->
+        let path = Driver.write_json ~dir r in
+        Printf.printf "json             : wrote %s\n" path)
+      json;
+    if not (Driver.ok r) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the determinism & protocol-safety linter (AST-level, see LINT.md) over the \
+          repository sources.  Exits non-zero on any violation not suppressed by the \
+          allowlist.  With --json, writes ATUM_lint.json.")
+    Term.(const run $ root_arg $ allow_arg $ verbose_arg $ dirs_arg $ json_arg)
+
 let dht_cmd =
   let byz_pct_arg =
     Arg.(value & opt int 0 & info [ "byzantine-pct" ] ~docv:"PCT" ~doc:"Percent of Byzantine routers.")
@@ -316,5 +357,5 @@ let () =
        (Cmd.group info
           [
             grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; analyze_cmd;
-            dht_cmd;
+            lint_cmd; dht_cmd;
           ]))

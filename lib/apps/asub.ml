@@ -6,7 +6,6 @@ type topic_state = {
   atum : Atum.t;
   clients : (string, Atum.node_id) Hashtbl.t; (* client name -> node *)
   names : (Atum.node_id, string) Hashtbl.t; (* node -> client name *)
-  mutable next_seed : int;
 }
 
 type t = {
@@ -48,7 +47,7 @@ let create_topic t name =
   let atum = Atum.create ~params () in
   let root = Atum.bootstrap atum in
   let st =
-    { atum; clients = Hashtbl.create 32; names = Hashtbl.create 32; next_seed = 0 }
+    { atum; clients = Hashtbl.create 32; names = Hashtbl.create 32 }
   in
   Hashtbl.replace st.clients root_name root;
   Hashtbl.replace st.names root root_name;
@@ -66,7 +65,10 @@ let topics t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.topic
 let subscribe t ~topic client =
   let st = topic_state t topic in
   if Hashtbl.mem st.clients client then invalid_arg ("Asub: already subscribed " ^ client);
-  let existing = Hashtbl.fold (fun _ nid acc -> nid :: acc) st.clients [] in
+  (* Sorted by client name: [existing] feeds a seeded Rng.pick below. *)
+  let existing =
+    List.map snd (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare st.clients)
+  in
   let live = List.filter (fun nid -> Atum.is_member st.atum nid) existing in
   let contact =
     match live with [] -> invalid_arg "Asub: topic has no live subscriber" | l -> Atum_util.Rng.pick t.rng l

@@ -40,7 +40,9 @@ type t = {
 }
 
 let violations t =
-  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counts [])
+  List.map
+    (fun (k, r) -> (k, !r))
+    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare t.counts)
 
 let total t = Hashtbl.fold (fun _ r acc -> acc + !r) t.counts 0
 

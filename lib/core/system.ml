@@ -75,7 +75,7 @@ type gm_state = {
   mutable gm_fired : bool;
 }
 
-type bcast_meta = { started : float; origin_node : node_id }
+type bcast_meta = { started : float }
 
 (* Semantic checkpoints for an external auditor (the invariant
    monitor): fired synchronously at the point where the registry or a
@@ -239,8 +239,12 @@ let correct_members t vg = List.filter (fun m -> is_correct (node t m)) vg.membe
 
 let majority_of count = (count / 2) + 1
 
+(* In ascending id order: callers feed this list to seeded Rng picks
+   (Builder, Churn), so its order is part of the reproducible state. *)
 let live_nodes t =
-  Hashtbl.fold (fun _ n acc -> if n.alive && n.vg <> None then n :: acc else acc) t.nodes []
+  List.filter_map
+    (fun (_, n) -> if n.alive && Option.is_some n.vg then Some n else None)
+    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare t.nodes)
 
 let system_size t = List.length (live_nodes t)
 
@@ -248,12 +252,12 @@ let vgroup_count t =
   Hashtbl.fold (fun _ vg acc -> if vg.retired then acc else acc + 1) t.vgroups 0
 
 let vgroup_ids t =
-  List.sort compare (Hashtbl.fold (fun vid _ acc -> vid :: acc) t.vgroups [])
+  Atum_util.Hashtbl_ext.sorted_keys ~cmp:Int.compare t.vgroups
 
 let vgroup_sizes t =
-  Hashtbl.fold
-    (fun _ vg acc -> if vg.retired then acc else List.length vg.members :: acc)
-    t.vgroups []
+  List.filter_map
+    (fun (_, vg) -> if vg.retired then None else Some (List.length vg.members))
+    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare t.vgroups)
 
 let fresh_node_id t =
   let id = t.next_node in
@@ -635,7 +639,7 @@ let add_member t vg member =
 let remove_member t vg member =
   vg.members <- List.filter (fun m -> m <> member) vg.members;
   let n = node t member in
-  if n.vg = Some vg.vid then n.vg <- None;
+  if Option.equal Int.equal n.vg (Some vg.vid) then n.vg <- None;
   reconfigure t vg;
   notify_neighbors t vg
 
@@ -982,8 +986,14 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
       ()
 
 (* Leave (§3.3.3): agreement at the leaver's vgroup, neighbor
-   notification, then merge (if undersized) or shuffle. *)
-let depart t ~target ~reason ?(k = fun () -> ()) () =
+   notification, then merge (if undersized) or shuffle.
+
+   The agreement can be swallowed: if the vgroup retires mid-saga (a
+   concurrent merge moves its members to the partner), pending ops die
+   with it while the mover keeps its membership.  A watchdog re-issues
+   the departure against the node's current vgroup until the registry
+   actually drops it. *)
+let rec depart t ~target ~reason ?(k = fun () -> ()) () =
   let n = node t target in
   match n.vg with
   | None -> k ()
@@ -992,10 +1002,24 @@ let depart t ~target ~reason ?(k = fun () -> ()) () =
     | Some vg when not vg.retired ->
       let saga = if reason = "evicted" then "evict" else reason in
       let span = span_begin t ~saga ~node:target ~vgroup:vid () in
+      let fired = ref false in
+      let k () =
+        if not !fired then begin
+          fired := true;
+          k ()
+        end
+      in
+      Engine.schedule t.engine
+        ~delay:(Float.max 10.0 (20.0 *. t.params.round_duration))
+        (fun () ->
+          if (not !fired) && n.alive && Option.is_some n.vg then
+            depart t ~target ~reason ~k ());
       agree t vg ~parent:span (reason ^ ":" ^ string_of_int target) (fun () ->
           if vg.retired || not (List.mem target vg.members) then begin
             span_end t ~saga ~node:target span;
-            k ()
+            (* If the node is genuinely gone we are done; if it moved
+               to another vgroup mid-saga, the watchdog re-issues. *)
+            if Option.is_none n.vg then k ()
           end
           else begin
             remove_member t vg target;
@@ -1064,7 +1088,7 @@ let node_deliver t nid ~bid ~origin ~body =
                 | Some c when c <= cycle -> ()
                 | _ -> Hashtbl.replace chosen nb cycle)
             (Hgraph.neighbors t.hgraph vid);
-          List.sort compare (Hashtbl.fold (fun nb c acc -> (nb, c) :: acc) chosen [])
+          Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare chosen
         in
         let vg = vgroup t vid in
         let src_size = List.length vg.members in
@@ -1108,7 +1132,7 @@ let broadcast t ~from body =
     let vg = vgroup t vid in
     let bid = t.next_bid in
     t.next_bid <- bid + 1;
-    Hashtbl.replace t.bcasts bid { started = now t; origin_node = from };
+    Hashtbl.replace t.bcasts bid { started = now t };
     Metrics.incr t.metrics "broadcast.sent";
     trace_emit t ~kind:"broadcast.sent" ~node:from ~vgroup:vid ~size:(String.length body) ~bid ();
     (* Phase one: the raw bcast operation goes through the vgroup's
@@ -1126,7 +1150,9 @@ let broadcast t ~from body =
 (* ------------------------------------------------------------------ *)
 
 let heartbeat_sweep t =
-  Hashtbl.iter
+  (* Heartbeats draw per-message latencies from the network RNG, so
+     the send order must not depend on bucket layout. *)
+  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
     (fun _ vg ->
       if (not vg.retired) && List.length vg.members > 1 then begin
         (* Everyone (including Byzantine nodes, which have an interest
@@ -1358,12 +1384,14 @@ let handle_wire t nid ~src wire =
 (* ------------------------------------------------------------------ *)
 
 let drive_sync_round t _round =
-  Hashtbl.iter
+  (* Round boundaries emit wire messages; drive vgroups and members in
+     id order so the event queue fills deterministically. *)
+  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
     (fun _ vg ->
       if not vg.retired then
         match vg.smr with
         | Some (Smr_sync tbl) ->
-          Hashtbl.iter
+          Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
             (fun member inst ->
               match node_opt t member with
               | Some n when is_correct n -> Atum_smr.Sync_smr.on_round_boundary inst
@@ -1465,7 +1493,9 @@ let byzantine_concentration t =
 let check_consistency t =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  Hashtbl.iter
+  (* Sorted traversal: the concatenated error string ends up in JSON
+     artifacts, so its order must be reproducible. *)
+  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
     (fun vid vg ->
       if vg.retired then begin
         if Hgraph.mem t.hgraph vid && vgroup_count t > 0 then
@@ -1484,15 +1514,15 @@ let check_consistency t =
             match node_opt t m with
             | None -> err "vgroup %d contains unknown node %d" vid m
             | Some n ->
-              if n.vg <> Some vid then
+              if not (Option.equal Int.equal n.vg (Some vid)) then
                 err "node %d in vgroup %d's member list but points to %s" m vid
                   (match n.vg with None -> "none" | Some v -> string_of_int v))
           vg.members;
-        if List.length (List.sort_uniq compare vg.members) <> List.length vg.members then
+        if List.length (List.sort_uniq Int.compare vg.members) <> List.length vg.members then
           err "vgroup %d has duplicate members" vid
       end)
     t.vgroups;
-  Hashtbl.iter
+  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
     (fun nid n ->
       match n.vg with
       | None -> ()

@@ -1,0 +1,99 @@
+(* The checked-in suppression file, [lint.allow] at the repo root.
+
+   One entry per line:
+
+     RULE:path/to/file.ml:LINE # reason
+
+   LINE may be [*] to cover every line of the file (for rules like
+   D002 where a module legitimately traverses tables many times).  The
+   reason is mandatory: an exception nobody can justify is a bug. *)
+
+type entry = {
+  rule : string;
+  file : string;
+  line : int option; (* None = wildcard *)
+  reason : string;
+  source_line : int; (* position in lint.allow, for stale reporting *)
+  mutable used : bool;
+}
+
+type t = entry list
+
+let parse_line ~lineno raw =
+  let line = String.trim raw in
+  if String.length line = 0 || line.[0] = '#' then Ok None
+  else begin
+    let spec, reason =
+      match String.index_opt line '#' with
+      | Some i ->
+        ( String.trim (String.sub line 0 i),
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+      | None -> (line, "")
+    in
+    if String.equal reason "" then
+      Error (Printf.sprintf "lint.allow:%d: missing '# reason'" lineno)
+    else begin
+      match String.split_on_char ':' spec with
+      | [ rule; file; lspec ] ->
+        let line_of s =
+          if String.equal s "*" then Ok None
+          else begin
+            match int_of_string_opt s with
+            | Some n when n > 0 -> Ok (Some n)
+            | _ -> Error (Printf.sprintf "lint.allow:%d: bad line number %S" lineno s)
+          end
+        in
+        Result.map
+          (fun l ->
+            Some { rule; file; line = l; reason; source_line = lineno; used = false })
+          (line_of lspec)
+      | _ ->
+        Error
+          (Printf.sprintf "lint.allow:%d: expected RULE:file:line, got %S" lineno spec)
+    end
+  end
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc errs = function
+    | [] -> (List.rev acc, List.rev errs)
+    | l :: rest -> (
+      match parse_line ~lineno l with
+      | Ok (Some e) -> go (lineno + 1) (e :: acc) errs rest
+      | Ok None -> go (lineno + 1) acc errs rest
+      | Error msg -> go (lineno + 1) acc (msg :: errs) rest)
+  in
+  go 1 [] [] lines
+
+let load path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    of_string s
+  end
+  else ([], [])
+
+(* Marks the matching entry used; first match wins so exact-line
+   entries should precede wildcards for the same file. *)
+let suppress t (d : Diagnostic.t) =
+  match
+    List.find_opt
+      (fun e ->
+        String.equal e.rule d.Diagnostic.rule
+        && String.equal e.file d.Diagnostic.file
+        && (match e.line with None -> true | Some n -> n = d.Diagnostic.line))
+      t
+  with
+  | Some e ->
+    e.used <- true;
+    d.Diagnostic.suppressed <- Some e.reason
+  | None -> ()
+
+let stale t = List.filter (fun e -> not e.used) t
+
+let entry_to_string e =
+  Printf.sprintf "%s:%s:%s # %s" e.rule e.file
+    (match e.line with None -> "*" | Some n -> string_of_int n)
+    e.reason

@@ -1,0 +1,122 @@
+(* Repo-specific rule configuration for atum-lint.
+
+   The linter is not a general-purpose OCaml checker: every list below
+   names things that exist in *this* repository (wire variants,
+   Result-returning checkers, the sanctioned RNG).  Keeping the
+   configuration in one module makes the rule set reviewable and keeps
+   the engine free of string literals. *)
+
+type severity = Error | Warning
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+type rule = { id : string; severity : severity; summary : string }
+
+let rules =
+  [
+    {
+      id = "D001";
+      severity = Error;
+      summary =
+        "wall-clock or OS entropy in lib/ (Unix.gettimeofday, Sys.time, Random.*): \
+         simulated time and Atum_util.Rng are the only admissible sources";
+    };
+    {
+      id = "D002";
+      severity = Warning;
+      summary =
+        "Hashtbl.iter/Hashtbl.fold whose result is not passed through a sort in the \
+         same expression: bucket order is not deterministic";
+    };
+    {
+      id = "D003";
+      severity = Error;
+      summary =
+        "polymorphic compare/=/<> on structured data in lib/smr, lib/core, \
+         lib/overlay: protocol state needs module-specific compare/equal";
+    };
+    {
+      id = "F001";
+      severity = Error;
+      summary = "float-literal equality (x = 0.0): use Float.equal or a sign/epsilon test";
+    };
+    {
+      id = "M001";
+      severity = Warning;
+      summary = "ignore of a Result-returning checker: the error path is silently dropped";
+    };
+    {
+      id = "W001";
+      severity = Error;
+      summary =
+        "catch-all _ arm in a match over a wire-message variant: new constructors \
+         must fail to compile, not vanish into a default case";
+    };
+  ]
+
+let find_rule id = List.find (fun r -> String.equal r.id id) rules
+
+(* --- path scopes --------------------------------------------------- *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let in_lib path = starts_with ~prefix:"lib/" path
+
+let protocol_dirs = [ "lib/smr/"; "lib/core/"; "lib/overlay/" ]
+
+let in_protocol path = List.exists (fun d -> starts_with ~prefix:d path) protocol_dirs
+
+(* --- D001: determinism escape hatches ------------------------------ *)
+
+(* Exact identifiers that read the wall clock or per-process entropy.
+   Any use of the stdlib [Random] module is banned wholesale: seeded
+   randomness must flow through [Atum_util.Rng]. *)
+let banned_idents =
+  [ "Unix.gettimeofday"; "Unix.time"; "Unix.gmtime"; "Unix.localtime"; "Sys.time" ]
+
+let banned_prefixes = [ "Random."; "Stdlib.Random." ]
+
+(* --- D002: order-dependent traversals ------------------------------ *)
+
+let hashtbl_traversals = [ "Hashtbl.iter"; "Hashtbl.fold"; "Stdlib.Hashtbl.iter"; "Stdlib.Hashtbl.fold" ]
+
+(* Functions that impose a total order on (or deterministically
+   consume) whatever flowed into them; a Hashtbl traversal nested in
+   their arguments is considered laundered. *)
+let sort_functions =
+  [
+    "List.sort"; "List.sort_uniq"; "List.stable_sort"; "List.fast_sort"; "Array.sort";
+    "Hashtbl_ext.sorted_bindings"; "Hashtbl_ext.sorted_keys"; "Hashtbl_ext.sorted_iter";
+    "Atum_util.Hashtbl_ext.sorted_bindings"; "Atum_util.Hashtbl_ext.sorted_keys";
+    "Atum_util.Hashtbl_ext.sorted_iter";
+  ]
+
+(* --- D003: polymorphic comparison ---------------------------------- *)
+
+let eq_operators = [ "="; "<>"; "=="; "!=" ]
+
+let polymorphic_compare_idents = [ "compare"; "Stdlib.compare"; "Pervasives.compare" ]
+
+(* --- M001: ignored Results ----------------------------------------- *)
+
+(* Final path components of functions in this repo that return a
+   [Result.t]; [ignore (f ...)] on any of these drops an error path. *)
+let result_returning =
+  [ "check_consistency"; "check_overlay"; "check_invariants"; "of_json"; "of_string"; "load_file" ]
+
+(* --- W001: wire-message variants ------------------------------------ *)
+
+(* Constructors of the variants that cross the simulated network:
+   System.wire, System.gm_payload and Pbft.msg.  A match that names
+   any of these must stay exhaustive. *)
+let wire_constructors =
+  [
+    (* System.wire *)
+    "Sync_msg"; "Async_msg"; "Group_part"; "Direct"; "Heartbeat";
+    (* System.gm_payload *)
+    "Control"; "Bcast";
+    (* Pbft.msg *)
+    "Request"; "Preprepare"; "Prepare"; "Commit"; "Viewchange"; "Newview";
+  ]

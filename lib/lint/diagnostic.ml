@@ -1,0 +1,43 @@
+type t = {
+  rule : string;
+  severity : Config.severity;
+  file : string; (* repo-relative, forward slashes *)
+  line : int; (* 1-based *)
+  col : int; (* 0-based, as the compiler reports *)
+  message : string;
+  mutable suppressed : string option; (* allowlist reason when suppressed *)
+}
+
+let make ~rule ~file ~line ~col message =
+  let severity = (Config.find_rule rule).Config.severity in
+  { rule; severity; file; line; col; message; suppressed = None }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let to_string d =
+  Printf.sprintf "%s:%d:%d: [%s/%s] %s%s" d.file d.line d.col d.rule
+    (Config.severity_to_string d.severity)
+    d.message
+    (match d.suppressed with None -> "" | Some r -> Printf.sprintf " (allowed: %s)" r)
+
+let to_json d =
+  let open Atum_util.Json in
+  Obj
+    ([
+       ("rule", String d.rule);
+       ("severity", String (Config.severity_to_string d.severity));
+       ("file", String d.file);
+       ("line", Int d.line);
+       ("col", Int d.col);
+       ("message", String d.message);
+       ("suppressed", Bool (Option.is_some d.suppressed));
+     ]
+    @ match d.suppressed with None -> [] | Some r -> [ ("reason", String r) ])

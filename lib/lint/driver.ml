@@ -1,0 +1,126 @@
+(* Directory scanning, allowlist application and reporting for
+   atum-lint.  Shared by [bin/atum_lint.ml] (the build gate) and the
+   [atum-cli lint] subcommand. *)
+
+let schema_version = 1
+
+type result = {
+  files_scanned : int;
+  diagnostics : Diagnostic.t list; (* sorted; includes suppressed *)
+  parse_errors : (string * string) list; (* file, message *)
+  allow_errors : string list; (* malformed lint.allow lines *)
+  stale_allows : Allowlist.entry list;
+}
+
+let unsuppressed r =
+  List.filter (fun d -> Option.is_none d.Diagnostic.suppressed) r.diagnostics
+
+let ok r = unsuppressed r = [] && r.parse_errors = [] && r.allow_errors = []
+
+(* Deterministic recursive listing of .ml files under [dir] (relative
+   to [root]), skipping build and VCS artifacts. *)
+let rec list_ml_files ~root dir =
+  let abs = Filename.concat root dir in
+  if not (Sys.file_exists abs && Sys.is_directory abs) then []
+  else begin
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if String.equal name "_build" || String.equal name ".git" then acc
+        else begin
+          let rel = dir ^ "/" ^ name in
+          if Sys.is_directory (Filename.concat root rel) then acc @ list_ml_files ~root rel
+          else if Filename.check_suffix name ".ml" then acc @ [ rel ]
+          else acc
+        end)
+      [] entries
+  end
+
+let scan ?(allow = ([] : Allowlist.t)) ?(allow_errors = []) ~root ~dirs () =
+  let files = List.concat_map (fun d -> list_ml_files ~root d) dirs in
+  let diags = ref [] in
+  let parse_errors = ref [] in
+  List.iter
+    (fun file ->
+      match Engine.check_file ~root ~file with
+      | Ok ds -> diags := ds :: !diags
+      | Error msg -> parse_errors := (file, msg) :: !parse_errors)
+    files;
+  let diagnostics = List.sort Diagnostic.compare (List.concat !diags) in
+  List.iter (fun d -> Allowlist.suppress allow d) diagnostics;
+  {
+    files_scanned = List.length files;
+    diagnostics;
+    parse_errors = List.rev !parse_errors;
+    allow_errors;
+    stale_allows = Allowlist.stale allow;
+  }
+
+let run ~root ~dirs ~allow_file () =
+  let allow, allow_errors = Allowlist.load allow_file in
+  scan ~allow ~allow_errors ~root ~dirs ()
+
+(* --- reporting ------------------------------------------------------ *)
+
+let summary_counts r =
+  let total = List.length r.diagnostics in
+  let open_ = List.length (unsuppressed r) in
+  (total, total - open_, open_)
+
+let print_human ?(verbose = false) fmt r =
+  List.iter
+    (fun d ->
+      if verbose || Option.is_none d.Diagnostic.suppressed then
+        Format.fprintf fmt "%s@." (Diagnostic.to_string d))
+    r.diagnostics;
+  List.iter (fun (f, m) -> Format.fprintf fmt "%s: parse error: %s@." f m) r.parse_errors;
+  List.iter (fun m -> Format.fprintf fmt "%s@." m) r.allow_errors;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "lint.allow:%d: stale entry (matched nothing): %s@."
+        e.Allowlist.source_line (Allowlist.entry_to_string e))
+    r.stale_allows;
+  let total, suppressed, open_ = summary_counts r in
+  Format.fprintf fmt "atum-lint: %d file%s, %d finding%s (%d allowlisted, %d open)@."
+    r.files_scanned
+    (if r.files_scanned = 1 then "" else "s")
+    total
+    (if total = 1 then "" else "s")
+    suppressed open_
+
+let to_json r =
+  let open Atum_util.Json in
+  let total, suppressed, open_ = summary_counts r in
+  Obj
+    [
+      ("schema_version", Int schema_version);
+      ("cmd", String "lint");
+      ("files_scanned", Int r.files_scanned);
+      ( "rules",
+        List
+          (List.map
+             (fun (rule : Config.rule) ->
+               Obj
+                 [
+                   ("id", String rule.Config.id);
+                   ("severity", String (Config.severity_to_string rule.Config.severity));
+                   ("summary", String rule.Config.summary);
+                 ])
+             Config.rules) );
+      ("violations", List (List.map Diagnostic.to_json r.diagnostics));
+      ( "parse_errors",
+        List
+          (List.map
+             (fun (f, m) -> Obj [ ("file", String f); ("message", String m) ])
+             r.parse_errors) );
+      ( "stale_allow",
+        List (List.map (fun e -> String (Allowlist.entry_to_string e)) r.stale_allows) );
+      ( "summary",
+        Obj [ ("total", Int total); ("suppressed", Int suppressed); ("open", Int open_) ] );
+    ]
+
+let write_json ~dir r =
+  let path = Filename.concat dir "ATUM_lint.json" in
+  Atum_util.Json.write_file ~path (to_json r);
+  path

@@ -23,7 +23,7 @@ let create ~cycles rng vertices =
   if cycles <= 0 then invalid_arg "Hgraph.create: need at least one cycle";
   if vertices = [] then invalid_arg "Hgraph.create: need at least one vertex";
   let base = Array.of_list vertices in
-  if List.length (List.sort_uniq compare vertices) <> Array.length base then
+  if List.length (List.sort_uniq Int.compare vertices) <> Array.length base then
     invalid_arg "Hgraph.create: duplicate vertices";
   let rings =
     Array.init cycles (fun _ ->
@@ -43,7 +43,7 @@ let singleton ~cycles v =
 let vertices t =
   let seen = Hashtbl.create 64 in
   Array.iter (fun ring -> Hashtbl.iter (fun v _ -> Hashtbl.replace seen v ()) ring.succ) t.rings;
-  List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) seen [])
+  Atum_util.Hashtbl_ext.sorted_keys ~cmp:Int.compare seen
 
 let vertex_count t = List.length (vertices t)
 
@@ -74,7 +74,7 @@ let neighbors t v =
   !acc
 
 let neighbor_set t v =
-  List.sort_uniq compare (List.map snd (neighbors t v))
+  List.sort_uniq Int.compare (List.map snd (neighbors t v))
 
 let insert_after t ~cycle ~after v =
   check_cycle_index t cycle;
@@ -120,7 +120,7 @@ let check_invariants t =
             match Hashtbl.find_opt ring.succ v with
             | None -> Error (Printf.sprintf "cycle %d missing successor of %d" i v)
             | Some s ->
-              if Hashtbl.find_opt ring.pred s <> Some v then
+              if not (Option.equal Int.equal (Hashtbl.find_opt ring.pred s) (Some v)) then
                 Error (Printf.sprintf "cycle %d pred/succ mismatch at %d" i v)
               else walk s (steps + 1)
           end

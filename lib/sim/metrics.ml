@@ -21,11 +21,9 @@ let observe t name x =
 let samples t name =
   match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
 
-let series_names t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.series [])
+let series_names t = Atum_util.Hashtbl_ext.sorted_keys ~cmp:String.compare t.series
 
-let counter_names t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.counters [])
+let counter_names t = Atum_util.Hashtbl_ext.sorted_keys ~cmp:String.compare t.counters
 
 let clear t =
   Hashtbl.reset t.counters;
@@ -121,10 +119,8 @@ let of_json json =
   | _ -> err "expected an object"
 
 let pp_summary fmt t =
-  let counters =
-    List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters [])
-  in
-  List.iter (fun (k, v) -> Format.fprintf fmt "%-40s %d@." k v) counters;
+  let counters = Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare t.counters in
+  List.iter (fun (k, r) -> Format.fprintf fmt "%-40s %d@." k !r) counters;
   List.iter
     (fun name ->
       let xs = samples t name in

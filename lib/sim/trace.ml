@@ -39,7 +39,9 @@ let length t = min t.total (Array.length t.buf)
 let dropped t = t.total - length t
 
 let dropped_by_kind t =
-  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.dropped_kinds [])
+  List.map
+    (fun (k, r) -> (k, !r))
+    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare t.dropped_kinds)
 
 let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;

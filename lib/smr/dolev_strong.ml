@@ -55,7 +55,7 @@ let initiate_equivocating t assignments =
      whatever it sends to each victim. *)
   List.map (fun (dst, value) -> (dst, make_msg t value [ sign t value ])) assignments
 
-let receive t ~src:_ m = if t.decided = None then t.inbox <- m :: t.inbox
+let receive t ~src:_ m = if Option.is_none t.decided then t.inbox <- m :: t.inbox
 
 (* A valid chain has >= round distinct signatures over this instance's
    payload, all from members, the first one from the sender. *)
@@ -70,7 +70,7 @@ let chain_valid t ~round (m : msg) =
     &&
     let payload = signed_payload t m.value in
     let signers = List.map (fun s -> s.Signature.signer) m.sigs in
-    let distinct = List.sort_uniq compare signers in
+    let distinct = List.sort_uniq String.compare signers in
     List.length distinct = List.length signers
     && List.for_all
          (fun s ->
@@ -79,7 +79,7 @@ let chain_valid t ~round (m : msg) =
          m.sigs
 
 let end_of_round t ~round =
-  if t.decided <> None then []
+  if Option.is_some t.decided then []
   else begin
     let batch = List.rev t.inbox in
     t.inbox <- [];

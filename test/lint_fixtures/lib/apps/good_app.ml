@@ -1,0 +1,15 @@
+(* Positive fixture for atum-lint: nothing here may produce a finding.
+   Shows the sanctioned spellings of the patterns the bad fixtures
+   trip. *)
+
+type wire = Preprepare of int | Prepare of int | Commit of int
+
+let keys tbl = Atum_util.Hashtbl_ext.sorted_keys ~cmp:String.compare tbl
+
+let piped tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let is_unit x = Float.equal x 1.0
+
+let probe st = match check_consistency st with Ok () -> true | Error _ -> false
+
+let handle m = match m with Preprepare n -> n | Prepare _ -> 0 | Commit _ -> 0

@@ -1,0 +1,14 @@
+(* Negative fixture for atum-lint (never compiled, only parsed): every
+   construct below must trip a rule when scanned with the fixture root,
+   because this file sits under lib/smr/. *)
+
+type wire = Preprepare of int | Prepare of int | Commit of int
+
+(* D003: polymorphic compare in a protocol directory. *)
+let sort_members ms = List.sort compare ms
+
+(* D003: structural equality with a payload-carrying constructor. *)
+let same_req a b = a = Some b
+
+(* W001: catch-all arm in a match over wire-message constructors. *)
+let handle m = match m with Preprepare n -> n | _ -> 0

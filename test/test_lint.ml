@@ -1,0 +1,139 @@
+(* atum-lint acceptance tests.
+
+   The fixtures under lint_fixtures/ mirror the repo layout (lib/smr/,
+   lib/apps/) so path-scoped rules apply exactly as they do on the real
+   tree.  The bad fixtures must trip every rule — this is the negative
+   test demonstrating that the dune lint gate would fail a tree that
+   reintroduces a violation — and the good fixture must stay silent. *)
+
+module Driver = Atum_linter.Driver
+module Engine = Atum_linter.Engine
+module Allowlist = Atum_linter.Allowlist
+module Diagnostic = Atum_linter.Diagnostic
+
+(* The executable lives in _build/default/test/, next to the copied
+   fixture tree — resolve relative to it so the test works under both
+   [dune runtest] and [dune exec]. *)
+let fixture_root = Filename.concat (Filename.dirname Sys.executable_name) "lint_fixtures"
+
+let scan ?allow () =
+  Driver.scan ?allow ~root:fixture_root ~dirs:[ "lib" ] ()
+
+let rules_hit file r =
+  List.sort_uniq String.compare
+    (List.filter_map
+       (fun d ->
+         if String.equal d.Diagnostic.file file then Some d.Diagnostic.rule else None)
+       r.Driver.diagnostics)
+
+let test_bad_fixtures_trip_every_rule () =
+  let r = scan () in
+  Alcotest.(check (list string)) "no parse errors" []
+    (List.map fst r.Driver.parse_errors);
+  Alcotest.(check (list string))
+    "protocol fixture: D003 twice, W001 once"
+    [ "D003"; "W001" ]
+    (rules_hit "lib/smr/bad_protocol.ml" r);
+  Alcotest.(check (list string))
+    "app fixture: D001, D002, F001, M001"
+    [ "D001"; "D002"; "F001"; "M001" ]
+    (rules_hit "lib/apps/bad_app.ml" r);
+  Alcotest.(check bool) "gate would fail the build" false (Driver.ok r)
+
+let test_good_fixture_is_clean () =
+  let r = scan () in
+  Alcotest.(check (list string)) "sanctioned spellings produce nothing" []
+    (rules_hit "lib/apps/good_app.ml" r)
+
+let test_allowlist_suppresses () =
+  (* Suppressing every finding turns the gate green; the unused entry
+     is reported as stale and the malformed one as an error. *)
+  let base = scan () in
+  let entries =
+    List.map
+      (fun d ->
+        Printf.sprintf "%s:%s:%d # fixture exercises this rule on purpose"
+          d.Diagnostic.rule d.Diagnostic.file d.Diagnostic.line)
+      base.Driver.diagnostics
+  in
+  let allow_text =
+    String.concat "\n"
+      (entries
+      @ [
+          "D001:lib/apps/no_such_file.ml:3 # stale on purpose";
+          "D002:lib/apps/bad_app.ml:12 this line has no hash reason";
+        ])
+  in
+  let allow, allow_errors = Allowlist.of_string allow_text in
+  Alcotest.(check int) "one malformed line" 1 (List.length allow_errors);
+  let r = Driver.scan ~allow ~root:fixture_root ~dirs:[ "lib" ] () in
+  Alcotest.(check int) "all findings suppressed" 0 (List.length (Driver.unsuppressed r));
+  Alcotest.(check int) "one stale entry" 1 (List.length r.Driver.stale_allows);
+  (* Stale entries and suppressed findings alone don't fail the gate;
+     malformed allowlist lines do. *)
+  Alcotest.(check bool) "gate red on malformed allow line" false
+    (Driver.ok { r with Driver.allow_errors });
+  Alcotest.(check bool) "gate green once allow file is well-formed" true
+    (Driver.ok r)
+
+let test_wildcard_line () =
+  let allow, errs = Allowlist.of_string "D003:lib/smr/bad_protocol.ml:* # whole file" in
+  Alcotest.(check (list string)) "parses" [] errs;
+  let r = Driver.scan ~allow ~root:fixture_root ~dirs:[ "lib" ] () in
+  Alcotest.(check (list string)) "only W001 left open in protocol fixture" [ "W001" ]
+    (List.sort_uniq String.compare
+       (List.filter_map
+          (fun d ->
+            if String.equal d.Diagnostic.file "lib/smr/bad_protocol.ml" then
+              Some d.Diagnostic.rule
+            else None)
+          (Driver.unsuppressed r)))
+
+let test_json_artifact () =
+  let r = scan () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "atum_lint_json_test" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Driver.write_json ~dir r in
+  Alcotest.(check string) "artifact name" (Filename.concat dir "ATUM_lint.json") path;
+  match Atum_util.Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
+  | Error e -> Alcotest.failf "ATUM_lint.json is not valid JSON: %s" e
+  | Ok (Atum_util.Json.Obj fields) ->
+    Alcotest.(check bool) "has schema_version" true (List.mem_assoc "schema_version" fields);
+    Alcotest.(check bool) "has violations" true (List.mem_assoc "violations" fields);
+    Alcotest.(check bool) "has rules" true (List.mem_assoc "rules" fields)
+  | Ok _ -> Alcotest.fail "ATUM_lint.json is not an object"
+
+let test_sort_launders_traversal () =
+  (* D002's core discrimination, straight from source strings: a
+     traversal is fine exactly when a sort consumes it in the same
+     expression. *)
+  let check src expected_rules =
+    match Engine.check_source ~file:"lib/apps/inline.ml" src with
+    | Error e -> Alcotest.failf "parse error: %s" e
+    | Ok ds ->
+      Alcotest.(check (list string))
+        src expected_rules
+        (List.sort_uniq String.compare (List.map (fun d -> d.Diagnostic.rule) ds))
+  in
+  check "let ks t = Hashtbl.fold (fun k _ a -> k :: a) t []" [ "D002" ];
+  check "let ks t = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) t [])" [];
+  check "let ks t = Hashtbl.fold (fun k _ a -> k :: a) t [] |> List.sort_uniq compare" [];
+  check "let ks t = Atum_util.Hashtbl_ext.sorted_keys ~cmp:Int.compare t" []
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "bad fixtures trip every rule" `Quick
+            test_bad_fixtures_trip_every_rule;
+          Alcotest.test_case "good fixture is clean" `Quick test_good_fixture_is_clean;
+          Alcotest.test_case "sort launders traversal" `Quick test_sort_launders_traversal;
+        ] );
+      ( "allowlist",
+        [
+          Alcotest.test_case "suppresses with reasons" `Quick test_allowlist_suppresses;
+          Alcotest.test_case "wildcard line" `Quick test_wildcard_line;
+        ] );
+      ("json", [ Alcotest.test_case "artifact shape" `Quick test_json_artifact ]);
+    ]

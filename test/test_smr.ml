@@ -474,6 +474,47 @@ let test_pbft_post_viewchange_proposals () =
         (Printf.sprintf "node %d" self) reference (pbft_log c self))
     c.instances
 
+let test_pbft_decisions_stable_across_runs () =
+  (* Regression for the determinism sweep: replacing the polymorphic
+     member sorts and certificate folds in PBFT's decision path with
+     keyed sorts must keep seed-run decisions reproducible.  Two
+     identical in-process runs — through a view change, which exercises
+     the certificate-collection path — must decide byte-identical
+     sequences on every replica. *)
+  let run () =
+    let c = make_pbft_cluster ~n:7 ~quiet:[ 0 ] ~timeout:0.5 () in
+    List.iter
+      (fun (self, inst) -> Pbft.propose inst (Printf.sprintf "op-%d" self))
+      c.instances;
+    Atum_sim.Engine.run ~until:60.0 c.engine;
+    List.map (fun (self, _) -> (self, pbft_log c self)) c.instances
+  in
+  let rec is_prefix p l =
+    match (p, l) with
+    | [], _ -> true
+    | x :: p', y :: l' -> x = y && is_prefix p' l'
+    | _ :: _, [] -> false
+  in
+  let a = run () in
+  (match a with
+  | (_, reference) :: rest ->
+    Alcotest.(check int) "all ops executed at the first replica" 6 (List.length reference);
+    (* A replica may still be committing the tail at the cutoff, so
+       safety here is prefix agreement, not log equality. *)
+    List.iter
+      (fun (self, l) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "replica %d decided a prefix of the reference" self)
+          true (is_prefix l reference);
+        Alcotest.(check bool)
+          (Printf.sprintf "replica %d is nearly caught up" self)
+          true
+          (List.length l >= List.length reference - 1))
+      rest
+  | [] -> Alcotest.fail "no instances");
+  let b = run () in
+  Alcotest.(check bool) "same-seed runs decide identically" true (a = b)
+
 let prop_pbft_agreement =
   QCheck.Test.make ~name:"PBFT: identical logs with random quiet faults" ~count:15
     QCheck.(pair (int_range 4 10) (int_range 0 500))
@@ -532,6 +573,8 @@ let () =
           Alcotest.test_case "primary order" `Quick test_pbft_primary_rotation_is_member_order;
           Alcotest.test_case "two view changes" `Quick test_pbft_two_view_changes;
           Alcotest.test_case "post-viewchange proposals" `Quick test_pbft_post_viewchange_proposals;
+          Alcotest.test_case "decisions stable across runs" `Quick
+            test_pbft_decisions_stable_across_runs;
           QCheck_alcotest.to_alcotest prop_pbft_agreement;
         ] );
     ]

@@ -376,6 +376,24 @@ let test_gammln_factorial () =
   Alcotest.(check bool) "Gamma(5)=24" true (feq ~eps:1e-6 (exp (Stats.gammln 5.0)) 24.0);
   Alcotest.(check bool) "Gamma(1)=1" true (feq ~eps:1e-6 (exp (Stats.gammln 1.0)) 1.0)
 
+let test_gamma_q_edge_cases () =
+  (* Boundary behaviour of Q(a, x) around x = 0: the sign test that
+     replaced float-literal equality (lint rule F001) must keep
+     Q(a, 0) = 1 exactly and stay continuous just right of zero. *)
+  Alcotest.(check (float 0.0)) "Q(a,0) = 1 exactly" 1.0 (Stats.regularized_gamma_q 2.5 0.0);
+  Alcotest.(check bool) "Q(a,eps) ~ 1" true
+    (feq ~eps:1e-6 (Stats.regularized_gamma_q 2.5 1e-12) 1.0);
+  Alcotest.(check bool) "Q(a,x) decreases in x" true
+    (Stats.regularized_gamma_q 2.5 1.0 > Stats.regularized_gamma_q 2.5 4.0);
+  Alcotest.(check bool) "Q(a,large) ~ 0" true
+    (Stats.regularized_gamma_q 2.5 1e3 < 1e-9);
+  (* Q(1, x) = exp(-x) in closed form, on both sides of the series /
+     continued-fraction split at x = a + 1. *)
+  Alcotest.(check bool) "Q(1,0.5) = exp(-0.5)" true
+    (feq ~eps:1e-9 (Stats.regularized_gamma_q 1.0 0.5) (exp (-0.5)));
+  Alcotest.(check bool) "Q(1,5) = exp(-5)" true
+    (feq ~eps:1e-9 (Stats.regularized_gamma_q 1.0 5.0) (exp (-5.0)))
+
 let test_chi2_known_values () =
   (* chi2 CDF complement checked against standard tables. *)
   Alcotest.(check bool) "df=1, x=3.841 -> p ~ 0.05" true
@@ -590,6 +608,7 @@ let () =
           Alcotest.test_case "percentile negatives" `Quick
             test_stats_percentile_negative_values;
           Alcotest.test_case "gammln factorial" `Quick test_gammln_factorial;
+          Alcotest.test_case "gamma Q edge cases" `Quick test_gamma_q_edge_cases;
           Alcotest.test_case "chi2 table values" `Quick test_chi2_known_values;
           Alcotest.test_case "chi2 statistic" `Quick test_chi2_statistic;
           Alcotest.test_case "chi2 accepts uniform" `Quick test_chi2_uniform_accepts_uniform;
