@@ -3,15 +3,16 @@
    rows/series the paper reports; EXPERIMENTS.md records the
    paper-vs-measured comparison.
 
-   Usage:   dune exec bench/main.exe [-- fig4 fig6 ... micro] [--json DIR]
+   Usage:   dune exec bench/main.exe [-- fig4 fig6 ... micro] [--json] [--out-dir DIR]
    Scale:   ATUM_BENCH_SCALE=quick|default|full  (default: default)
 
-   With [--json DIR] (or ATUM_BENCH_JSON=DIR) every figure also writes
-   a machine-readable BENCH_<fig>.json artifact into DIR carrying the
-   same rows as the text output plus seed, scale and wall time — see
-   the schema note in EXPERIMENTS.md.  All fields except wall_s are
-   deterministic; set ATUM_BENCH_JSON_CANON=1 to zero wall_s and get
-   byte-identical files across same-seed runs.                          *)
+   With [--json] (or ATUM_BENCH_JSON=DIR) every figure also writes a
+   machine-readable BENCH_<fig>.json artifact into the out-dir
+   (default _artifacts/, created if missing) carrying the same rows as
+   the text output plus seed, scale, build provenance and wall time —
+   see the schema note in EXPERIMENTS.md.  All fields except wall_s
+   are deterministic; set ATUM_BENCH_JSON_CANON=1 to zero wall_s and
+   get byte-identical files across same-seed runs.                      *)
 
 module Params = Atum_core.Params
 module Atum = Atum_core.Atum
@@ -29,11 +30,20 @@ let scale_name =
 
 let json_dir = ref (Sys.getenv_opt "ATUM_BENCH_JSON")
 
+(* Provenance for BENCH_*.json build_info; basename so artifacts don't
+   depend on where the binary was invoked from. *)
+let cmdline =
+  match Array.to_list Sys.argv with
+  | [] -> []
+  | argv0 :: rest -> Filename.basename argv0 :: rest
+
 let emit_json ~fig ~seed ~wall_s ?extra rows =
   match !json_dir with
   | None -> ()
   | Some dir ->
-    let doc = W.Report.envelope ~fig ~scale:scale_name ~seed ~wall_s ?extra ~rows () in
+    let doc =
+      W.Report.envelope ~cmdline ~fig ~scale:scale_name ~seed ~wall_s ?extra ~rows ()
+    in
     let path = W.Report.write ~dir ~fig doc in
     Printf.printf "  [json] wrote %s\n%!" path
 
@@ -623,26 +633,39 @@ let all_figs =
     ("micro", micro);
   ]
 
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
 let () =
-  (* Strip --json DIR (CLI overrides the ATUM_BENCH_JSON env var);
-     whatever remains names the figures to run. *)
+  (* Strip --json / --out-dir DIR (CLI overrides the ATUM_BENCH_JSON
+     env var); whatever remains names the figures to run. *)
+  let json_flag = ref false in
+  let out_dir = ref None in
   let rec parse acc = function
     | [] -> List.rev acc
-    | "--json" :: dir :: rest ->
-      json_dir := Some dir;
+    | "--json" :: rest ->
+      json_flag := true;
       parse acc rest
-    | "--json" :: [] ->
-      prerr_endline "--json requires a directory argument";
+    | "--out-dir" :: dir :: rest ->
+      out_dir := Some dir;
+      parse acc rest
+    | "--out-dir" :: [] ->
+      prerr_endline "--out-dir requires a directory argument";
       exit 2
     | arg :: rest -> parse (arg :: acc) rest
   in
   let names = parse [] (List.tl (Array.to_list Sys.argv)) in
   let requested = if names = [] then List.map fst all_figs else names in
-  (match !json_dir with
-  | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
-    Printf.eprintf "--json: %s is not a directory\n" dir;
-    exit 2
-  | _ -> ());
+  (match (!json_flag, !out_dir) with
+  | true, dir -> json_dir := Some (Option.value dir ~default:"_artifacts")
+  | false, Some dir ->
+    (* --out-dir redirects even env-enabled artifact runs. *)
+    if !json_dir <> None then json_dir := Some dir
+  | false, None -> ());
+  Option.iter mkdir_p !json_dir;
   Printf.printf "Atum benchmark harness — scale=%s\n" scale_name;
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -7,6 +7,7 @@
      guideline  print the optimal rwl for a (vgroups, hc) pair
      simulate   free-run a deployment with churn and broadcasts
      analyze    reconstruct causality from an ATUM_*.json artifact
+     report     render an ATUM_timeseries.json artifact as text
      lint       run the determinism & protocol-safety linter (LINT.md) *)
 
 open Cmdliner
@@ -34,26 +35,51 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG 
 
 let json_arg =
   Arg.(
-    value
-    & opt (some dir) None
+    value & flag
     & info [ "json" ]
-        ~docv:"DIR"
         ~doc:
-          "Also write a machine-readable ATUM_$(i,CMD).json artifact into $(docv): \
-           run parameters, a metrics snapshot (counters + series summaries) and the \
-           structured event trace.  Same JSON dialect as the bench harness's \
-           BENCH_*.json files (see EXPERIMENTS.md).")
+          "Also write machine-readable artifacts into the --out-dir: \
+           ATUM_$(i,CMD).json (run parameters, a metrics snapshot and the \
+           structured event trace) and ATUM_timeseries.json (telemetry gauge \
+           series plus the engine profile).  Same JSON dialect as the bench \
+           harness's BENCH_*.json files (see EXPERIMENTS.md).")
+
+let out_dir_arg =
+  Arg.(
+    value
+    & opt string "_artifacts"
+    & info [ "out-dir" ] ~docv:"DIR"
+        ~doc:"Directory for --json artifacts; created if missing.")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Artifacts embed the command line (provenance), so normalize away
+   the invocation-specific binary path. *)
+let cmdline () =
+  match Array.to_list Sys.argv with
+  | [] -> []
+  | argv0 :: rest -> Filename.basename argv0 :: rest
 
 (* Mirrors the bench harness envelope: provenance first, then the
    command-specific summary, then the full observability payload. *)
 let write_json_artifact ~dir ~cmd ~seed atum summary =
+  mkdir_p dir;
+  let cmdline = cmdline () in
+  let provenance =
+    [
+      ("schema_version", Json.Int W.Report.schema_version);
+      ("cmd", Json.String cmd);
+      ("seed", Json.Int seed);
+      ("build_info", W.Build_info.to_json ~cmdline ~seed ());
+    ]
+  in
   let doc =
     Json.Obj
-      ([
-         ("schema_version", Json.Int W.Report.schema_version);
-         ("cmd", Json.String cmd);
-         ("seed", Json.Int seed);
-       ]
+      (provenance
       @ summary
       @ [
           ("metrics", Atum_sim.Metrics.to_json (Atum.metrics atum));
@@ -62,7 +88,21 @@ let write_json_artifact ~dir ~cmd ~seed atum summary =
   in
   let path = Filename.concat dir (Printf.sprintf "ATUM_%s.json" cmd) in
   Json.write_file ~path doc;
-  Printf.printf "json             : wrote %s\n" path
+  Printf.printf "json             : wrote %s\n" path;
+  match Atum.telemetry atum with
+  | None -> ()
+  | Some tel ->
+    let ts_doc =
+      Json.Obj
+        (provenance
+        @ [
+            ("timeseries", Atum_sim.Telemetry.to_json tel);
+            ("profile", Atum_sim.Engine.profile_json (Atum.engine atum));
+          ])
+    in
+    let ts_path = Filename.concat dir "ATUM_timeseries.json" in
+    Json.write_file ~path:ts_path ts_doc;
+    Printf.printf "json             : wrote %s\n" ts_path
 
 let protocol_arg =
   Arg.(
@@ -72,7 +112,8 @@ let protocol_arg =
 
 (* [--json] runs carry the full observability payload, so they also
    get the online invariant monitor: its monitor.violation.* counters
-   land in the metrics snapshot the analyzer reads. *)
+   land in the metrics snapshot the analyzer reads.  Telemetry is on
+   by default in Builder.grow, so every run has gauge series. *)
 let build ?(trace = false) ~protocol ~n ~seed ~byzantine () =
   let params = { (Params.for_system_size ~protocol n) with Params.seed } in
   W.Builder.grow ~params ~trace ~monitor:trace ~byzantine ~n:(n + byzantine) ~seed ()
@@ -92,8 +133,8 @@ let report_build built =
   Printf.printf "simulated time   : %.0f s\n" (Atum.now atum)
 
 let grow_cmd =
-  let run protocol n seed json =
-    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine:0 () in
+  let run protocol n seed json out_dir =
+    let built = build ~trace:json ~protocol ~n ~seed ~byzantine:0 () in
     report_build built;
     let atum = built.W.Builder.atum in
     let m = Atum.metrics atum in
@@ -101,22 +142,20 @@ let grow_cmd =
       (fun c -> Printf.printf "%-17s: %d\n" c (Atum_sim.Metrics.counter m c))
       [ "join.completed"; "vgroup.split"; "vgroup.merge"; "exchange.completed";
         "exchange.suppressed"; "walk.completed" ];
-    Option.iter
-      (fun dir ->
-        write_json_artifact ~dir ~cmd:"grow" ~seed atum
-          [
-            ("n", Json.Int n);
-            ("size", Json.Int (Atum.size atum));
-            ("vgroups", Json.Int (Atum.vgroup_count atum));
-            ("messages_sent", Json.Int (Atum.messages_sent atum));
-            ("bytes_sent", Json.Int (Atum.bytes_sent atum));
-            ("sim_time_s", Json.Float (Atum.now atum));
-          ])
-      json
+    if json then
+      write_json_artifact ~dir:out_dir ~cmd:"grow" ~seed atum
+        [
+          ("n", Json.Int n);
+          ("size", Json.Int (Atum.size atum));
+          ("vgroups", Json.Int (Atum.vgroup_count atum));
+          ("messages_sent", Json.Int (Atum.messages_sent atum));
+          ("bytes_sent", Json.Int (Atum.bytes_sent atum));
+          ("sim_time_s", Json.Float (Atum.now atum));
+        ]
   in
   Cmd.v
     (Cmd.info "grow" ~doc:"Grow a deployment and report overlay statistics.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ json_arg)
+    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ json_arg $ out_dir_arg)
 
 let broadcast_cmd =
   let messages_arg =
@@ -125,8 +164,8 @@ let broadcast_cmd =
   let byz_arg =
     Arg.(value & opt int 0 & info [ "byzantine" ] ~docv:"B" ~doc:"Byzantine nodes to add.")
   in
-  let run protocol n seed messages byzantine json =
-    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine () in
+  let run protocol n seed messages byzantine json out_dir =
+    let built = build ~trace:json ~protocol ~n ~seed ~byzantine () in
     let r = W.Latency_exp.run built ~messages ~gap:2.0 ~seed in
     let p q = Atum_util.Stats.percentile r.W.Latency_exp.latencies q in
     Printf.printf "deliveries       : %d/%d (%.2f%%)\n" r.W.Latency_exp.observed_deliveries
@@ -134,20 +173,20 @@ let broadcast_cmd =
     Printf.printf "latency (s)      : p10=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n" (p 10.0)
       (p 50.0) (p 90.0) (p 99.0)
       (List.fold_left max 0.0 r.latencies);
-    Option.iter
-      (fun dir ->
-        write_json_artifact ~dir ~cmd:"broadcast" ~seed built.W.Builder.atum
-          [
-            ("n", Json.Int n);
-            ("byzantine", Json.Int byzantine);
-            ("messages", Json.Int messages);
-            ("latency", W.Report.latency_row ~label:"broadcast" r);
-          ])
-      json
+    if json then
+      write_json_artifact ~dir:out_dir ~cmd:"broadcast" ~seed built.W.Builder.atum
+        [
+          ("n", Json.Int n);
+          ("byzantine", Json.Int byzantine);
+          ("messages", Json.Int messages);
+          ("latency", W.Report.latency_row ~label:"broadcast" r);
+        ]
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Measure broadcast latency on a fresh deployment.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ messages_arg $ byz_arg $ json_arg)
+    Term.(
+      const run $ protocol_arg $ nodes_arg $ seed_arg $ messages_arg $ byz_arg $ json_arg
+      $ out_dir_arg)
 
 let churn_cmd =
   let rate_arg =
@@ -160,8 +199,8 @@ let churn_cmd =
       value & opt float 180.0
       & info [ "d"; "duration" ] ~docv:"SEC" ~doc:"Churn duration in simulated seconds.")
   in
-  let run protocol n seed rate duration json =
-    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine:0 () in
+  let run protocol n seed rate duration json out_dir =
+    let built = build ~trace:json ~protocol ~n ~seed ~byzantine:0 () in
     let p = W.Churn.probe built ~rate_per_min:rate ~duration ~seed in
     Printf.printf "rate             : %.1f re-joins/min (%.1f%% of N)\n" rate
       (100.0 *. rate /. float_of_int n);
@@ -169,24 +208,24 @@ let churn_cmd =
       p.joins_completed;
     Printf.printf "size             : %d -> %d\n" p.size_before p.size_after;
     Printf.printf "verdict          : %s\n" (if p.sustained then "SUSTAINED" else "NOT sustained");
-    Option.iter
-      (fun dir ->
-        write_json_artifact ~dir ~cmd:"churn" ~seed built.W.Builder.atum
-          [
-            ("n", Json.Int n);
-            ("rate_per_min", Json.Float rate);
-            ("duration_s", Json.Float duration);
-            ("joins_started", Json.Int p.W.Churn.joins_started);
-            ("joins_completed", Json.Int p.joins_completed);
-            ("size_before", Json.Int p.size_before);
-            ("size_after", Json.Int p.size_after);
-            ("sustained", Json.Bool p.sustained);
-          ])
-      json
+    if json then
+      write_json_artifact ~dir:out_dir ~cmd:"churn" ~seed built.W.Builder.atum
+        [
+          ("n", Json.Int n);
+          ("rate_per_min", Json.Float rate);
+          ("duration_s", Json.Float duration);
+          ("joins_started", Json.Int p.W.Churn.joins_started);
+          ("joins_completed", Json.Int p.joins_completed);
+          ("size_before", Json.Int p.size_before);
+          ("size_after", Json.Int p.size_after);
+          ("sustained", Json.Bool p.sustained);
+        ]
   in
   Cmd.v
     (Cmd.info "churn" ~doc:"Probe a churn rate for sustainability.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ rate_arg $ duration_arg $ json_arg)
+    Term.(
+      const run $ protocol_arg $ nodes_arg $ seed_arg $ rate_arg $ duration_arg $ json_arg
+      $ out_dir_arg)
 
 let guideline_cmd =
   let vgroups_arg =
@@ -208,8 +247,8 @@ let simulate_cmd =
   let minutes_arg =
     Arg.(value & opt float 10.0 & info [ "minutes" ] ~docv:"MIN" ~doc:"Simulated minutes.")
   in
-  let run protocol n seed minutes json =
-    let built = build ~trace:(json <> None) ~protocol ~n ~seed ~byzantine:0 () in
+  let run protocol n seed minutes json out_dir =
+    let built = build ~trace:json ~protocol ~n ~seed ~byzantine:0 () in
     let atum = built.W.Builder.atum in
     Atum.start_heartbeats atum;
     let rng = Atum_util.Rng.create seed in
@@ -231,22 +270,21 @@ let simulate_cmd =
         (Atum.now atum /. 60.0) (Atum.size atum) (Atum.vgroup_count atum) !delivered
     done;
     report_build built;
-    Option.iter
-      (fun dir ->
-        write_json_artifact ~dir ~cmd:"simulate" ~seed atum
-          [
-            ("n", Json.Int n);
-            ("minutes", Json.Float minutes);
-            ("deliveries", Json.Int !delivered);
-            ("size", Json.Int (Atum.size atum));
-            ("vgroups", Json.Int (Atum.vgroup_count atum));
-            ("sim_time_s", Json.Float (Atum.now atum));
-          ])
-      json
+    if json then
+      write_json_artifact ~dir:out_dir ~cmd:"simulate" ~seed atum
+        [
+          ("n", Json.Int n);
+          ("minutes", Json.Float minutes);
+          ("deliveries", Json.Int !delivered);
+          ("size", Json.Int (Atum.size atum));
+          ("vgroups", Json.Int (Atum.vgroup_count atum));
+          ("sim_time_s", Json.Float (Atum.now atum));
+        ]
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Free-run a deployment with churn and broadcasts.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg)
+    Term.(
+      const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg $ out_dir_arg)
 
 let analyze_cmd =
   let file_arg =
@@ -256,38 +294,75 @@ let analyze_cmd =
       & info [] ~docv:"FILE"
           ~doc:"An ATUM_*.json artifact written by a subcommand run with --json.")
   in
-  let run file json =
+  let run file json out_dir =
     match W.Analyze.load_file file with
     | Error e ->
       Printf.eprintf "analyze: %s: %s\n" file e;
       exit 1
     | Ok r ->
       Format.printf "@[<v>%a@]@." W.Analyze.pp r;
-      Option.iter
-        (fun dir ->
-          let fields =
-            match W.Analyze.to_json r with
-            | Json.Obj fields -> fields
-            | j -> [ ("analysis", j) ]
-          in
-          let path = Filename.concat dir "ATUM_analyze.json" in
-          Json.write_file ~path
-            (Json.Obj
-               ([
-                  ("schema_version", Json.Int W.Report.schema_version);
-                  ("cmd", Json.String "analyze");
-                  ("source", Json.String file);
-                ]
-               @ fields));
-          Printf.printf "json             : wrote %s\n" path)
-        json
+      if json then begin
+        mkdir_p out_dir;
+        let fields =
+          match W.Analyze.to_json r with
+          | Json.Obj fields -> fields
+          | j -> [ ("analysis", j) ]
+        in
+        let path = Filename.concat out_dir "ATUM_analyze.json" in
+        Json.write_file ~path
+          (Json.Obj
+             ([
+                ("schema_version", Json.Int W.Report.schema_version);
+                ("cmd", Json.String "analyze");
+                ("source", Json.String file);
+                ("build_info", W.Build_info.to_json ~cmdline:(cmdline ()) ~seed:0 ());
+              ]
+             @ fields));
+        Printf.printf "json             : wrote %s\n" path
+      end
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Reconstruct per-broadcast dissemination trees, saga durations and the \
           invariant-violation summary from an ATUM_*.json trace artifact.")
-    Term.(const run $ file_arg $ json_arg)
+    Term.(const run $ file_arg $ json_arg $ out_dir_arg)
+
+let report_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "An ATUM_timeseries.json artifact (written into the --out-dir by any \
+             subcommand run with --json).")
+  in
+  let run file =
+    let contents =
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Error e ->
+      Printf.eprintf "report: %s: %s\n" file e;
+      exit 1
+    | Ok doc -> (
+      match W.Report.render_timeseries_artifact Format.std_formatter doc with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "report: %s: %s\n" file e;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render an ATUM_timeseries.json artifact as text: one sparkline per telemetry \
+          gauge plus the engine's per-label profile table (sorted by self-time; by \
+          event count when the run had no ATUM_PROF_WALL).")
+    Term.(const run $ file_arg)
 
 let lint_cmd =
   let module Driver = Atum_linter.Driver in
@@ -310,15 +385,15 @@ let lint_cmd =
       & pos_all string [ "lib"; "bin" ]
       & info [] ~docv:"DIR" ~doc:"Directories to scan, relative to the root.")
   in
-  let run root allow verbose dirs json =
+  let run root allow verbose dirs json out_dir =
     let allow_file = if Filename.is_relative allow then Filename.concat root allow else allow in
     let r = Driver.run ~root ~dirs ~allow_file () in
     Driver.print_human ~verbose Format.std_formatter r;
-    Option.iter
-      (fun dir ->
-        let path = Driver.write_json ~dir r in
-        Printf.printf "json             : wrote %s\n" path)
-      json;
+    if json then begin
+      mkdir_p out_dir;
+      let path = Driver.write_json ~dir:out_dir r in
+      Printf.printf "json             : wrote %s\n" path
+    end;
     if not (Driver.ok r) then exit 1
   in
   Cmd.v
@@ -327,7 +402,7 @@ let lint_cmd =
          "Run the determinism & protocol-safety linter (AST-level, see LINT.md) over the \
           repository sources.  Exits non-zero on any violation not suppressed by the \
           allowlist.  With --json, writes ATUM_lint.json.")
-    Term.(const run $ root_arg $ allow_arg $ verbose_arg $ dirs_arg $ json_arg)
+    Term.(const run $ root_arg $ allow_arg $ verbose_arg $ dirs_arg $ json_arg $ out_dir_arg)
 
 let dht_cmd =
   let byz_pct_arg =
@@ -349,7 +424,7 @@ let dht_cmd =
 
 let () =
   let info =
-    Cmd.info "atum-cli" ~version:"1.0.0"
+    Cmd.info "atum-cli" ~version:W.Build_info.version
       ~doc:"Drive simulated Atum deployments (volatile-group GCS) from the command line."
   in
   exit
@@ -357,5 +432,5 @@ let () =
        (Cmd.group info
           [
             grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; analyze_cmd;
-            lint_cmd; dht_cmd;
+            report_cmd; lint_cmd; dht_cmd;
           ]))

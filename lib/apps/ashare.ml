@@ -101,7 +101,7 @@ let get t ~reader ~owner ~name ~k =
     let result =
       Option.map (fun r -> { r with latency = r.latency +. lookup_overhead }) result
     in
-    Atum_sim.Engine.schedule (engine t) ~delay (fun () -> k result)
+    Atum_sim.Engine.schedule ~label:"ashare.rpc" (engine t) ~delay (fun () -> k result)
   in
   match Kv_index.get (index_of t reader) (key ~owner ~name) with
   | None -> finish 0.001 None

@@ -299,10 +299,10 @@ let simulate ?(chunks = 8) ?(rate_mb_per_s = 1.0) t ~chunk_mb =
   let children_of p =
     List.filter (fun nid -> nid <> t.src && List.mem p (parents t nid)) participants
   in
-  Atum_sim.Engine.schedule_at engine ~time:produced.(0) (fun () ->
+  Atum_sim.Engine.schedule_at ~label:"astream.produce" engine ~time:produced.(0) (fun () ->
       List.iter
         (fun child ->
-          Atum_sim.Engine.schedule engine ~delay:hop (fun () -> record child 0))
+          Atum_sim.Engine.schedule ~label:"astream.hop" engine ~delay:hop (fun () -> record child 0))
         (children_of t.src));
   (* Correct relays also push chunk 0 onward when they receive it. *)
   let pushed = Hashtbl.create 64 in
@@ -315,13 +315,13 @@ let simulate ?(chunks = 8) ?(rate_mb_per_s = 1.0) t ~chunk_mb =
           Hashtbl.replace pushed nid ();
           List.iter
             (fun child ->
-              Atum_sim.Engine.schedule engine ~delay:hop (fun () -> record child 0))
+              Atum_sim.Engine.schedule ~label:"astream.hop" engine ~delay:hop (fun () -> record child 0))
             (children_of nid)
         end)
       participants;
-    Atum_sim.Engine.schedule engine ~delay:pull_interval push_loop
+    Atum_sim.Engine.schedule ~label:"astream.push" engine ~delay:pull_interval push_loop
   in
-  Atum_sim.Engine.schedule engine ~delay:pull_interval push_loop;
+  Atum_sim.Engine.schedule ~label:"astream.push" engine ~delay:pull_interval push_loop;
   (* Pull phase: each non-source node works through its parent list. *)
   let start_pulling nid =
     let my_parents = parents t nid @ shortcut_parents t nid in
@@ -340,7 +340,7 @@ let simulate ?(chunks = 8) ?(rate_mb_per_s = 1.0) t ~chunk_mb =
           let parent = List.nth my_parents (!parent_ix mod List.length my_parents) in
           if serves parent c then begin
             waiting_since := Atum_sim.Engine.now engine;
-            Atum_sim.Engine.schedule engine ~delay:hop (fun () ->
+            Atum_sim.Engine.schedule ~label:"astream.hop" engine ~delay:hop (fun () ->
                 record nid c;
                 pull ())
           end
@@ -351,10 +351,10 @@ let simulate ?(chunks = 8) ?(rate_mb_per_s = 1.0) t ~chunk_mb =
               incr switches;
               waiting_since := Atum_sim.Engine.now engine
             end;
-            Atum_sim.Engine.schedule engine ~delay:pull_interval pull
+            Atum_sim.Engine.schedule ~label:"astream.pull" engine ~delay:pull_interval pull
           end
       in
-      Atum_sim.Engine.schedule engine ~delay:pull_interval pull
+      Atum_sim.Engine.schedule ~label:"astream.pull" engine ~delay:pull_interval pull
     end
   in
   List.iter (fun nid -> if nid <> t.src then start_pulling nid) participants;

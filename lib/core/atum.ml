@@ -48,6 +48,8 @@ let members_of_vgroup t vid =
 let metrics = System.metrics
 let trace = System.trace
 let engine = System.engine
+let attach_telemetry = System.attach_telemetry
+let telemetry = System.telemetry
 
 let messages_sent t = Atum_sim.Network.messages_sent (System.network t)
 let bytes_sent t = Atum_sim.Network.bytes_sent (System.network t)

@@ -90,6 +90,13 @@ val trace : t -> Atum_sim.Trace.t
 
 val engine : t -> Atum_sim.Engine.t
 
+val attach_telemetry :
+  ?period:float -> ?capacity:int -> t -> Atum_sim.Telemetry.t
+(** Attach the standard sim-time gauge set (see
+    {!System.attach_telemetry}); idempotent. *)
+
+val telemetry : t -> Atum_sim.Telemetry.t option
+
 val messages_sent : t -> int
 val bytes_sent : t -> int
 

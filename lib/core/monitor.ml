@@ -133,7 +133,7 @@ let attach ?config sys =
   System.set_audit sys (Some (fun a -> if t.active then on_audit t a));
   (* The sweep only reads simulation state, so interleaving it with
      protocol events cannot perturb a seeded run's behaviour. *)
-  Engine.every (System.engine sys) ~period:cfg.period (fun () ->
+  Engine.every ~label:"monitor.sweep" (System.engine sys) ~period:cfg.period (fun () ->
       if t.active then ignore (sweep t);
       t.active);
   t

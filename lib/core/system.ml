@@ -14,6 +14,7 @@ module Network = Atum_sim.Network
 module Rounds = Atum_sim.Rounds
 module Metrics = Atum_sim.Metrics
 module Trace = Atum_sim.Trace
+module Telemetry = Atum_sim.Telemetry
 module Hgraph = Atum_overlay.Hgraph
 module Random_walk = Atum_overlay.Random_walk
 module Grouping = Atum_overlay.Grouping
@@ -114,6 +115,7 @@ type t = {
   mutable heartbeats_running : bool;
   mutable heartbeats_since : float;
   mutable shuffling_enabled : bool;
+  mutable telemetry : Telemetry.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -186,6 +188,7 @@ let create ?(net_config : Network.config option) (params : Params.t) =
     heartbeats_running = false;
     heartbeats_since = infinity;
     shuffling_enabled = true;
+    telemetry = None;
   }
 
 let engine t = t.engine
@@ -214,10 +217,12 @@ let fresh_span t =
 
 let span_begin t ~saga ?node ?vgroup ?parent () =
   let span = fresh_span t in
+  Metrics.incr t.metrics "saga.begin.total";
   trace_emit t ~kind:("saga." ^ saga ^ ".begin") ?node ?vgroup ~span ?parent ();
   span
 
 let span_end t ~saga ?node ?vgroup span =
+  Metrics.incr t.metrics "saga.end.total";
   trace_emit t ~kind:("saga." ^ saga ^ ".end") ?node ?vgroup ~span ()
 
 let audit t a = match t.on_audit with Some f -> f a | None -> ()
@@ -287,7 +292,7 @@ let defer t f =
   | Some r ->
     let d = Rounds.round_duration r in
     let next = (Float.floor (now t /. d) +. 1.0) *. d in
-    Engine.schedule_at t.engine ~time:next f
+    Engine.schedule_at ~label:"system.defer" t.engine ~time:next f
 
 (* ------------------------------------------------------------------ *)
 (* SMR plumbing                                                        *)
@@ -327,7 +332,7 @@ let install_smr t vg =
             f;
             send =
               (fun dst m -> Network.send t.net ~src:self ~dst (Sync_msg { vg = vg.vid; epoch; m }));
-            set_timer = (fun delay fn -> Engine.schedule t.engine ~delay fn);
+            set_timer = (fun delay fn -> Engine.schedule ~label:"smr.timer" t.engine ~delay fn);
           }
         in
         let inst =
@@ -351,7 +356,7 @@ let install_smr t vg =
             send =
               (fun dst m ->
                 Network.send t.net ~src:self ~dst (Async_msg { vg = vg.vid; epoch; m }));
-            set_timer = (fun delay fn -> Engine.schedule t.engine ~delay fn);
+            set_timer = (fun delay fn -> Engine.schedule ~label:"smr.timer" t.engine ~delay fn);
           }
         in
         let inst =
@@ -593,7 +598,7 @@ let start_walk ?parent t ~from_vg ~k =
        start over from the origin, unless the origin itself is gone. *)
     match vgroup_opt t from_vg with
     | Some src when not src.retired ->
-      Engine.schedule t.engine ~delay:0.01 (fun () ->
+      Engine.schedule ~label:"walk.restart" t.engine ~delay:0.01 (fun () ->
           let choices = Random_walk.bulk_choices t.rng ~length:t.params.rwl in
           forward from_vg [] [] choices)
     | _ ->
@@ -692,7 +697,7 @@ and arm_saga_watchdog t vg =
   let timeout =
     Float.max 90.0 (float_of_int (6 * t.params.rwl) *. t.params.round_duration)
   in
-  Engine.schedule t.engine ~delay:timeout (fun () ->
+  Engine.schedule ~label:"saga.watchdog" t.engine ~delay:timeout (fun () ->
       if (not vg.retired) && vg.busy && vg.saga_gen = gen then begin
         Metrics.incr t.metrics "saga.timeout";
         ensure_on_all_cycles t vg;
@@ -782,7 +787,7 @@ and merge t vg ~attempts =
     match candidates with
     | [] ->
       if attempts > 0 then
-        Engine.schedule t.engine ~delay:(2.0 *. t.params.round_duration) (fun () ->
+        Engine.schedule ~label:"merge.retry" t.engine ~delay:(2.0 *. t.params.round_duration) (fun () ->
             merge t vg ~attempts:(attempts - 1))
       else Metrics.incr t.metrics "merge.abandoned"
     | _ ->
@@ -1009,7 +1014,7 @@ let rec depart t ~target ~reason ?(k = fun () -> ()) () =
           k ()
         end
       in
-      Engine.schedule t.engine
+      Engine.schedule ~label:"depart.watchdog" t.engine
         ~delay:(Float.max 10.0 (20.0 *. t.params.round_duration))
         (fun () ->
           if (not !fired) && n.alive && Option.is_some n.vg then
@@ -1199,14 +1204,14 @@ let heartbeat_sweep t =
 let rec heartbeat_loop t () =
   if t.heartbeats_running then begin
     heartbeat_sweep t;
-    Engine.schedule t.engine ~delay:t.params.heartbeat_period (heartbeat_loop t)
+    Engine.schedule ~label:"heartbeat" t.engine ~delay:t.params.heartbeat_period (heartbeat_loop t)
   end
 
 let start_heartbeats t =
   if not t.heartbeats_running then begin
     t.heartbeats_running <- true;
     t.heartbeats_since <- now t;
-    Engine.schedule t.engine ~delay:t.params.heartbeat_period (heartbeat_loop t)
+    Engine.schedule ~label:"heartbeat" t.engine ~delay:t.params.heartbeat_period (heartbeat_loop t)
   end
 
 let stop_heartbeats t = t.heartbeats_running <- false
@@ -1545,3 +1550,63 @@ let check_consistency t =
 let run_until t time = Engine.run ~until:time t.engine
 
 let run_for t dt = Engine.run ~until:(now t +. dt) t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: the standard gauge set                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Every gauge only *reads* simulation state — no RNG draw, no message,
+   no registry mutation — so attaching telemetry cannot perturb a
+   seeded run beyond interleaving pure sampling events. *)
+let attach_telemetry ?period ?capacity t =
+  match t.telemetry with
+  | Some tel -> tel
+  | None ->
+    let tel = Telemetry.create ?period ?capacity t.engine in
+    let reg = Telemetry.register tel in
+    let delta = Telemetry.register_delta tel in
+    reg "system.size" (fun () -> float_of_int (system_size t));
+    reg "system.byzantine" (fun () ->
+        float_of_int (List.length (List.filter (fun n -> n.byzantine) (live_nodes t))));
+    reg "vgroup.count" (fun () -> float_of_int (vgroup_count t));
+    let sizes () = vgroup_sizes t in
+    reg "vgroup.size.min" (fun () ->
+        match sizes () with [] -> 0.0 | s -> float_of_int (List.fold_left min max_int s));
+    reg "vgroup.size.max" (fun () ->
+        match sizes () with [] -> 0.0 | s -> float_of_int (List.fold_left max 0 s));
+    reg "vgroup.size.mean" (fun () ->
+        match sizes () with
+        | [] -> 0.0
+        | s -> float_of_int (List.fold_left ( + ) 0 s) /. float_of_int (List.length s));
+    reg "engine.pending" (fun () -> float_of_int (Engine.pending t.engine));
+    reg "net.inflight" (fun () ->
+        float_of_int
+          (Network.messages_sent t.net - Network.messages_delivered t.net
+         - Network.messages_dropped t.net));
+    delta "net.bytes.delta" (fun () -> Network.bytes_sent t.net);
+    delta "net.sent.delta" (fun () -> Network.messages_sent t.net);
+    List.iter
+      (fun reason ->
+        delta
+          ("net.drop." ^ reason ^ ".delta")
+          (fun () -> Metrics.counter t.metrics ("net.drop." ^ reason)))
+      [ "partition"; "loss"; "no_handler" ];
+    (* Sagas in flight: begins minus ends over every saga span kind.
+       The counters are bumped by [span_begin]/[span_end] below. *)
+    reg "saga.active" (fun () ->
+        float_of_int
+          (Metrics.counter t.metrics "saga.begin.total"
+          - Metrics.counter t.metrics "saga.end.total"));
+    delta "monitor.violation.delta" (fun () ->
+        List.fold_left
+          (fun acc name ->
+            if String.starts_with ~prefix:"monitor.violation." name then
+              acc + Metrics.counter t.metrics name
+            else acc)
+          0
+          (Metrics.counter_names t.metrics));
+    Telemetry.start tel;
+    t.telemetry <- Some tel;
+    tel
+
+let telemetry t = t.telemetry

@@ -66,6 +66,18 @@ val trace : t -> Atum_sim.Trace.t
     the protocol layer.  Disabled by default; call
     [Atum_sim.Trace.set_enabled] to start recording. *)
 
+val attach_telemetry :
+  ?period:float -> ?capacity:int -> t -> Atum_sim.Telemetry.t
+(** Register the standard gauge set (system/vgroup sizes, Byzantine
+    count, engine queue depth, in-flight messages, bytes and drops per
+    period, active sagas, [monitor.violation.*] deltas — 15 gauges)
+    and start sampling every [period] (default
+    {!Atum_sim.Telemetry.default_period}) simulated seconds.
+    Idempotent: a second call returns the already-attached instance.
+    Sampling only reads state, so it never perturbs a seeded run. *)
+
+val telemetry : t -> Atum_sim.Telemetry.t option
+
 val params : t -> Params.t
 val now : t -> float
 val run_until : t -> float -> unit

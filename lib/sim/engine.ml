@@ -1,39 +1,116 @@
+(* Each queued event carries the label it was scheduled under and its
+   scheduling time, so the engine can account its own hot paths:
+   per-label event counts, a histogram of virtual-time scheduling
+   delays, and (opt-in, see Prof_clock) wall-clock self-time. *)
+
+type ev = { fn : unit -> unit; label : string; sched : float }
+
+(* Log2 buckets of (execution time - scheduling time) in virtual
+   seconds.  Bucket 0 is "immediate" (delay <= 0); bucket i >= 1
+   covers delays in [2^(i-11), 2^(i-10)), so ~1 ms lands in bucket 1
+   and the top bucket absorbs everything from ~2^12 s up. *)
+let delay_buckets = 24
+
+let delay_bucket d =
+  if d <= 0.0 then 0
+  else begin
+    let b = int_of_float (Float.floor (Float.log2 d)) + 11 in
+    if b < 1 then 1 else if b > delay_buckets - 1 then delay_buckets - 1 else b
+  end
+
+let delay_bucket_lo i = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 11))
+
+type label_stats = {
+  mutable events : int;
+  mutable wall : float;
+  mutable vt_first : float;
+  mutable vt_last : float;
+  delay_hist : int array;
+}
+
 type t = {
-  queue : (unit -> unit) Atum_util.Pqueue.t;
+  queue : ev Atum_util.Pqueue.t;
   mutable clock : float;
   mutable stopped : bool;
   mutable processed : int;
   mutable trace : Trace.t option;
+  labels : (string, label_stats) Hashtbl.t;
 }
 
 let create () =
-  { queue = Atum_util.Pqueue.create (); clock = 0.0; stopped = false; processed = 0; trace = None }
+  {
+    queue = Atum_util.Pqueue.create ();
+    clock = 0.0;
+    stopped = false;
+    processed = 0;
+    trace = None;
+    labels = Hashtbl.create 32;
+  }
 
 let now t = t.clock
 
 let set_trace t trace = t.trace <- Some trace
 
-let schedule_at t ~time f =
+let unlabeled = "(unlabeled)"
+
+let schedule_at ?(label = unlabeled) t ~time f =
   let time = if time < t.clock then t.clock else time in
-  Atum_util.Pqueue.push t.queue time f
+  Atum_util.Pqueue.push t.queue time { fn = f; label; sched = t.clock }
 
-let schedule t ~delay f =
+let schedule ?label t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?label t ~time:(t.clock +. delay) f
 
-let every t ?start ~period f =
+(* Tick times use the closed form [first +. k *. period], never a
+   running [+. period] accumulator: repeated addition of an inexact
+   period (0.1, say) drifts by one ulp per tick, and after enough
+   ticks the k-th tick no longer lands where [first + k*period] says
+   it should — tick counts and sampling timestamps stop being exact. *)
+let every ?label t ?start ~period f =
   if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
   let first = match start with None -> t.clock +. period | Some s -> s in
-  let rec tick () = if f () then schedule t ~delay:period tick in
-  schedule_at t ~time:first tick
+  let k = ref 0 in
+  let rec tick () =
+    if f () then begin
+      incr k;
+      schedule_at ?label t ~time:(first +. (float_of_int !k *. period)) tick
+    end
+  in
+  schedule_at ?label t ~time:first tick
+
+let stats_for t label =
+  match Hashtbl.find_opt t.labels label with
+  | Some s -> s
+  | None ->
+    let s =
+      { events = 0; wall = 0.0; vt_first = 0.0; vt_last = 0.0;
+        delay_hist = Array.make delay_buckets 0 }
+    in
+    Hashtbl.replace t.labels label s;
+    s
+
+let account t (e : ev) ~time =
+  let s = stats_for t e.label in
+  if s.events = 0 then s.vt_first <- time;
+  s.events <- s.events + 1;
+  s.vt_last <- time;
+  let b = delay_bucket (time -. e.sched) in
+  s.delay_hist.(b) <- s.delay_hist.(b) + 1;
+  s
 
 let step t =
   match Atum_util.Pqueue.pop t.queue with
   | None -> false
-  | Some (time, f) ->
+  | Some (time, e) ->
     t.clock <- time;
     t.processed <- t.processed + 1;
-    f ();
+    let s = account t e ~time in
+    if Prof_clock.enabled then begin
+      let t0 = Prof_clock.now () in
+      e.fn ();
+      s.wall <- s.wall +. (Prof_clock.now () -. t0)
+    end
+    else e.fn ();
     true
 
 let run ?until ?max_events t =
@@ -73,3 +150,58 @@ let stop t = t.stopped <- true
 let events_processed t = t.processed
 
 let pending t = Atum_util.Pqueue.size t.queue
+
+(* --- profile export ------------------------------------------------- *)
+
+type label_profile = {
+  label : string;
+  events : int;
+  wall_self_s : float;
+  vt_first : float;
+  vt_last : float;
+  delay_hist : (int * int) list;
+}
+
+let profile t =
+  List.map
+    (fun (label, (s : label_stats)) ->
+      let hist = ref [] in
+      for i = delay_buckets - 1 downto 0 do
+        if s.delay_hist.(i) > 0 then hist := (i, s.delay_hist.(i)) :: !hist
+      done;
+      {
+        label;
+        events = s.events;
+        wall_self_s = s.wall;
+        vt_first = s.vt_first;
+        vt_last = s.vt_last;
+        delay_hist = !hist;
+      })
+    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare t.labels)
+
+let profile_json t =
+  let open Atum_util.Json in
+  let rows =
+    List.map
+      (fun p ->
+        Obj
+          [
+            ("label", String p.label);
+            ("events", Int p.events);
+            ("wall_self_s", Float p.wall_self_s);
+            ("vt_first", Float p.vt_first);
+            ("vt_last", Float p.vt_last);
+            ( "delay_hist",
+              List
+                (List.map
+                   (fun (b, n) -> Obj [ ("bucket", Int b); ("count", Int n) ])
+                   p.delay_hist) );
+          ])
+      (profile t)
+  in
+  Obj
+    [
+      ("wall_clock_enabled", Bool Prof_clock.enabled);
+      ("events_total", Int t.processed);
+      ("labels", List rows);
+    ]

@@ -104,7 +104,7 @@ let send ?(size = 64) t ~src ~dst msg =
        dropped by the delivery-time partition re-check or a missing
        handler must not advance the receiver's queue tail, or dropped
        traffic would permanently consume receiver capacity. *)
-    Engine.schedule t.engine ~delay (fun () ->
+    Engine.schedule ~label:"net.transit" t.engine ~delay (fun () ->
         if partition_of t src <> partition_of t dst then
           drop t ~reason:"partition" ~src ~dst
         else begin
@@ -132,7 +132,7 @@ let send ?(size = 64) t ~src ~dst msg =
               let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
               let finish = Float.max arrival tail +. (1.0 /. capacity) in
               Hashtbl.replace t.ready dst finish;
-              Engine.schedule t.engine ~delay:(finish -. arrival) deliver)
+              Engine.schedule ~label:"net.service" t.engine ~delay:(finish -. arrival) deliver)
         end)
   end
 

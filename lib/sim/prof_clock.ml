@@ -1,0 +1,11 @@
+(* See prof_clock.mli: this module exists so that exactly one source
+   line in lib/ reads the wall clock, and that line is behind an
+   opt-in env var.  Everything deterministic must go through
+   [Engine.now] instead. *)
+
+let enabled =
+  match Sys.getenv_opt "ATUM_PROF_WALL" with
+  | Some ("" | "0") | None -> false
+  | Some _ -> true
+
+let now () = if enabled then Unix.gettimeofday () else 0.0

@@ -1,0 +1,16 @@
+(** The engine profiler's wall clock — the {e only} sanctioned
+    wall-clock read inside [lib/] (one line, allowlisted for lint rule
+    D001 so the rule stays meaningful everywhere else).
+
+    Disabled by default: {!now} returns [0.0], so wall-clock self-times
+    in the engine profile are identically zero and every artifact stays
+    a pure function of the seed.  Set [ATUM_PROF_WALL=1] to measure
+    real self-times; doing so makes the [wall_self_s] fields of the
+    profile nondeterministic (and only those — gauges, event counts and
+    virtual-time statistics never touch this module). *)
+
+val enabled : bool
+(** [ATUM_PROF_WALL] set to anything but [""]/["0"] at process start. *)
+
+val now : unit -> float
+(** Wall-clock seconds when {!enabled}, [0.0] otherwise. *)

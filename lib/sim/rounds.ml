@@ -27,13 +27,13 @@ let rec tick t () =
   if t.running then begin
     t.round <- t.round + 1;
     List.iter (fun (_, f) -> f t.round) t.subscribers;
-    Engine.schedule t.engine ~delay:t.duration (tick t)
+    Engine.schedule ~label:"rounds.tick" t.engine ~delay:t.duration (tick t)
   end
 
 let start t =
   if not t.running then begin
     t.running <- true;
-    Engine.schedule t.engine ~delay:t.duration (tick t)
+    Engine.schedule ~label:"rounds.tick" t.engine ~delay:t.duration (tick t)
   end
 
 let stop t = t.running <- false

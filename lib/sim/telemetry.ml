@@ -1,0 +1,221 @@
+module Json = Atum_util.Json
+
+let schema_version = 1
+
+let default_period = 5.0
+let default_capacity = 4096
+
+type gauge = { g_name : string; g_read : unit -> float }
+
+type t = {
+  engine : Engine.t;
+  period : float;
+  cap : int;
+  mutable gauges : gauge list; (* reverse registration order until [start] *)
+  mutable started : bool;
+  mutable running : bool;
+  (* Ring storage, allocated at [start]: one shared time axis plus one
+     value row per gauge, all indexed by the same ring cursor. *)
+  mutable times : float array;
+  mutable values : float array array; (* values.(gauge).(slot) *)
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(period = default_period) ?(capacity = default_capacity) engine =
+  if period <= 0.0 then invalid_arg "Telemetry.create: period must be positive";
+  if capacity <= 0 then invalid_arg "Telemetry.create: capacity must be positive";
+  {
+    engine;
+    period;
+    cap = capacity;
+    gauges = [];
+    started = false;
+    running = false;
+    times = [||];
+    values = [||];
+    next = 0;
+    total = 0;
+  }
+
+let period t = t.period
+let capacity t = t.cap
+
+let register t name read =
+  if t.started then invalid_arg "Telemetry.register: sampling already started";
+  if List.exists (fun g -> String.equal g.g_name name) t.gauges then
+    invalid_arg (Printf.sprintf "Telemetry.register: duplicate gauge %S" name);
+  t.gauges <- { g_name = name; g_read = read } :: t.gauges
+
+let register_delta t name read =
+  let last = ref 0 in
+  register t name (fun () ->
+      let v = read () in
+      let d = v - !last in
+      last := v;
+      float_of_int d)
+
+let sample t =
+  t.times.(t.next) <- Engine.now t.engine;
+  List.iteri (fun i g -> t.values.(i).(t.next) <- g.g_read ()) t.gauges;
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    t.running <- true;
+    t.gauges <-
+      List.sort (fun a b -> String.compare a.g_name b.g_name) t.gauges;
+    t.times <- Array.make t.cap 0.0;
+    t.values <- Array.init (List.length t.gauges) (fun _ -> Array.make t.cap 0.0);
+    Engine.every ~label:"telemetry.sample" t.engine ~period:t.period (fun () ->
+        if t.running then sample t;
+        t.running)
+  end
+
+let stop t = t.running <- false
+
+let gauge_names t =
+  let names = List.map (fun g -> g.g_name) t.gauges in
+  if t.started then names else List.sort String.compare names
+
+let samples_total t = t.total
+let samples_kept t = min t.total t.cap
+
+(* Oldest slot sits at [next] once the ring has wrapped. *)
+let fold_slots t ~init ~f =
+  let kept = samples_kept t in
+  let first = if t.total > t.cap then t.next else 0 in
+  let acc = ref init in
+  for i = 0 to kept - 1 do
+    acc := f !acc ((first + i) mod t.cap)
+  done;
+  !acc
+
+let times t = List.rev (fold_slots t ~init:[] ~f:(fun acc s -> t.times.(s) :: acc))
+
+let series_by_index t i =
+  List.rev (fold_slots t ~init:[] ~f:(fun acc s -> t.values.(i).(s) :: acc))
+
+let series t name =
+  let rec find i = function
+    | [] -> []
+    | g :: rest -> if String.equal g.g_name name then series_by_index t i else find (i + 1) rest
+  in
+  find 0 t.gauges
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("period_s", Json.Float t.period);
+      ("capacity", Json.Int t.cap);
+      ("samples_total", Json.Int (samples_total t));
+      ("samples_kept", Json.Int (samples_kept t));
+      ("times", Json.List (List.map (fun x -> Json.Float x) (times t)));
+      ( "gauges",
+        Json.Obj
+          (List.mapi
+             (fun i g ->
+               ( g.g_name,
+                 Json.List (List.map (fun x -> Json.Float x) (series_by_index t i)) ))
+             t.gauges) );
+    ]
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time";
+  List.iter
+    (fun g ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf g.g_name)
+    t.gauges;
+  Buffer.add_char buf '\n';
+  ignore
+    (fold_slots t ~init:() ~f:(fun () s ->
+         Buffer.add_string buf (Json.float_to_string t.times.(s));
+         List.iteri
+           (fun i _ ->
+             Buffer.add_char buf ',';
+             Buffer.add_string buf (Json.float_to_string t.values.(i).(s)))
+           t.gauges;
+         Buffer.add_char buf '\n'));
+  Buffer.contents buf
+
+(* --- reading an exported artifact back ------------------------------ *)
+
+type reading = {
+  r_period : float;
+  r_times : float list;
+  r_gauges : (string * float list) list;
+  r_samples_total : int;
+}
+
+let of_json json =
+  let err msg = Error ("Telemetry.of_json: " ^ msg) in
+  let number = function
+    | Json.Float f -> Some f
+    | Json.Int i -> Some (float_of_int i)
+    | _ -> None
+  in
+  let number_list name = function
+    | Json.List xs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | x :: rest -> (
+          match number x with
+          | Some f -> go (f :: acc) rest
+          | None -> err (name ^ " contains a non-number"))
+      in
+      go [] xs
+    | _ -> err (name ^ " is not a list")
+  in
+  match json with
+  | Json.Obj _ -> (
+    match Json.member "schema_version" json with
+    | Some (Json.Int v) when v = schema_version -> (
+      let period =
+        match Option.bind (Json.member "period_s" json) number with
+        | Some p when p > 0.0 -> Ok p
+        | _ -> err "missing or invalid period_s"
+      in
+      let total =
+        match Json.member "samples_total" json with
+        | Some (Json.Int n) when n >= 0 -> Ok n
+        | _ -> err "missing or invalid samples_total"
+      in
+      let times =
+        match Json.member "times" json with
+        | Some j -> number_list "times" j
+        | None -> err "missing times"
+      in
+      match (period, total, times) with
+      | Ok r_period, Ok r_samples_total, Ok r_times -> (
+        match Json.member "gauges" json with
+        | Some (Json.Obj fields) ->
+          let rec go acc = function
+            | [] ->
+              Ok
+                {
+                  r_period;
+                  r_times;
+                  r_gauges =
+                    List.sort (fun (a, _) (b, _) -> String.compare a b) (List.rev acc);
+                  r_samples_total;
+                }
+            | (name, j) :: rest -> (
+              match number_list ("gauge " ^ name) j with
+              | Ok xs ->
+                if List.length xs <> List.length r_times then
+                  err (Printf.sprintf "gauge %s has %d samples for %d timestamps" name
+                         (List.length xs) (List.length r_times))
+                else go ((name, xs) :: acc) rest
+              | Error e -> Error e)
+          in
+          go [] fields
+        | _ -> err "missing gauges object")
+      | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e) -> e)
+    | Some (Json.Int v) -> err (Printf.sprintf "unsupported schema_version %d" v)
+    | _ -> err "missing schema_version")
+  | _ -> err "expected an object"

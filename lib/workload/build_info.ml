@@ -1,0 +1,35 @@
+module Json = Atum_util.Json
+
+let version = "1.1.0"
+
+(* One subprocess per process, at first use.  Deterministic for the
+   artifact contract: within one checkout the output never changes
+   between two same-seed runs. *)
+let git_describe =
+  let cached = ref None in
+  fun () ->
+    match !cached with
+    | Some v -> v
+    | None ->
+      let v =
+        try
+          let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+          let line = try input_line ic with End_of_file -> "" in
+          let status = Unix.close_process_in ic in
+          (match (status, line) with
+          | Unix.WEXITED 0, l when String.length l > 0 -> l
+          | _ -> "unknown")
+        with _ -> "unknown"
+      in
+      cached := Some v;
+      v
+
+let to_json ?(extra = []) ~cmdline ~seed () =
+  Json.Obj
+    ([
+       ("version", Json.String version);
+       ("git", Json.String (git_describe ()));
+       ("seed", Json.Int seed);
+       ("cmdline", Json.String (String.concat " " cmdline));
+     ]
+    @ extra)

@@ -10,8 +10,8 @@ type built = {
 let live_ids atum =
   List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
 
-let grow ?params ?net_config ?(trace = false) ?(monitor = false) ?(byzantine = 0)
-    ?(batch = 8) ?(settle = 90.0) ~n ~seed () =
+let grow ?params ?net_config ?(trace = false) ?(monitor = false) ?(telemetry = true)
+    ?telemetry_period ?(byzantine = 0) ?(batch = 8) ?(settle = 90.0) ~n ~seed () =
   let params =
     match params with
     | Some p -> p
@@ -20,6 +20,8 @@ let grow ?params ?net_config ?(trace = false) ?(monitor = false) ?(byzantine = 0
   let atum = Atum.create ~params ?net_config () in
   if trace then Atum_sim.Trace.set_enabled (Atum.trace atum) true;
   if monitor then ignore (Atum_core.Monitor.attach (Atum.system atum));
+  if telemetry then
+    ignore (Atum.attach_telemetry ?period:telemetry_period atum : Atum_sim.Telemetry.t);
   let rng = Atum_util.Rng.create (seed + 31) in
   let first = Atum.bootstrap atum in
   let stall = ref 0 in

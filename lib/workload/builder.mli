@@ -13,6 +13,8 @@ val grow :
   ?net_config:Atum_sim.Network.config ->
   ?trace:bool ->
   ?monitor:bool ->
+  ?telemetry:bool ->
+  ?telemetry_period:float ->
   ?byzantine:int ->
   ?batch:int ->
   ?settle:float ->
@@ -28,7 +30,11 @@ val grow :
     enables the deployment's structured event trace before growth
     starts; [monitor] (default [false]) attaches an
     {!Atum_core.Monitor} with the default config, whose
-    [monitor.violation.*] counters land in the deployment's metrics. *)
+    [monitor.violation.*] counters land in the deployment's metrics;
+    [telemetry] (default [true]) attaches the standard sim-time gauge
+    set ({!Atum_core.Atum.attach_telemetry}) sampling every
+    [telemetry_period] simulated seconds, so every experiment gets
+    time-indexed series for free. *)
 
 val random_member :
   built -> Atum_util.Rng.t -> Atum_core.Atum.node_id

@@ -15,17 +15,22 @@ type result = {
   join_latency_p90 : float;
   events_processed : int;
   consistency : (unit, string) Stdlib.result;
+  timeseries : Atum_util.Json.t option;
 }
 
 let live_ids atum =
   List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
 
 let run ?params ?(join_rate_per_min = 0.08) ?(time_limit = 20_000.0) ?(sample_every = 30.0)
-    ~target ~seed () =
+    ?(telemetry = true) ~target ~seed () =
   let params =
     match params with Some p -> p | None -> Atum_core.Params.for_system_size ~seed target
   in
   let atum = Atum.create ~params () in
+  if telemetry then
+    (* Telemetry shares the curve's sampling period, so the exported
+       series line up with the figure's own growth curve. *)
+    ignore (Atum.attach_telemetry ~period:sample_every atum : Atum_sim.Telemetry.t);
   let rng = Atum_util.Rng.create (seed + 41) in
   ignore (Atum.bootstrap atum);
   let curve = ref [ { time = 0.0; size = 1 } ] in
@@ -71,4 +76,5 @@ let run ?params ?(join_rate_per_min = 0.08) ?(time_limit = 20_000.0) ?(sample_ev
     join_latency_p90 = pct 90.0;
     events_processed = Atum_sim.Engine.events_processed (Atum.engine atum);
     consistency = System.check_consistency (Atum.system atum);
+    timeseries = Option.map Atum_sim.Telemetry.to_json (Atum.telemetry atum);
   }

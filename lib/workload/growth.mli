@@ -16,6 +16,10 @@ type result = {
   events_processed : int;  (** simulator events the run consumed *)
   consistency : (unit, string) Stdlib.result;
       (** [System.check_consistency] at the end of the run *)
+  timeseries : Atum_util.Json.t option;
+      (** {!Atum_sim.Telemetry.to_json} of the run's gauge series
+          (sampled every [sample_every]); [None] when [telemetry] was
+          disabled *)
 }
 
 val run :
@@ -23,6 +27,7 @@ val run :
   ?join_rate_per_min:float ->
   ?time_limit:float ->
   ?sample_every:float ->
+  ?telemetry:bool ->
   target:int ->
   seed:int ->
   unit ->

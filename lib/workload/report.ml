@@ -2,8 +2,11 @@ module Json = Atum_util.Json
 
 (* 2: trace events gained correlation fields (bid/span/parent/cycle),
    trace objects gained dropped_by_kind, and ATUM_analyze.json
-   artifacts exist. *)
-let schema_version = 2
+   artifacts exist.
+   3: every artifact embeds a build_info provenance object, growth
+   rows may carry a telemetry timeseries, and ATUM_timeseries.json
+   artifacts (gauge series + engine profile) exist. *)
+let schema_version = 3
 
 (* Wall-clock time is the only nondeterministic field in a benchmark
    artifact; zeroing it (ATUM_BENCH_JSON_CANON) makes same-seed runs
@@ -14,7 +17,7 @@ let canonical () =
   | Some ("" | "0") | None -> false
   | Some _ -> true
 
-let envelope ~fig ~scale ~seed ~wall_s ?(extra = []) ~rows () =
+let envelope ?(cmdline = []) ~fig ~scale ~seed ~wall_s ?(extra = []) ~rows () =
   let wall_s = if canonical () then 0.0 else wall_s in
   Json.Obj
     ([
@@ -22,6 +25,7 @@ let envelope ~fig ~scale ~seed ~wall_s ?(extra = []) ~rows () =
        ("fig", Json.String fig);
        ("scale", Json.String scale);
        ("seed", Json.Int seed);
+       ("build_info", Build_info.to_json ~cmdline ~seed ());
        ("wall_s", Json.Float wall_s);
      ]
     @ extra
@@ -36,7 +40,7 @@ let write ~dir ~fig json =
 
 let growth_row ~protocol ~target (r : Growth.result) =
   Json.Obj
-    [
+    ([
       ("protocol", Json.String protocol);
       ("target", Json.Int target);
       ("final_size", Json.Int r.Growth.final_size);
@@ -55,6 +59,7 @@ let growth_row ~protocol ~target (r : Growth.result) =
                Json.Obj [ ("t", Json.Float p.Growth.time); ("size", Json.Int p.Growth.size) ])
              r.curve) );
     ]
+    @ match r.Growth.timeseries with None -> [] | Some ts -> [ ("timeseries", ts) ])
 
 let latency_row ~label (r : Latency_exp.result) =
   let lats = r.Latency_exp.latencies in
@@ -71,3 +76,186 @@ let latency_row ~label (r : Latency_exp.result) =
         if lats = [] then Json.Null else Json.Float (List.fold_left max 0.0 lats) );
       ("delivery_fraction", Json.Float r.delivery_fraction);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering ATUM_timeseries.json: gauge timelines + engine profile    *)
+(* ------------------------------------------------------------------ *)
+
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                      "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline ?(width = 60) xs =
+  match xs with
+  | [] -> ""
+  | _ ->
+    let xs = Array.of_list xs in
+    let n = Array.length xs in
+    let width = min width n in
+    (* Downsample by averaging equal slices so spikes survive zoom-out
+       better than point sampling would. *)
+    let cell i =
+      let lo = i * n / width and hi = max ((i + 1) * n / width) ((i * n / width) + 1) in
+      let sum = ref 0.0 in
+      for j = lo to hi - 1 do
+        sum := !sum +. xs.(j)
+      done;
+      !sum /. float_of_int (hi - lo)
+    in
+    let cells = Array.init width cell in
+    let mn = Array.fold_left min cells.(0) cells in
+    let mx = Array.fold_left max cells.(0) cells in
+    let span = mx -. mn in
+    let buf = Buffer.create (width * 3) in
+    Array.iter
+      (fun v ->
+        let level =
+          if span <= 0.0 then 0
+          else
+            let l = int_of_float (7.99 *. ((v -. mn) /. span)) in
+            if l < 0 then 0 else if l > 7 then 7 else l
+        in
+        Buffer.add_string buf spark_levels.(level))
+      cells;
+    Buffer.contents buf
+
+let stats_of xs =
+  match xs with
+  | [] -> (0.0, 0.0, 0.0, 0.0)
+  | x :: _ ->
+    let mn = List.fold_left min x xs in
+    let mx = List.fold_left max x xs in
+    let mean = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+    let last = List.nth xs (List.length xs - 1) in
+    (mn, mean, mx, last)
+
+let render_timeseries fmt json =
+  match Atum_sim.Telemetry.of_json json with
+  | Error _ as e -> e
+  | Ok r ->
+    let t_lo, t_hi =
+      match r.Atum_sim.Telemetry.r_times with
+      | [] -> (0.0, 0.0)
+      | t :: _ -> (t, List.nth r.r_times (List.length r.r_times - 1))
+    in
+    Format.fprintf fmt "gauges: %d, samples kept: %d of %d, sim-time %.0f..%.0f s (period %.1f s)@."
+      (List.length r.r_gauges) (List.length r.r_times) r.r_samples_total t_lo t_hi r.r_period;
+    List.iter
+      (fun (name, xs) ->
+        let mn, mean, mx, last = stats_of xs in
+        Format.fprintf fmt "  %-28s %s@."
+          name (sparkline xs);
+        Format.fprintf fmt "  %-28s min=%g mean=%.2f max=%g last=%g@." "" mn mean mx last)
+      r.r_gauges;
+    Ok ()
+
+(* One parsed row of the artifact's ["profile"]["labels"] list. *)
+type profile_row = {
+  pr_label : string;
+  pr_events : int;
+  pr_wall_s : float;
+  pr_vt_first : float;
+  pr_vt_last : float;
+  pr_busiest_bucket : int;
+}
+
+let profile_rows json =
+  let err msg = Error ("Report.profile_rows: " ^ msg) in
+  match Json.member "labels" json with
+  | Some (Json.List rows) ->
+    let parse j =
+      let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+      let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+      let flt k =
+        match Json.member k j with
+        | Some (Json.Float f) -> Some f
+        | Some (Json.Int i) -> Some (float_of_int i)
+        | _ -> None
+      in
+      match (str "label", int "events", flt "wall_self_s", flt "vt_first", flt "vt_last") with
+      | Some pr_label, Some pr_events, Some pr_wall_s, Some pr_vt_first, Some pr_vt_last ->
+        let pr_busiest_bucket =
+          match Json.member "delay_hist" j with
+          | Some (Json.List hs) ->
+            List.fold_left
+              (fun (best, best_n) h ->
+                match (Json.member "bucket" h, Json.member "count" h) with
+                | Some (Json.Int b), Some (Json.Int n) when n > best_n -> (b, n)
+                | _ -> (best, best_n))
+              (0, 0) hs
+            |> fst
+          | _ -> 0
+        in
+        Ok { pr_label; pr_events; pr_wall_s; pr_vt_first; pr_vt_last; pr_busiest_bucket }
+      | _ -> err "malformed label row"
+    in
+    List.fold_left
+      (fun acc j ->
+        match (acc, parse j) with
+        | Ok rows, Ok r -> Ok (r :: rows)
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      (Ok []) rows
+    |> Result.map (fun rows ->
+           (* Self-time first; with the wall clock off (all zeros) the
+              event count decides, so the table is still ranked. *)
+           List.sort
+             (fun a b ->
+               match Float.compare b.pr_wall_s a.pr_wall_s with
+               | 0 -> (
+                 match Int.compare b.pr_events a.pr_events with
+                 | 0 -> String.compare a.pr_label b.pr_label
+                 | c -> c)
+               | c -> c)
+             rows)
+  | Some _ -> err "labels is not a list"
+  | None -> err "missing labels"
+
+let render_profile fmt json =
+  match profile_rows json with
+  | Error _ as e -> e
+  | Ok rows ->
+    let wall_on =
+      match Json.member "wall_clock_enabled" json with
+      | Some (Json.Bool b) -> b
+      | _ -> false
+    in
+    let total =
+      match Json.member "events_total" json with Some (Json.Int n) -> n | _ -> 0
+    in
+    Format.fprintf fmt "engine profile: %d events, %d labels%s@." total (List.length rows)
+      (if wall_on then "" else " (wall clock off: self-times zero, ranked by events)");
+    Format.fprintf fmt "  %-20s %10s %12s %10s %10s %s@." "label" "events" "self (ms)"
+      "vt first" "vt last" "typ delay";
+    List.iter
+      (fun r ->
+        let lo = Atum_sim.Engine.delay_bucket_lo r.pr_busiest_bucket in
+        Format.fprintf fmt "  %-20s %10d %12.2f %10.0f %10.0f %s@." r.pr_label r.pr_events
+          (1000.0 *. r.pr_wall_s) r.pr_vt_first r.pr_vt_last
+          (if lo <= 0.0 then "immediate" else Printf.sprintf ">=%gs" lo))
+      rows;
+    Ok ()
+
+(* The full ATUM_timeseries.json artifact: provenance header, gauge
+   timelines, then the per-label engine profile. *)
+let render_timeseries_artifact fmt json =
+  let hdr k =
+    match Json.member k json with
+    | Some (Json.String s) -> s
+    | Some (Json.Int i) -> string_of_int i
+    | _ -> "?"
+  in
+  Format.fprintf fmt "artifact         : cmd=%s seed=%s schema=%s@." (hdr "cmd") (hdr "seed")
+    (hdr "schema_version");
+  (match Json.member "build_info" json with
+  | Some bi ->
+    let f k = match Json.member k bi with Some (Json.String s) -> s | _ -> "?" in
+    Format.fprintf fmt "build            : %s (git %s)@." (f "version") (f "git")
+  | None -> ());
+  match Json.member "timeseries" json with
+  | None -> Error "Report.render_timeseries_artifact: missing timeseries section"
+  | Some ts -> (
+    match render_timeseries fmt ts with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Json.member "profile" json with
+      | None -> Error "Report.render_timeseries_artifact: missing profile section"
+      | Some p -> render_profile fmt p))

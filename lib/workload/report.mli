@@ -15,6 +15,7 @@ val canonical : unit -> bool
     same-seed runs are byte-identical. *)
 
 val envelope :
+  ?cmdline:string list ->
   fig:string ->
   scale:string ->
   seed:int ->
@@ -23,9 +24,10 @@ val envelope :
   rows:Atum_util.Json.t list ->
   unit ->
   Atum_util.Json.t
-(** [{schema_version; fig; scale; seed; wall_s; ...extra; rows}].
-    Every field except [wall_s] is deterministic for a fixed seed and
-    scale. *)
+(** [{schema_version; fig; scale; seed; build_info; wall_s; ...extra;
+    rows}].  [build_info] ({!Build_info.to_json}) records version, git
+    describe, seed, and [cmdline].  Every field except [wall_s] is
+    deterministic for a fixed seed, scale, cmdline, and checkout. *)
 
 val filename : fig:string -> string
 (** ["BENCH_<fig>.json"]. *)
@@ -41,3 +43,33 @@ val growth_row : protocol:string -> target:int -> Growth.result -> Atum_util.Jso
 val latency_row : label:string -> Latency_exp.result -> Atum_util.Json.t
 (** One Fig-8 CDF row: sample count, p10/p50/p90/p99/max latency and
     delivery fraction ([null] percentiles when there are no samples). *)
+
+(** {1 Rendering telemetry artifacts}
+
+    [atum-cli report] turns an [ATUM_timeseries.json] artifact back
+    into terminal output: one sparkline per gauge plus the per-label
+    engine profile table. *)
+
+val sparkline : ?width:int -> float list -> string
+(** Downsample a series to at most [width] (default 60) cells by slice
+    averaging and render it with U+2581..U+2588 block characters.
+    Empty input renders as the empty string; a constant series renders
+    at the lowest level. *)
+
+val render_timeseries :
+  Format.formatter -> Atum_util.Json.t -> (unit, string) result
+(** Render a {!Atum_sim.Telemetry.to_json} value: a header line
+    (gauge/sample counts, sim-time span, period) then a sparkline and
+    min/mean/max/last summary per gauge. *)
+
+val render_profile :
+  Format.formatter -> Atum_util.Json.t -> (unit, string) result
+(** Render an {!Atum_sim.Engine.profile_json} value as a table sorted
+    by wall-clock self-time (event count breaks ties, so the ranking
+    is still useful when profiling ran without [ATUM_PROF_WALL]). *)
+
+val render_timeseries_artifact :
+  Format.formatter -> Atum_util.Json.t -> (unit, string) result
+(** Render a whole [ATUM_timeseries.json] artifact: provenance header
+    ([cmd], [seed], [build_info]), then {!render_timeseries}, then
+    {!render_profile}. *)

@@ -28,6 +28,31 @@ let test_churn_same_seed () =
   Alcotest.(check bool) "metrics byte-identical" true (String.equal m1 m2);
   Alcotest.(check bool) "trace byte-identical" true (String.equal t1 t2)
 
+let test_telemetry_same_seed () =
+  (* The telemetry contract: gauge sampling only reads state, so two
+     same-seed runs export byte-identical ATUM_timeseries payloads
+     (series AND engine profile — ATUM_PROF_WALL is unset here, so
+     wall self-times are identically zero). *)
+  let run seed =
+    let built = W.Builder.grow ~telemetry_period:10.0 ~n:24 ~seed () in
+    ignore (W.Churn.probe built ~rate_per_min:6.0 ~duration:120.0 ~seed:(seed + 7));
+    let atum = built.W.Builder.atum in
+    match Atum.telemetry atum with
+    | None -> Alcotest.fail "Builder.grow should attach telemetry by default"
+    | Some tel ->
+      ( Json.to_string (Atum_sim.Telemetry.to_json tel),
+        Atum_sim.Telemetry.to_csv tel,
+        Json.to_string (Atum_sim.Engine.profile_json (Atum.engine atum)) )
+  in
+  let j1, c1, p1 = run 42 in
+  let j2, c2, p2 = run 42 in
+  Alcotest.(check bool) "timeseries non-trivial" true (String.length j1 > 500);
+  Alcotest.(check bool) "timeseries byte-identical" true (String.equal j1 j2);
+  Alcotest.(check bool) "csv byte-identical" true (String.equal c1 c2);
+  Alcotest.(check bool) "engine profile byte-identical" true (String.equal p1 p2);
+  let j3, _, _ = run 43 in
+  Alcotest.(check bool) "different seed diverges" false (String.equal j1 j3)
+
 let test_churn_seed_sensitivity () =
   (* Sanity: the equality above is not vacuous — a different seed must
      visibly change the run. *)
@@ -42,6 +67,7 @@ let () =
       ( "churn",
         [
           Alcotest.test_case "same-seed byte-identical" `Slow test_churn_same_seed;
+          Alcotest.test_case "telemetry byte-identical" `Slow test_telemetry_same_seed;
           Alcotest.test_case "seed sensitivity" `Slow test_churn_seed_sensitivity;
         ] );
     ]

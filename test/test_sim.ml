@@ -86,6 +86,84 @@ let test_engine_negative_delay_clamped () =
   Engine.run e;
   Alcotest.(check bool) "clamped to now" true (!at = 5.0)
 
+let test_engine_every_no_drift () =
+  (* Regression for float-accumulation drift: 0.1 is not representable
+     in binary, so a [t := !t +. period] loop slides off the grid and
+     long runs gain or lose ticks.  The engine uses the closed form
+     [start +. k *. period]; over 10k ticks the tick times must stay
+     exactly on it. *)
+  let period = 0.1 in
+  let horizon = 1000.0 in
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  let last = ref nan in
+  Engine.every e ~period (fun () ->
+      incr ticks;
+      last := Engine.now e;
+      true);
+  Engine.run ~until:horizon e;
+  (* Expected count/time computed with the engine's own closed form,
+     so the assertion is exact, not approximate. *)
+  let expected = ref 0 in
+  while period +. (float_of_int !expected *. period) <= horizon do
+    incr expected
+  done;
+  Alcotest.(check int)
+    (Printf.sprintf "exactly %d ticks in %.0f s" !expected horizon)
+    !expected !ticks;
+  Alcotest.(check bool) "final tick exactly on the closed-form grid" true
+    (!last = period +. (float_of_int (!ticks - 1) *. period));
+  (* Document the drift the closed form avoids: naive accumulation
+     ends somewhere else after this many additions. *)
+  let accumulated = ref 0.0 in
+  for _ = 1 to !ticks do
+    accumulated := !accumulated +. period
+  done;
+  Alcotest.(check bool) "naive accumulation drifts off the grid" true
+    (!accumulated <> !last)
+
+let test_engine_every_rejects_bad_period () =
+  let e = Engine.create () in
+  Alcotest.check_raises "non-positive period"
+    (Invalid_argument "Engine.every: period must be positive") (fun () ->
+      Engine.every e ~period:0.0 (fun () -> true))
+
+let test_engine_profile_accounting () =
+  let e = Engine.create () in
+  Engine.schedule ~label:"a" e ~delay:1.0 (fun () -> ());
+  Engine.schedule ~label:"a" e ~delay:4.0 (fun () -> ());
+  Engine.schedule ~label:"b" e ~delay:2.0 (fun () -> ());
+  Engine.schedule e ~delay:3.0 (fun () -> ());
+  Engine.run e;
+  let prof = Engine.profile e in
+  Alcotest.(check (list string)) "labels sorted, unlabeled accounted"
+    [ "(unlabeled)"; "a"; "b" ]
+    (List.map (fun (p : Engine.label_profile) -> p.Engine.label) prof);
+  let a = List.nth prof 1 in
+  Alcotest.(check int) "a ran twice" 2 a.Engine.events;
+  Alcotest.(check (float 1e-9)) "first virtual time" 1.0 a.Engine.vt_first;
+  Alcotest.(check (float 1e-9)) "last virtual time" 4.0 a.Engine.vt_last;
+  (* ATUM_PROF_WALL is unset under dune runtest, so self-times must be
+     identically zero — that's what keeps profiles deterministic. *)
+  List.iter
+    (fun (p : Engine.label_profile) ->
+      Alcotest.(check (float 0.0)) (p.Engine.label ^ " wall off") 0.0 p.Engine.wall_self_s)
+    prof;
+  (* Delays of 1..4 s land in the log2 buckets for [1,2) and [2,4)
+     and [4,8): lower bounds 1, 2 and 4 seconds. *)
+  Alcotest.(check (float 1e-12)) "bucket 11 lower bound" 1.0 (Engine.delay_bucket_lo 11);
+  Alcotest.(check (float 1e-12)) "bucket 13 lower bound" 4.0 (Engine.delay_bucket_lo 13);
+  Alcotest.(check (list (pair int int))) "a's delay histogram"
+    [ (11, 1); (13, 1) ] a.Engine.delay_hist;
+  match Engine.profile_json e with
+  | Atum_util.Json.Obj fields ->
+    Alcotest.(check bool) "wall_clock_enabled false" true
+      (List.assoc_opt "wall_clock_enabled" fields = Some (Atum_util.Json.Bool false));
+    Alcotest.(check bool) "events_total matches" true
+      (List.assoc_opt "events_total" fields
+      = Some (Atum_util.Json.Int (Engine.events_processed e)))
+  | _ -> Alcotest.fail "profile_json not an object"
+
 (* ------------------------------------------------------------------ *)
 (* Network                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -518,6 +596,168 @@ let test_metrics_merge_of_json_roundtrip () =
   Alcotest.(check (list (float 1e-12))) "series unique to one run" [ 9.0 ]
     (Metrics.samples agg "size")
 
+let test_metrics_of_json_error_paths () =
+  (* The analyzer feeds artifacts straight into [of_json]; malformed
+     input must come back as [Error _], never an exception. *)
+  let open Atum_util.Json in
+  let expect_error label json =
+    match Metrics.of_json json with
+    | Error e ->
+      Alcotest.(check bool) (label ^ ": error is prefixed") true
+        (String.length e > String.length "Metrics.of_json: ")
+    | Ok _ -> Alcotest.failf "%s: expected Error, got Ok" label
+  in
+  expect_error "non-object document" (List [ Int 1 ]);
+  expect_error "string document" (String "metrics");
+  expect_error "counters not an object" (Obj [ ("counters", Int 3) ]);
+  expect_error "counter not an integer"
+    (Obj [ ("counters", Obj [ ("x", String "seven") ]) ]);
+  expect_error "samples not a list"
+    (Obj [ ("series", Obj [ ("lat", Obj [ ("samples", Int 1) ]) ]) ]);
+  expect_error "sample not a number"
+    (Obj [ ("series", Obj [ ("lat", Obj [ ("samples", List [ Bool true ]) ]) ]) ]);
+  (* Absent sections are fine: an empty object is an empty snapshot. *)
+  match Metrics.of_json (Obj []) with
+  | Ok m -> Alcotest.(check (list string)) "empty snapshot" [] (Metrics.counter_names m)
+  | Error e -> Alcotest.failf "empty object should parse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_samples_gauges () =
+  let e = Engine.create () in
+  let tel = Telemetry.create ~period:1.0 ~capacity:16 e in
+  let x = ref 0.0 in
+  let counter = ref 0 in
+  Telemetry.register tel "x" (fun () -> !x);
+  Telemetry.register_delta tel "c.delta" (fun () -> !counter);
+  Telemetry.start tel;
+  (* State evolves between samples; deltas must report per-period
+     increases, with the first sample baselined at zero. *)
+  Engine.schedule e ~delay:0.5 (fun () ->
+      x := 10.0;
+      counter := 3);
+  Engine.schedule e ~delay:2.5 (fun () -> counter := 5);
+  Engine.run ~until:3.5 e;
+  Alcotest.(check (list (float 1e-9))) "shared time axis" [ 1.0; 2.0; 3.0 ]
+    (Telemetry.times tel);
+  Alcotest.(check (list string)) "names sorted" [ "c.delta"; "x" ]
+    (Telemetry.gauge_names tel);
+  Alcotest.(check (list (float 1e-9))) "plain gauge" [ 10.0; 10.0; 10.0 ]
+    (Telemetry.series tel "x");
+  Alcotest.(check (list (float 1e-9))) "delta gauge" [ 3.0; 0.0; 2.0 ]
+    (Telemetry.series tel "c.delta");
+  Alcotest.(check (list (float 1e-9))) "unknown gauge" [] (Telemetry.series tel "nope")
+
+let test_telemetry_ring_wraparound () =
+  let e = Engine.create () in
+  let tel = Telemetry.create ~period:1.0 ~capacity:4 e in
+  Telemetry.register tel "t" (fun () -> Engine.now e);
+  Telemetry.start tel;
+  Engine.run ~until:10.5 e;
+  Alcotest.(check int) "all samples counted" 10 (Telemetry.samples_total tel);
+  Alcotest.(check int) "ring keeps the newest" 4 (Telemetry.samples_kept tel);
+  Alcotest.(check (list (float 1e-9))) "oldest-first after wrap" [ 7.0; 8.0; 9.0; 10.0 ]
+    (Telemetry.times tel);
+  Alcotest.(check (list (float 1e-9))) "series aligned" [ 7.0; 8.0; 9.0; 10.0 ]
+    (Telemetry.series tel "t")
+
+let test_telemetry_stop_and_late_register () =
+  let e = Engine.create () in
+  let tel = Telemetry.create ~period:1.0 e in
+  Telemetry.register tel "x" (fun () -> 1.0);
+  Telemetry.start tel;
+  Alcotest.check_raises "register after start"
+    (Invalid_argument "Telemetry.register: sampling already started") (fun () ->
+      Telemetry.register tel "late" (fun () -> 0.0));
+  Engine.run ~until:2.5 e;
+  Telemetry.stop tel;
+  Engine.run ~until:9.5 e;
+  Alcotest.(check int) "no samples after stop" 2 (Telemetry.samples_total tel)
+
+let test_telemetry_json_roundtrip () =
+  let e = Engine.create () in
+  let tel = Telemetry.create ~period:2.0 ~capacity:8 e in
+  let n = ref 0 in
+  Telemetry.register tel "n" (fun () -> float_of_int !n);
+  Telemetry.register tel "half" (fun () -> float_of_int !n /. 2.0);
+  Telemetry.start tel;
+  Engine.every e ~period:1.0 (fun () ->
+      incr n;
+      true);
+  Engine.run ~until:8.5 e;
+  let j = Telemetry.to_json tel in
+  (* Through bytes and back, as [atum-cli report] reads it. *)
+  match Atum_util.Json.of_string (Atum_util.Json.to_string j) with
+  | Error err -> Alcotest.failf "reparse failed: %s" err
+  | Ok j' -> (
+    match Telemetry.of_json j' with
+    | Error err -> Alcotest.failf "of_json failed: %s" err
+    | Ok r ->
+      Alcotest.(check (float 1e-9)) "period" 2.0 r.Telemetry.r_period;
+      Alcotest.(check (list (float 1e-9))) "times" (Telemetry.times tel)
+        r.Telemetry.r_times;
+      Alcotest.(check int) "samples_total" (Telemetry.samples_total tel)
+        r.Telemetry.r_samples_total;
+      Alcotest.(check (list string)) "gauge names" [ "half"; "n" ]
+        (List.map fst r.Telemetry.r_gauges);
+      List.iter
+        (fun (name, xs) ->
+          Alcotest.(check (list (float 1e-9))) name (Telemetry.series tel name) xs)
+        r.Telemetry.r_gauges)
+
+let test_telemetry_of_json_error_paths () =
+  let open Atum_util.Json in
+  let expect_error label json =
+    match Telemetry.of_json json with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected Error, got Ok" label
+  in
+  expect_error "non-object" (List []);
+  expect_error "missing fields" (Obj []);
+  expect_error "wrong schema version"
+    (Obj
+       [
+         ("schema_version", Int (Telemetry.schema_version + 1));
+         ("period_s", Float 1.0);
+         ("samples_total", Int 0);
+         ("times", List []);
+         ("gauges", Obj []);
+       ]);
+  expect_error "gauge series length mismatch"
+    (Obj
+       [
+         ("schema_version", Int Telemetry.schema_version);
+         ("period_s", Float 1.0);
+         ("samples_total", Int 2);
+         ("times", List [ Float 1.0; Float 2.0 ]);
+         ("gauges", Obj [ ("x", List [ Float 0.0 ]) ]);
+       ]);
+  expect_error "non-numeric sample"
+    (Obj
+       [
+         ("schema_version", Int Telemetry.schema_version);
+         ("period_s", Float 1.0);
+         ("samples_total", Int 1);
+         ("times", List [ Float 1.0 ]);
+         ("gauges", Obj [ ("x", List [ String "one" ]) ]);
+       ])
+
+let test_telemetry_csv () =
+  let e = Engine.create () in
+  let tel = Telemetry.create ~period:1.0 e in
+  Telemetry.register tel "b" (fun () -> 2.0);
+  Telemetry.register tel "a" (fun () -> 1.0);
+  Telemetry.start tel;
+  Engine.run ~until:2.5 e;
+  let lines = String.split_on_char '\n' (String.trim (Telemetry.to_csv tel)) in
+  match lines with
+  | header :: rows ->
+    Alcotest.(check string) "header sorted by gauge name" "time,a,b" header;
+    Alcotest.(check int) "one row per sample" 2 (List.length rows)
+  | [] -> Alcotest.fail "empty csv"
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -627,6 +867,10 @@ let () =
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "max_events" `Quick test_engine_max_events;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+          Alcotest.test_case "every: no accumulation drift" `Quick
+            test_engine_every_no_drift;
+          Alcotest.test_case "every: bad period" `Quick test_engine_every_rejects_bad_period;
+          Alcotest.test_case "profile accounting" `Quick test_engine_profile_accounting;
         ] );
       ( "network",
         [
@@ -673,6 +917,18 @@ let () =
           Alcotest.test_case "json summary only" `Quick test_metrics_json_summary_only;
           Alcotest.test_case "merge + of_json roundtrip" `Quick
             test_metrics_merge_of_json_roundtrip;
+          Alcotest.test_case "of_json error paths" `Quick test_metrics_of_json_error_paths;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "samples gauges" `Quick test_telemetry_samples_gauges;
+          Alcotest.test_case "ring wraparound" `Quick test_telemetry_ring_wraparound;
+          Alcotest.test_case "stop + late register" `Quick
+            test_telemetry_stop_and_late_register;
+          Alcotest.test_case "json roundtrip" `Quick test_telemetry_json_roundtrip;
+          Alcotest.test_case "of_json error paths" `Quick
+            test_telemetry_of_json_error_paths;
+          Alcotest.test_case "csv" `Quick test_telemetry_csv;
         ] );
       ( "trace",
         [

@@ -330,14 +330,13 @@ let test_cli_broadcast_then_analyze () =
   if not (Sys.file_exists exe) then
     Alcotest.fail (Printf.sprintf "cli executable missing at %s" exe);
   let dir = "cli_analyze" in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let sh cmd = Alcotest.(check int) ("exit status of " ^ cmd) 0 (Sys.command cmd) in
   sh
-    (Printf.sprintf "%s broadcast -n 24 -m 6 --seed 5 --json %s > /dev/null"
+    (Printf.sprintf "%s broadcast -n 24 -m 6 --seed 5 --json --out-dir %s > /dev/null"
        (Filename.quote exe) (Filename.quote dir));
   let artifact = Filename.concat dir "ATUM_broadcast.json" in
   sh
-    (Printf.sprintf "%s analyze %s --json %s > /dev/null" (Filename.quote exe)
+    (Printf.sprintf "%s analyze %s --json --out-dir %s > /dev/null" (Filename.quote exe)
        (Filename.quote artifact) (Filename.quote dir));
   match Atum_util.Json.of_string (read_file (Filename.concat dir "ATUM_analyze.json")) with
   | Error e -> Alcotest.failf "ATUM_analyze.json is not valid JSON: %s" e
@@ -351,6 +350,69 @@ let test_cli_broadcast_then_analyze () =
       Alcotest.(check int) "zero violations" 0 (int_member "violations_total");
       Alcotest.(check bool) "cmd tagged" true
         (Atum_util.Json.member "cmd" j = Some (Atum_util.Json.String "analyze"))
+
+let test_cli_churn_telemetry_and_report () =
+  (* Acceptance gate for the telemetry pipeline: a default [churn
+     --json] run emits ATUM_timeseries.json with a healthy set of
+     gauges, two same-seed runs write it byte-identically (same
+     cmdline, same out-dir, so build_info matches too), and [atum-cli
+     report] renders it. *)
+  let module Json = Atum_util.Json in
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/atum_cli.exe"
+  in
+  if not (Sys.file_exists exe) then
+    Alcotest.fail (Printf.sprintf "cli executable missing at %s" exe);
+  let dir = "cli_telemetry" in
+  let sh cmd = Alcotest.(check int) ("exit status of " ^ cmd) 0 (Sys.command cmd) in
+  let churn () =
+    sh
+      (Printf.sprintf "%s churn -n 24 --seed 5 -d 120 --json --out-dir %s > /dev/null"
+         (Filename.quote exe) (Filename.quote dir));
+    read_file (Filename.concat dir "ATUM_timeseries.json")
+  in
+  let a = churn () in
+  let b = churn () in
+  Alcotest.(check bool) "same-seed byte-identical timeseries" true (String.equal a b);
+  (match Json.of_string a with
+  | Error e -> Alcotest.failf "ATUM_timeseries.json is not valid JSON: %s" e
+  | Ok j ->
+    Alcotest.(check bool) "schema versioned" true
+      (Json.member "schema_version" j <> None);
+    Alcotest.(check bool) "build_info present" true (Json.member "build_info" j <> None);
+    (match Json.member "timeseries" j with
+    | Some ts -> (
+      match Json.member "gauges" ts with
+      | Some (Json.Obj gauges) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%d gauges >= 8" (List.length gauges))
+          true
+          (List.length gauges >= 8)
+      | _ -> Alcotest.fail "timeseries.gauges missing")
+    | None -> Alcotest.fail "timeseries section missing");
+    match Json.member "profile" j with
+    | Some p ->
+      Alcotest.(check bool) "profile has labels" true (Json.member "labels" p <> None)
+    | None -> Alcotest.fail "profile section missing");
+  let out = Filename.concat dir "report.txt" in
+  sh
+    (Printf.sprintf "%s report %s > %s" (Filename.quote exe)
+       (Filename.quote (Filename.concat dir "ATUM_timeseries.json"))
+       (Filename.quote out));
+  let rendered = read_file out in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report names a gauge" true (contains "system.size" rendered);
+  Alcotest.(check bool) "report renders sparklines" true (contains "\xe2\x96" rendered);
+  Alcotest.(check bool) "report renders the profile table" true
+    (contains "engine profile" rendered);
+  Alcotest.(check bool) "telemetry task is labeled" true
+    (contains "telemetry.sample" rendered)
 
 let () =
   Alcotest.run "workload"
@@ -403,6 +465,8 @@ let () =
         [
           Alcotest.test_case "live trace" `Slow test_analyze_of_trace;
           Alcotest.test_case "cli pipeline" `Slow test_cli_broadcast_then_analyze;
+          Alcotest.test_case "cli telemetry + report" `Slow
+            test_cli_churn_telemetry_and_report;
         ] );
       ( "bench-json",
         [ Alcotest.test_case "same-seed determinism" `Slow test_bench_json_deterministic ] );
