@@ -6,8 +6,9 @@
      churn      probe a churn rate for sustainability
      guideline  print the optimal rwl for a (vgroups, hc) pair
      simulate   free-run a deployment with churn and broadcasts
+     chaos      run the fault-injection + recovery-verification experiment
      analyze    reconstruct causality from an ATUM_*.json artifact
-     report     render an ATUM_timeseries.json artifact as text
+     report     render an ATUM_timeseries.json or ATUM_resilience.json artifact
      lint       run the determinism & protocol-safety linter (LINT.md) *)
 
 open Cmdliner
@@ -286,6 +287,65 @@ let simulate_cmd =
     Term.(
       const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg $ out_dir_arg)
 
+let chaos_cmd =
+  let attackers_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "attackers" ] ~docv:"A"
+          ~doc:
+            "Byzantine adversaries to spawn: each joins with the Target_vgroup \
+             strategy (hunt the largest vgroup, then equivocate from inside it).")
+  in
+  let messages_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "m"; "messages" ] ~docv:"M" ~doc:"Broadcasts per phase (before/after).")
+  in
+  let run protocol n seed attackers messages json out_dir =
+    (* Resilience attaches its own monitor (the convergence checker
+       polls its sweeps), so build without one; trace only with --json
+       to keep the default run light. *)
+    let params = { (Params.for_system_size ~protocol n) with Params.seed } in
+    let built = W.Builder.grow ~params ~trace:json ~monitor:false ~n ~seed () in
+    let atum = built.W.Builder.atum in
+    let r = W.Resilience.run ~messages_per_phase:messages ~attackers built ~seed () in
+    Printf.printf "system size      : %d (+%d attackers, target vgroup %d)\n"
+      (Atum.size atum) r.W.Resilience.attackers r.target_vg;
+    Printf.printf "fault schedule   : %d steps, %d applied\n" (List.length r.schedule)
+      r.faults_applied;
+    List.iter
+      (fun (p : W.Resilience.phase_stats) ->
+        Printf.printf "delivery %-8s: %.1f%% (%d broadcasts, %d/%d deliveries)\n"
+          p.W.Resilience.phase (100.0 *. p.success) p.broadcasts p.delivered p.expected)
+      r.phases;
+    List.iter
+      (fun (h : W.Resilience.heal_record) ->
+        match h.W.Resilience.time_to_heal with
+        | Some d -> Printf.printf "heal at t=%-6.0f : converged in %.0f s\n" h.heal_at d
+        | None ->
+          Printf.printf "heal at t=%-6.0f : window closed before convergence\n" h.heal_at)
+      r.heals;
+    let count vs = List.fold_left (fun acc (_, n) -> acc + n) 0 vs in
+    Printf.printf "violations       : before=%d during=%d after=%d\n"
+      (count r.violations_before) (count r.violations_during) (count r.violations_after);
+    Printf.printf "consistency      : %s\n"
+      (match r.consistency with Ok () -> "ok" | Error e -> e);
+    Printf.printf "converged        : %b\n" r.converged;
+    if json then
+      write_json_artifact ~dir:out_dir ~cmd:"resilience" ~seed atum
+        [ ("resilience", W.Resilience.to_json r) ]
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the chaos experiment: scripted partition + crash/recover faults and \
+          targeted equivocating adversaries against a steady broadcast workload, with \
+          recovery verified by polling registry consistency and the invariant monitor \
+          after each heal.  With --json, writes ATUM_resilience.json.")
+    Term.(
+      const run $ protocol_arg $ nodes_arg $ seed_arg $ attackers_arg $ messages_arg
+      $ json_arg $ out_dir_arg)
+
 let analyze_cmd =
   let file_arg =
     Arg.(
@@ -335,8 +395,8 @@ let report_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"FILE"
           ~doc:
-            "An ATUM_timeseries.json artifact (written into the --out-dir by any \
-             subcommand run with --json).")
+            "An ATUM_timeseries.json or ATUM_resilience.json artifact (written into \
+             the --out-dir by any subcommand run with --json).")
   in
   let run file =
     let contents =
@@ -350,7 +410,12 @@ let report_cmd =
       Printf.eprintf "report: %s: %s\n" file e;
       exit 1
     | Ok doc -> (
-      match W.Report.render_timeseries_artifact Format.std_formatter doc with
+      let render =
+        match Json.member "resilience" doc with
+        | Some _ -> W.Report.render_resilience_artifact
+        | None -> W.Report.render_timeseries_artifact
+      in
+      match render Format.std_formatter doc with
       | Ok () -> ()
       | Error e ->
         Printf.eprintf "report: %s: %s\n" file e;
@@ -359,9 +424,11 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Render an ATUM_timeseries.json artifact as text: one sparkline per telemetry \
-          gauge plus the engine's per-label profile table (sorted by self-time; by \
-          event count when the run had no ATUM_PROF_WALL).")
+         "Render an artifact as text.  ATUM_timeseries.json: one sparkline per \
+          telemetry gauge plus the engine's per-label profile table (sorted by \
+          self-time; by event count when the run had no ATUM_PROF_WALL).  \
+          ATUM_resilience.json: the chaos experiment's schedule, delivery success and \
+          recovery verdict.")
     Term.(const run $ file_arg)
 
 let lint_cmd =
@@ -431,6 +498,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; analyze_cmd;
-            report_cmd; lint_cmd; dht_cmd;
+            grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; chaos_cmd;
+            analyze_cmd; report_cmd; lint_cmd; dht_cmd;
           ]))

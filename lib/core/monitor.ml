@@ -11,6 +11,7 @@
 
 module Engine = Atum_sim.Engine
 module Metrics = Atum_sim.Metrics
+module Network = Atum_sim.Network
 module Trace = Atum_sim.Trace
 module Hgraph = Atum_overlay.Hgraph
 
@@ -99,7 +100,29 @@ let check_vgroup t ~transient vid =
       in
       if byz > 0 && 2 * byz >= size then
         violate t "byz_majority" ~vgroup:vid
-          (Printf.sprintf "vgroup %d has %d Byzantine of %d members" vid byz size)
+          (Printf.sprintf "vgroup %d has %d Byzantine of %d members" vid byz size);
+      (* Fault awareness (chaos layer): an active vgroup whose live
+         members straddle a network partition cannot reach agreement,
+         and a crashed member erodes its correct majority.  Both are
+         counted every sweep while the fault lasts and stop accruing
+         the moment the network heals / the node recovers (or is
+         evicted) — which is exactly the signal the recovery
+         verifier's time-to-heal measurement polls for. *)
+      let net = System.network t.sys in
+      let live = List.filter (fun m -> not (Network.is_crashed net m)) vg.System.members in
+      (match live with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        let tag = Network.partition_of net first in
+        if List.exists (fun m -> Network.partition_of net m <> tag) rest then
+          violate t "vg_partitioned" ~vgroup:vid
+            (Printf.sprintf "vgroup %d members span multiple partitions" vid));
+      List.iter
+        (fun m ->
+          if Network.is_crashed net m then
+            violate t "vg_crashed" ~node:m ~vgroup:vid
+              (Printf.sprintf "vgroup %d member %d is crashed" vid m))
+        vg.System.members
     end
 
 let sweep t =

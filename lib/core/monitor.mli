@@ -13,7 +13,13 @@
     in the system's metrics, emits a trace event of the same kind, and
     — with [fail_fast] — raises {!Violation}.  Kinds: [vg_oversize],
     [vg_undersize], [byz_majority], [unknown_bid], [dup_delivery],
-    [retired_reachable]. *)
+    [retired_reachable], plus two fault-aware kinds for the chaos
+    layer: [vg_partitioned] (an active vgroup's live members straddle
+    a network partition) and [vg_crashed] (a member is in the crashed
+    set).  The fault-aware kinds accrue on every sweep while the fault
+    lasts and stop the moment the network heals — the recovery
+    verifier ({!Atum_workload.Resilience}) polls {!sweep} for exactly
+    that transition. *)
 
 type config = {
   period : float;  (** seconds between full sweeps *)

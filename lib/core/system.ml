@@ -37,10 +37,27 @@ type smr_inst =
   | Smr_sync of (node_id, Atum_smr.Sync_smr.t) Hashtbl.t
   | Smr_async of (node_id, Atum_smr.Pbft.t) Hashtbl.t
 
+(* How an adversarial node behaves.  [Mute] is the original
+   quiet-Byzantine model (§6.1.3): heartbeat, ignore protocol traffic.
+   The active strategies implement the attacks the paper defends
+   against — equivocation, selective forwarding, traffic flooding,
+   join-leave churn, and the targeted attack (§6.2) where an adversary
+   concentrates its nodes on one vgroup.  [Target_vgroup] composes:
+   its [inner] strategy drives the node's wire-level behaviour while
+   the targeting drives where it joins. *)
+type byz_strategy =
+  | Mute
+  | Equivocate
+  | Selective_drop of float
+  | Flood of { fanout : int; size : int }
+  | Join_leave_attack
+  | Target_vgroup of { vg : vg_id; inner : byz_strategy }
+
 type node = {
   id : node_id;
   mutable vg : vg_id option;
   mutable byzantine : bool;
+  mutable strategy : byz_strategy;
   mutable alive : bool;
   mutable exchanging : bool; (* engaged in a shuffle exchange right now *)
   delivered : (int, unit) Hashtbl.t; (* broadcast ids this node delivered *)
@@ -243,6 +260,19 @@ let is_correct n = n.alive && not n.byzantine
 let correct_members t vg = List.filter (fun m -> is_correct (node t m)) vg.members
 
 let majority_of count = (count / 2) + 1
+
+let strategy_name = function
+  | Mute -> "mute"
+  | Equivocate -> "equivocate"
+  | Selective_drop _ -> "selective_drop"
+  | Flood _ -> "flood"
+  | Join_leave_attack -> "join_leave"
+  | Target_vgroup _ -> "target_vgroup"
+
+(* A targeted attacker behaves on the wire as its [inner] strategy;
+   the targeting itself only drives where the node joins. *)
+let effective_strategy n =
+  match n.strategy with Target_vgroup { inner; _ } -> inner | s -> s
 
 (* In ascending id order: callers feed this list to seeded Rng picks
    (Builder, Churn), so its order is part of the reproducible state. *)
@@ -666,9 +696,14 @@ let rec check_size t vg =
    absent from some cycles, splice it next to a random resident of
    each missing cycle (the coordinator retrying with local knowledge).
    Without this a half-inserted vgroup would be unreachable by gossip
-   restricted to the missing cycles. *)
+   restricted to the missing cycles — and a vgroup whose walks were
+   ALL lost (e.g. every placement walk crossed a partition) would be
+   invisible to gossip entirely, so the repair must also cover the
+   not-yet-inserted case. *)
 and ensure_on_all_cycles t vg =
-  if (not vg.retired) && Hgraph.mem t.hgraph vg.vid then
+  if not vg.retired then begin
+    if not (Hgraph.mem t.hgraph vg.vid) then
+      Metrics.incr t.metrics "split.insert_recovered";
     for cycle = 0 to t.params.hc - 1 do
       if Hgraph.successor_opt t.hgraph ~cycle vg.vid = None then begin
         let residents =
@@ -684,6 +719,7 @@ and ensure_on_all_cycles t vg =
           Hgraph.insert_after t.hgraph ~cycle ~after:(Rng.pick t.rng residents) vg.vid
       end
     done
+  end
 
 (* A saga can stall when a participant vgroup vanishes mid-protocol (a
    group message becomes undeliverable, an agreement's vgroup retires).
@@ -747,14 +783,18 @@ and split t vg =
           let remaining = ref t.params.hc in
           for cycle = 0 to t.params.hc - 1 do
             start_walk t ~parent:span ~from_vg:vg.vid ~k:(fun w ->
-                let anchor =
-                  if Hgraph.mem t.hgraph w && w <> evid then w else vg.vid
-                in
-                (try Hgraph.insert_after t.hgraph ~cycle ~after:anchor evid
-                 with Invalid_argument _ ->
-                   (* The anchor left this cycle mid-flight; fall back
-                      to splicing next to the splitting vgroup. *)
-                   Hgraph.insert_after t.hgraph ~cycle ~after:vg.vid evid);
+                (* The walk can come back late (restarted across a
+                   partition) after the saga watchdog already repaired
+                   the insertion, and its anchor can have left the
+                   cycle mid-flight — so only insert when E is still
+                   missing from this cycle and the anchor is on it,
+                   falling back to the splitting vgroup, then to the
+                   repair pass. *)
+                (if Hgraph.successor_opt t.hgraph ~cycle evid = None then
+                   let on_cycle v = Hgraph.successor_opt t.hgraph ~cycle v <> None in
+                   let anchor = if w <> evid && on_cycle w then w else vg.vid in
+                   if on_cycle anchor then
+                     Hgraph.insert_after t.hgraph ~cycle ~after:anchor evid);
                 decr remaining;
                 if !remaining = 0 then begin
                   ensure_on_all_cycles t e;
@@ -1151,6 +1191,88 @@ let broadcast t ~from body =
     bid
 
 (* ------------------------------------------------------------------ *)
+(* Active Byzantine behaviour on the wire                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-gossip a broadcast from a Byzantine member to every member of
+   every H-graph neighbor vgroup, with a per-cycle body chosen by
+   [mutate].  Mirrors [node_deliver]'s fan-out (lowest selecting
+   cycle, sorted targets, round deferral) so the injected traffic
+   schedules deterministically — but the attacker ignores the forward
+   policy and always hits every neighbor. *)
+let byz_gossip t n ~bid ~origin ~mutate =
+  match n.vg with
+  | None -> ()
+  | Some vid ->
+    if Hgraph.mem t.hgraph vid then begin
+      let targets =
+        let chosen = Hashtbl.create 8 in
+        List.iter
+          (fun (cycle, nb) ->
+            if nb <> vid then
+              match Hashtbl.find_opt chosen nb with
+              | Some c when c <= cycle -> ()
+              | _ -> Hashtbl.replace chosen nb cycle)
+          (Hgraph.neighbors t.hgraph vid);
+        Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare chosen
+      in
+      let vg = vgroup t vid in
+      let src_size = List.length vg.members in
+      defer t (fun () ->
+          List.iter
+            (fun (nb, cycle) ->
+              match vgroup_opt t nb with
+              | Some nbg when not nbg.retired ->
+                let body = mutate cycle in
+                List.iter
+                  (fun d ->
+                    Network.send ~size:(64 + String.length body) t.net ~src:n.id ~dst:d
+                      (Group_part
+                         {
+                           gm_id = -1;
+                           src_vg = vid;
+                           src_size;
+                           payload = Bcast { bid; origin; body; cycle };
+                         }))
+                  nbg.members
+              | _ -> ())
+            targets)
+    end
+
+(* Deterministic per-(bid, node) coin for [Selective_drop]: stable
+   across runs, independent of arrival order. *)
+let byz_coin ~bid ~nid ~p =
+  float_of_int (Hashtbl.hash (bid, nid) land 0xFFFF) < p *. 65536.0
+
+(* What a Byzantine node does with a broadcast part it receives.  The
+   [delivered] table doubles as the once-per-bid marker: a Byzantine
+   node never delivers properly ([node_deliver] requires
+   [is_correct]), so the table is otherwise unused. *)
+let byz_on_bcast t n ~bid ~origin ~body =
+  match effective_strategy n with
+  | Mute | Flood _ | Join_leave_attack | Target_vgroup _ -> ()
+  | Equivocate ->
+    if not (Hashtbl.mem n.delivered bid) then begin
+      Hashtbl.replace n.delivered bid ();
+      Metrics.incr t.metrics "byzantine.equivocation";
+      trace_emit t ~kind:"byzantine.equivocate" ~node:n.id ?vgroup:n.vg ~bid ();
+      byz_gossip t n ~bid ~origin ~mutate:(fun cycle ->
+          body ^ "/eq" ^ string_of_int cycle)
+    end
+  | Selective_drop p ->
+    if not (Hashtbl.mem n.delivered bid) then begin
+      Hashtbl.replace n.delivered bid ();
+      if byz_coin ~bid ~nid:n.id ~p then begin
+        Metrics.incr t.metrics "byzantine.selective_drop";
+        trace_emit t ~kind:"byzantine.selective_drop" ~node:n.id ~bid ()
+      end
+      else begin
+        Metrics.incr t.metrics "byzantine.relay";
+        byz_gossip t n ~bid ~origin ~mutate:(fun _ -> body)
+      end
+    end
+
+(* ------------------------------------------------------------------ *)
 (* Heartbeats and eviction of unresponsive nodes (§5.1)                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1371,8 +1493,10 @@ let handle_wire t nid ~src wire =
     else if n.alive && n.byzantine then begin
       (* Byzantine nodes record heartbeats (to keep pretending) and
          still run the point-to-point steps of their own join — a
-         join-leave attacker wants in — but ignore every replication
-         and dissemination protocol. *)
+         join-leave attacker wants in.  A [Mute] node ignores every
+         replication and dissemination protocol; the active strategies
+         additionally react to broadcast parts ([byz_on_bcast]) with
+         equivocation or selective forwarding. *)
       match wire with
       | Heartbeat -> Hashtbl.replace n.last_seen src (now t)
       | Direct { token; label = _ } -> (
@@ -1381,7 +1505,11 @@ let handle_wire t nid ~src wire =
           Hashtbl.remove t.tokens token;
           k ()
         | None -> ())
-      | Sync_msg _ | Async_msg _ | Group_part _ -> ()
+      | Group_part { gm_id = _; src_vg = _; src_size = _; payload } -> (
+        match payload with
+        | Control _ -> ()
+        | Bcast { bid; origin; body; cycle = _ } -> byz_on_bcast t n ~bid ~origin ~body)
+      | Sync_msg _ | Async_msg _ -> ()
     end
 
 (* ------------------------------------------------------------------ *)
@@ -1417,6 +1545,7 @@ let spawn_node t ?(byzantine = false) () =
       id;
       vg = None;
       byzantine;
+      strategy = Mute;
       alive = true;
       exchanging = false;
       delivered = Hashtbl.create 16;
@@ -1465,12 +1594,121 @@ let crash t nid =
   let n = node t nid in
   n.alive <- false;
   Network.crash t.net nid;
-  Metrics.incr t.metrics "node.crashed"
+  Metrics.incr t.metrics "node.crashed";
+  trace_emit t ~kind:"node.crashed" ~node:nid ()
 
-let make_byzantine t nid =
+(* Inverse of [crash]: the node comes back with whatever registry
+   state it still holds.  If its vgroup evicted it while it was down,
+   it rejoins nothing (vg = None) and simply idles; otherwise it
+   resumes heartbeating and protocol participation, and the monitor's
+   [vg_crashed] count stops growing — which is the signal the
+   convergence checker watches. *)
+let recover t nid =
+  let n = node t nid in
+  if not n.alive then begin
+    n.alive <- true;
+    Network.recover t.net nid;
+    Metrics.incr t.metrics "node.recovered";
+    trace_emit t ~kind:"node.recovered" ~node:nid ()
+  end
+
+(* --- periodic drivers for the active Byzantine strategies ----------- *)
+
+let byz_pick_live t ~but =
+  match
+    List.filter_map
+      (fun (m : node) -> if m.id <> but then Some m.id else None)
+      (live_nodes t)
+  with
+  | [] -> None
+  | ids -> Some (Rng.pick t.rng ids)
+
+(* Junk point-to-point traffic: each tick sends [fanout] direct
+   messages with fresh (never-registered) tokens to random live nodes,
+   burning their receive capacity. *)
+let start_flood t nid ~fanout ~size =
+  Engine.every ~label:"byzantine.flood" t.engine ~period:5.0 (fun () ->
+      let n = node t nid in
+      if n.alive && n.byzantine then begin
+        for _ = 1 to fanout do
+          match byz_pick_live t ~but:nid with
+          | Some dst ->
+            Metrics.incr t.metrics "byzantine.flood.sent";
+            Network.send ~size t.net ~src:nid ~dst
+              (Direct { token = fresh_token t; label = "byz-flood" })
+          | None -> ()
+        done;
+        true
+      end
+      else false)
+
+(* Alternate leave / rejoin to keep the membership machinery churning
+   (the attack of Guerraoui et al.'s dynamic-Byzantine model). *)
+let start_join_leave t nid =
+  Engine.every ~label:"byzantine.join_leave" t.engine ~period:30.0 (fun () ->
+      let n = node t nid in
+      if n.alive && n.byzantine then begin
+        Metrics.incr t.metrics "byzantine.join_leave";
+        (match n.vg with
+        | Some _ -> leave t ~target:nid ()
+        | None -> (
+          match byz_pick_live t ~but:nid with
+          | Some contact -> join t ~joiner:nid ~contact ()
+          | None -> ()));
+        true
+      end
+      else false)
+
+(* The paper's targeted attack (§6.2): re-roll join placements until
+   the node lands in the target vgroup.  Each attempt goes through the
+   normal join saga, so the random walk (and shuffling) is exactly the
+   defense being probed.  The driver stops when the target retires —
+   merged or split away, the attack has lost its objective. *)
+let start_target t nid ~target =
+  let landed = ref false in
+  Engine.every ~label:"byzantine.target" t.engine ~period:30.0 (fun () ->
+      let n = node t nid in
+      match vgroup_opt t target with
+      | Some tvg when (not tvg.retired) && n.alive && n.byzantine ->
+        (match n.vg with
+        | Some vid when vid = target ->
+          if not !landed then begin
+            landed := true;
+            Metrics.incr t.metrics "byzantine.target.landed";
+            trace_emit t ~kind:"byzantine.target.landed" ~node:nid ~vgroup:target ()
+          end
+        | Some _ ->
+          landed := false;
+          Metrics.incr t.metrics "byzantine.target.attempt";
+          leave t ~target:nid ()
+        | None -> (
+          landed := false;
+          match correct_members t tvg with
+          | [] -> ()
+          | contact :: _ ->
+            Metrics.incr t.metrics "byzantine.target.attempt";
+            join t ~joiner:nid ~contact ()));
+        true
+      | _ -> false)
+
+let make_byzantine t ?(strategy = Mute) nid =
+  (match strategy with
+  | Selective_drop p when p < 0.0 || p > 1.0 ->
+    invalid_arg "System.make_byzantine: Selective_drop probability outside [0, 1]"
+  | Target_vgroup { inner = Target_vgroup _; _ } ->
+    invalid_arg "System.make_byzantine: nested Target_vgroup"
+  | Mute | Equivocate | Selective_drop _ | Flood _ | Join_leave_attack
+  | Target_vgroup _ -> ());
   let n = node t nid in
   n.byzantine <- true;
-  Metrics.incr t.metrics "node.byzantine"
+  n.strategy <- strategy;
+  Metrics.incr t.metrics "node.byzantine";
+  Metrics.incr t.metrics ("byzantine.strategy." ^ strategy_name strategy);
+  match strategy with
+  | Mute | Equivocate | Selective_drop _ -> ()
+  | Flood { fanout; size } -> start_flood t nid ~fanout ~size
+  | Join_leave_attack -> start_join_leave t nid
+  | Target_vgroup { vg; inner = _ } -> start_target t nid ~target:vg
 
 let hgraph t = t.hgraph
 

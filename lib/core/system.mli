@@ -16,12 +16,45 @@
 type node_id = int
 type vg_id = int
 
+(** How an adversarial node behaves (see {!make_byzantine}).  [Mute]
+    is the quiet-Byzantine model of §6.1.3: heartbeat, ignore protocol
+    traffic, never help dissemination.  The active strategies
+    implement the attacks the paper claims to withstand:
+    - [Equivocate]: re-gossip every broadcast it hears with a
+      {e different} body per H-graph cycle, trying to poison delivery
+      at nodes that have not yet accepted the real payload;
+    - [Selective_drop p]: drop each broadcast with probability [p]
+      (deterministic per (bid, node) coin), relay it faithfully
+      otherwise — the gray attacker that defeats naive gossip;
+    - [Flood]: periodically blast [fanout] junk direct messages of
+      [size] bytes at random live nodes, burning receive capacity;
+    - [Join_leave_attack]: alternate leave/rejoin to keep the
+      membership machinery churning;
+    - [Target_vgroup]: the §6.2 targeted attack — re-roll join
+      placements until the node lands in vgroup [vg], behaving on the
+      wire as [inner] (which must not itself be [Target_vgroup]).
+    Per-strategy activity is counted under ["byzantine.*"] metrics
+    (equivocation, selective_drop, relay, flood.sent, join_leave,
+    target.attempt, target.landed). *)
+type byz_strategy =
+  | Mute
+  | Equivocate
+  | Selective_drop of float
+  | Flood of { fanout : int; size : int }
+  | Join_leave_attack
+  | Target_vgroup of { vg : vg_id; inner : byz_strategy }
+
+val strategy_name : byz_strategy -> string
+(** Short stable name (["mute"], ["equivocate"], ...) used in metric
+    keys and artifacts. *)
+
 (** A node's runtime state.  [vg = None] means the node is not (or no
     longer) part of the system. *)
 type node = {
   id : node_id;
   mutable vg : vg_id option;
   mutable byzantine : bool;
+  mutable strategy : byz_strategy;
   mutable alive : bool;
   mutable exchanging : bool;
   delivered : (int, unit) Hashtbl.t;
@@ -101,11 +134,22 @@ val leave : t -> target:node_id -> ?k:(unit -> unit) -> unit -> unit
 val evict : t -> target:node_id -> ?k:(unit -> unit) -> unit -> unit
 
 val crash : t -> node_id -> unit
-(** Silence a node entirely (heartbeats included). *)
+(** Silence a node entirely (heartbeats included).  Reversible with
+    {!recover}. *)
 
-val make_byzantine : t -> node_id -> unit
-(** Quiet-Byzantine (§6.1.3): keeps heartbeating, ignores protocol
-    traffic, never helps dissemination. *)
+val recover : t -> node_id -> unit
+(** Bring a crashed node back.  It resumes with whatever registry
+    state it still holds: if its vgroup evicted it while it was down
+    it simply idles outside the system, otherwise it rejoins protocol
+    traffic where it left off.  No-op on a live node.  Counted under
+    ["node.recovered"]. *)
+
+val make_byzantine : t -> ?strategy:byz_strategy -> node_id -> unit
+(** Turn a node adversarial; [strategy] defaults to [Mute]
+    (§6.1.3).  Active strategies install a periodic driver task that
+    stops when the node dies.  Raises [Invalid_argument] on a
+    [Selective_drop] probability outside [0, 1] or a nested
+    [Target_vgroup]. *)
 
 (* --- dissemination --------------------------------------------------- *)
 

@@ -29,6 +29,7 @@ type 'msg t = {
   rng : Atum_util.Rng.t;
   handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
   partitions : (int, int) Hashtbl.t;
+  crashed : (int, unit) Hashtbl.t; (* explicit, so recover can't collide with a tag *)
   ready : (int, float) Hashtbl.t; (* per-node processing queue tail *)
   metrics : Metrics.t;
   trace : Trace.t option;
@@ -36,6 +37,12 @@ type 'msg t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  (* Fault-injection overrides (see Fault).  All identity by default,
+     so an undisturbed run is bit-identical to one without the fields. *)
+  mutable loss_boost : float; (* added to config.drop_probability *)
+  mutable latency_factor : float; (* multiplies each sampled transit latency *)
+  mutable capacity_factor : float; (* multiplies node_capacity (degrade < 1.0) *)
+  mutable post_heal : bool; (* a heal/recover happened; label deliveries *)
 }
 
 let create ?metrics ?trace engine config =
@@ -45,6 +52,7 @@ let create ?metrics ?trace engine config =
     rng = Atum_util.Rng.create config.seed;
     handlers = Hashtbl.create 256;
     partitions = Hashtbl.create 64;
+    crashed = Hashtbl.create 64;
     ready = Hashtbl.create 256;
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     trace;
@@ -52,10 +60,15 @@ let create ?metrics ?trace engine config =
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    loss_boost = 0.0;
+    latency_factor = 1.0;
+    capacity_factor = 1.0;
+    post_heal = false;
   }
 
 let engine t = t.engine
 let metrics t = t.metrics
+let trace t = t.trace
 
 let register t node handler = Hashtbl.replace t.handlers node handler
 
@@ -72,7 +85,35 @@ let partition_of t node = Option.value ~default:0 (Hashtbl.find_opt t.partitions
 
 let set_partition t node tag = Hashtbl.replace t.partitions node tag
 
-let crash t node = Hashtbl.replace t.partitions node (-node - 1)
+let heal t =
+  Hashtbl.reset t.partitions;
+  t.post_heal <- true
+
+let crash t node = Hashtbl.replace t.crashed node ()
+
+let recover t node =
+  Hashtbl.remove t.crashed node;
+  t.post_heal <- true
+
+let is_crashed t node = Hashtbl.mem t.crashed node
+
+let set_loss_boost t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Network.set_loss_boost: p outside [0, 1]";
+  t.loss_boost <- p
+
+let loss_boost t = t.loss_boost
+
+let set_latency_factor t f =
+  if f <= 0.0 then invalid_arg "Network.set_latency_factor: factor must be positive";
+  t.latency_factor <- f
+
+let latency_factor t = t.latency_factor
+
+let set_capacity_factor t f =
+  if f <= 0.0 then invalid_arg "Network.set_capacity_factor: factor must be positive";
+  t.capacity_factor <- f
+
+let capacity_factor t = t.capacity_factor
 
 let trace_emit t ~kind ?node ?peer ?size () =
   match t.trace with
@@ -88,53 +129,68 @@ let drop t ~reason ~src ~dst =
   Metrics.incr t.metrics ("net.drop." ^ reason);
   trace_emit t ~kind:("net.drop." ^ reason) ~node:src ~peer:dst ()
 
+(* A crashed endpoint silences the link regardless of partition tags;
+   the tags themselves are left untouched so a later [recover] drops
+   the node back into whichever partition it was in. *)
+let severed t ~src ~dst =
+  if is_crashed t src || is_crashed t dst then Some "crash"
+  else if partition_of t src <> partition_of t dst then Some "partition"
+  else None
+
 let send ?(size = 64) t ~src ~dst msg =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
   trace_emit t ~kind:"net.send" ~node:src ~peer:dst ~size ();
-  let crosses_partition = partition_of t src <> partition_of t dst in
-  let lost = Atum_util.Rng.bernoulli t.rng t.config.drop_probability in
-  if crosses_partition then drop t ~reason:"partition" ~src ~dst
-  else if lost then drop t ~reason:"loss" ~src ~dst
-  else begin
-    let delay = sample_latency t in
-    (* The arrival event only covers network transit.  Receiver
-       service time (node_capacity) is charged at arrival time, and
-       only for messages that are actually processed: a message
-       dropped by the delivery-time partition re-check or a missing
-       handler must not advance the receiver's queue tail, or dropped
-       traffic would permanently consume receiver capacity. *)
-    Engine.schedule ~label:"net.transit" t.engine ~delay (fun () ->
-        if partition_of t src <> partition_of t dst then
-          drop t ~reason:"partition" ~src ~dst
-        else begin
-          match Hashtbl.find_opt t.handlers dst with
-          | None -> drop t ~reason:"no_handler" ~src ~dst
-          | Some _ ->
-            let deliver () =
-              (* Re-resolve the handler: it may have been replaced (or
-                 removed) while the message waited in the receiver's
-                 service queue. *)
-              match Hashtbl.find_opt t.handlers dst with
-              | None -> drop t ~reason:"no_handler" ~src ~dst
-              | Some handler ->
-                t.delivered <- t.delivered + 1;
-                trace_emit t ~kind:"net.deliver" ~node:dst ~peer:src ~size ();
-                handler ~src msg
-            in
-            (match t.config.node_capacity with
-            | None -> deliver ()
-            | Some capacity ->
-              (* The receiver serves messages in arrival order at a
-                 bounded rate; a hot node's queue tail pushes delivery
-                 out. *)
-              let arrival = Engine.now t.engine in
-              let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
-              let finish = Float.max arrival tail +. (1.0 /. capacity) in
-              Hashtbl.replace t.ready dst finish;
-              Engine.schedule ~label:"net.service" t.engine ~delay:(finish -. arrival) deliver)
-        end)
-  end
+  let cut = severed t ~src ~dst in
+  let lost =
+    Atum_util.Rng.bernoulli t.rng
+      (Float.min 1.0 (t.config.drop_probability +. t.loss_boost))
+  in
+  match cut with
+  | Some reason -> drop t ~reason ~src ~dst
+  | None ->
+    if lost then drop t ~reason:"loss" ~src ~dst
+    else begin
+      let delay = sample_latency t *. t.latency_factor in
+      (* The arrival event only covers network transit.  Receiver
+         service time (node_capacity) is charged at arrival time, and
+         only for messages that are actually processed: a message
+         dropped by the delivery-time partition re-check or a missing
+         handler must not advance the receiver's queue tail, or dropped
+         traffic would permanently consume receiver capacity. *)
+      Engine.schedule ~label:"net.transit" t.engine ~delay (fun () ->
+          match severed t ~src ~dst with
+          | Some reason -> drop t ~reason ~src ~dst
+          | None -> begin
+            match Hashtbl.find_opt t.handlers dst with
+            | None -> drop t ~reason:"no_handler" ~src ~dst
+            | Some _ ->
+              let deliver () =
+                (* Re-resolve the handler: it may have been replaced (or
+                   removed) while the message waited in the receiver's
+                   service queue. *)
+                match Hashtbl.find_opt t.handlers dst with
+                | None -> drop t ~reason:"no_handler" ~src ~dst
+                | Some handler ->
+                  t.delivered <- t.delivered + 1;
+                  if t.post_heal then Metrics.incr t.metrics "net.deliver.post_heal";
+                  trace_emit t ~kind:"net.deliver" ~node:dst ~peer:src ~size ();
+                  handler ~src msg
+              in
+              (match t.config.node_capacity with
+              | None -> deliver ()
+              | Some capacity ->
+                (* The receiver serves messages in arrival order at a
+                   bounded rate; a hot node's queue tail pushes delivery
+                   out. *)
+                let capacity = capacity *. t.capacity_factor in
+                let arrival = Engine.now t.engine in
+                let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
+                let finish = Float.max arrival tail +. (1.0 /. capacity) in
+                Hashtbl.replace t.ready dst finish;
+                Engine.schedule ~label:"net.service" t.engine ~delay:(finish -. arrival) deliver)
+          end)
+    end
 
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered

@@ -6,8 +6,9 @@
       (Async experiments).
 
     Messages between nodes in different partitions are silently
-    dropped, which is how we model both network partitions and crashed
-    nodes (a crashed node is isolated forever). *)
+    dropped, and so is anything to or from a node in the crashed set.
+    Both faults are reversible ({!heal}, {!recover}), which is what the
+    chaos layer ({!Fault}) builds on. *)
 
 type latency_model =
   | Fixed of float
@@ -36,14 +37,18 @@ type 'msg t
 
 val create : ?metrics:Metrics.t -> ?trace:Trace.t -> Engine.t -> config -> 'msg t
 (** [metrics] receives per-reason drop counters (["net.drop.partition"],
-    ["net.drop.loss"], ["net.drop.no_handler"]); pass the owning
-    system's metrics to aggregate, or omit for a private one.
-    [trace] (when enabled) records ["net.send"], ["net.deliver"] and
-    ["net.drop.*"] events. *)
+    ["net.drop.loss"], ["net.drop.crash"], ["net.drop.no_handler"]);
+    pass the owning system's metrics to aggregate, or omit for a
+    private one.  [trace] (when enabled) records ["net.send"],
+    ["net.deliver"] and ["net.drop.*"] events. *)
 
 val engine : 'msg t -> Engine.t
 
 val metrics : 'msg t -> Metrics.t
+
+val trace : 'msg t -> Trace.t option
+(** The trace handed to {!create} (the fault injector emits its
+    ["fault.*"] events into the same log). *)
 
 val register : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 (** Install the message handler for a node id (replaces any previous
@@ -58,7 +63,11 @@ val send : ?size:int -> 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 val sample_latency : 'msg t -> float
 (** One latency draw from the configured model (for protocols that
-    need timeouts calibrated to the network). *)
+    need timeouts calibrated to the network).  Not scaled by
+    {!set_latency_factor}: timeouts calibrate against the healthy
+    network. *)
+
+(* --- partitions and crashes (both reversible) ------------------------ *)
 
 val set_partition : 'msg t -> int -> int -> unit
 (** [set_partition net node tag] — nodes only hear nodes with the same
@@ -66,16 +75,56 @@ val set_partition : 'msg t -> int -> int -> unit
 
 val partition_of : 'msg t -> int -> int
 
+val heal : 'msg t -> unit
+(** Clear every partition tag (all nodes back to tag 0).  Deliveries
+    from here on are additionally counted under
+    ["net.deliver.post_heal"], so recovery verification can tell
+    post-heal traffic from the pre-fault baseline. *)
+
 val crash : 'msg t -> int -> unit
-(** Isolate a node permanently (tag -1, never matched). *)
+(** Add the node to the crashed set: nothing to or from it is
+    delivered (drop reason ["crash"]).  Partition tags are untouched,
+    so {!recover} can never collide with a legitimate tag. *)
+
+val recover : 'msg t -> int -> unit
+(** Remove the node from the crashed set; it rejoins whichever
+    partition its tag says.  Counts subsequent deliveries under
+    ["net.deliver.post_heal"] like {!heal}. *)
+
+val is_crashed : 'msg t -> int -> bool
+
+(* --- fault-injection overrides (identity by default) ----------------- *)
+
+val set_loss_boost : 'msg t -> float -> unit
+(** Additional independent per-message loss probability, added to the
+    configured [drop_probability] (clamped to 1.0).  Raises
+    [Invalid_argument] outside [0, 1].  Used by {!Fault.Loss_burst}. *)
+
+val loss_boost : 'msg t -> float
+
+val set_latency_factor : 'msg t -> float -> unit
+(** Multiply every sampled transit latency (> 0; default 1.0).  Used
+    by {!Fault.Latency_spike}. *)
+
+val latency_factor : 'msg t -> float
+
+val set_capacity_factor : 'msg t -> float -> unit
+(** Scale per-node processing capacity (> 0; default 1.0; < 1.0
+    degrades).  No effect when [node_capacity] is [None].  Used by
+    {!Fault.Capacity_degrade}. *)
+
+val capacity_factor : 'msg t -> float
+
+(* --- counters -------------------------------------------------------- *)
 
 val messages_sent : 'msg t -> int
 val messages_delivered : 'msg t -> int
 
 val messages_dropped : 'msg t -> int
 (** Aggregate of every drop; {!metrics} holds the same total split by
-    reason.  A message dropped at delivery time (partition re-check or
-    missing handler) does {e not} consume receiver capacity. *)
+    reason.  A message dropped at delivery time (partition/crash
+    re-check or missing handler) does {e not} consume receiver
+    capacity. *)
 
 val bytes_sent : 'msg t -> int
 val reset_counters : 'msg t -> unit

@@ -42,10 +42,16 @@ let period t = t.period
 let capacity t = t.cap
 
 let register t name read =
-  if t.started then invalid_arg "Telemetry.register: sampling already started";
   if List.exists (fun g -> String.equal g.g_name name) t.gauges then
     invalid_arg (Printf.sprintf "Telemetry.register: duplicate gauge %S" name);
-  t.gauges <- { g_name = name; g_read = read } :: t.gauges
+  if not t.started then t.gauges <- { g_name = name; g_read = read } :: t.gauges
+  else begin
+    (* Late registration (e.g. a fault schedule installed mid-run):
+       append after the sorted start-time gauges and give the new gauge
+       a zero-backfilled row so every row shares the ring's time axis. *)
+    t.gauges <- t.gauges @ [ { g_name = name; g_read = read } ];
+    t.values <- Array.append t.values [| Array.make t.cap 0.0 |]
+  end
 
 let register_delta t name read =
   let last = ref 0 in

@@ -25,9 +25,13 @@ val period : t -> float
 val capacity : t -> int
 
 val register : t -> string -> (unit -> float) -> unit
-(** [register t name read] adds a gauge.  Names must be unique and
-    registration must precede {!start} (raises [Invalid_argument]
-    otherwise).  Gauges are sampled — and exported — in name order. *)
+(** [register t name read] adds a gauge.  Names must be unique (raises
+    [Invalid_argument] on a duplicate).  Gauges registered before
+    {!start} are sampled — and exported — in name order; a gauge
+    registered after sampling started (e.g. a {!Fault} schedule
+    installed mid-run) is appended after them with zeros backfilled
+    for the samples it missed, so every series still shares the ring's
+    time axis. *)
 
 val register_delta : t -> string -> (unit -> int) -> unit
 (** A gauge reporting the {e increase} of a monotonic counter since

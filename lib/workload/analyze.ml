@@ -53,6 +53,8 @@ type result = {
   sagas : saga_stats list;  (* sorted by saga name *)
   violations : (string * int) list;  (* monitor.violation.* counters *)
   violations_total : int;
+  byzantine_events : (string * int) list;  (* byzantine.* trace kinds *)
+  fault_events : (string * int) list;  (* fault.* trace kinds *)
   events_seen : int;
   dropped_total : int;
   dropped_by_kind : (string * int) list;
@@ -78,6 +80,8 @@ type acc = {
   saga_durations : (string, float list ref) Hashtbl.t;
   saga_unmatched : (string, int ref) Hashtbl.t;
   viol_events : (string, int) Hashtbl.t; (* violation kind -> trace events *)
+  byz_events : (string, int) Hashtbl.t; (* byzantine.* kind -> trace events *)
+  flt_events : (string, int) Hashtbl.t; (* fault.* kind -> trace events *)
   mutable seen : int;
 }
 
@@ -96,6 +100,8 @@ let make_acc () =
     saga_durations = Hashtbl.create 16;
     saga_unmatched = Hashtbl.create 16;
     viol_events = Hashtbl.create 8;
+    byz_events = Hashtbl.create 8;
+    flt_events = Hashtbl.create 8;
     seen = 0;
   }
 
@@ -116,6 +122,10 @@ let strip_prefix name =
 let has_violation_prefix name =
   String.length name > String.length violation_prefix
   && String.sub name 0 (String.length violation_prefix) = violation_prefix
+
+let has_prefix prefix name =
+  String.length name > String.length prefix
+  && String.sub name 0 (String.length prefix) = prefix
 
 (* Kind "saga.<name>.begin" / "saga.<name>.end" -> (<name>, is_begin) *)
 let saga_of_kind kind =
@@ -165,6 +175,11 @@ let feed acc (e : Trace.event) =
       bump acc.incomplete e.bid 1)
   | "bcast.dup" when e.bid >= 0 -> bump acc.dup e.bid 1
   | k when has_violation_prefix k -> bump acc.viol_events (strip_prefix k) 1
+  (* Chaos-layer lineage: adversary activity and injected faults keep
+     their full kind so equivocation vs. selective drops vs. targeting
+     attempts stay distinguishable in the summary. *)
+  | k when has_prefix "byzantine." k -> bump acc.byz_events k 1
+  | k when has_prefix "fault." k -> bump acc.flt_events k 1
   | _ -> (
     match saga_of_kind e.kind with
     | Some (name, true) when e.span >= 0 ->
@@ -308,6 +323,10 @@ let finish acc ~violations ~dropped_total ~dropped_by_kind =
     sagas;
     violations;
     violations_total = List.fold_left (fun a (_, n) -> a + n) 0 violations;
+    byzantine_events =
+      Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare acc.byz_events;
+    fault_events =
+      Atum_util.Hashtbl_ext.sorted_bindings ~cmp:String.compare acc.flt_events;
     events_seen = acc.seen;
     dropped_total;
     dropped_by_kind;
@@ -457,6 +476,10 @@ let to_json r =
       ( "violations",
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.violations) );
       ("violations_total", Json.Int r.violations_total);
+      ( "byzantine_events",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.byzantine_events) );
+      ( "fault_events",
+        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.fault_events) );
       ("events_seen", Json.Int r.events_seen);
       ("dropped_total", Json.Int r.dropped_total);
       ( "dropped_by_kind",
@@ -503,6 +526,14 @@ let pp ppf r =
   else begin
     fprintf ppf "invariant violations: %d@," r.violations_total;
     List.iter (fun (k, n) -> fprintf ppf "  %s: %d@," k n) r.violations
+  end;
+  if r.byzantine_events <> [] then begin
+    fprintf ppf "adversary activity:@,";
+    List.iter (fun (k, n) -> fprintf ppf "  %s: %d@," k n) r.byzantine_events
+  end;
+  if r.fault_events <> [] then begin
+    fprintf ppf "injected faults:@,";
+    List.iter (fun (k, n) -> fprintf ppf "  %s: %d@," k n) r.fault_events
   end;
   if r.dropped_total > 0 then begin
     fprintf ppf "trace incomplete: %d events dropped by ring wrap@," r.dropped_total;

@@ -52,6 +52,13 @@ type result = {
           window plus those the ring dropped) — the counters alone can
           undercount when a workload clears the metrics mid-run *)
   violations_total : int;
+  byzantine_events : (string * int) list;
+      (** adversary activity seen in the trace window, by full kind
+          ([byzantine.equivocate], [byzantine.selective_drop],
+          [byzantine.target.landed], ...), sorted *)
+  fault_events : (string * int) list;
+      (** injected chaos-layer faults ([fault.partition],
+          [fault.heal], [fault.crash], ...), sorted *)
   events_seen : int;
   dropped_total : int;
   dropped_by_kind : (string * int) list;

@@ -14,7 +14,11 @@ type probe_result = {
 let live_ids atum =
   List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
 
-let probe (built : Builder.built) ~rate_per_min ~duration ~seed =
+let probe ?(sustain_completion = 0.85) ?(sustain_drift = 0.10) (built : Builder.built)
+    ~rate_per_min ~duration ~seed =
+  if sustain_completion < 0.0 || sustain_completion > 1.0 then
+    invalid_arg "Churn.probe: sustain_completion outside [0, 1]";
+  if sustain_drift < 0.0 then invalid_arg "Churn.probe: negative sustain_drift";
   let atum = built.Builder.atum in
   let rng = Atum_util.Rng.create seed in
   let size_before = Atum.size atum in
@@ -42,8 +46,9 @@ let probe (built : Builder.built) ~rate_per_min ~duration ~seed =
   let size_after = Atum.size atum in
   let sustained =
     !started > 0
-    && float_of_int !completed >= 0.85 *. float_of_int !started
-    && abs (size_after - size_before) <= max 2 (size_before / 10)
+    && float_of_int !completed >= sustain_completion *. float_of_int !started
+    && abs (size_after - size_before)
+       <= max 2 (int_of_float (sustain_drift *. float_of_int size_before))
   in
   {
     rate_per_min;
@@ -62,7 +67,8 @@ let default_rates n =
     (fun f -> f *. float_of_int n)
     [ 0.06; 0.10; 0.14; 0.18; 0.22; 0.27; 0.33; 0.40 ]
 
-let max_sustained ?rates ?(duration = 120.0) (built : Builder.built) ~seed =
+let max_sustained ?rates ?(duration = 120.0) ?sustain_completion ?sustain_drift
+    (built : Builder.built) ~seed =
   let n = Atum.size built.Builder.atum in
   let rates = match rates with Some r -> r | None -> default_rates n in
   let results = ref [] in
@@ -71,7 +77,10 @@ let max_sustained ?rates ?(duration = 120.0) (built : Builder.built) ~seed =
   List.iteri
     (fun i rate ->
       if !continue then begin
-        let r = probe built ~rate_per_min:rate ~duration ~seed:(seed + (100 * i)) in
+        let r =
+          probe ?sustain_completion ?sustain_drift built ~rate_per_min:rate ~duration
+            ~seed:(seed + (100 * i))
+        in
         results := r :: !results;
         if r.sustained then best := rate else continue := false;
         (* settle before the next, harder probe *)

@@ -13,17 +13,29 @@ type probe_result = {
 }
 
 val probe :
-  Builder.built -> rate_per_min:float -> duration:float -> seed:int -> probe_result
+  ?sustain_completion:float ->
+  ?sustain_drift:float ->
+  Builder.built ->
+  rate_per_min:float ->
+  duration:float ->
+  seed:int ->
+  probe_result
 (** Churn an existing deployment at a fixed rate for [duration]
     simulated seconds: at every churn event, one random member leaves
     and one fresh node joins through a random contact.  Sustained
-    means at least 85% of the started joins completed (the rest may be
-    in flight or lost to vgroups that vanished mid-saga) and the
-    system size drifted by at most 10%. *)
+    means at least [sustain_completion] (default 0.85) of the started
+    joins completed (the rest may be in flight or lost to vgroups that
+    vanished mid-saga) and the system size drifted by at most
+    [sustain_drift] (default 0.10, a fraction of the starting size,
+    floored at 2 nodes).  Resilience runs loosen both to reuse the
+    probe while faults are active.  Raises [Invalid_argument] on a
+    completion fraction outside [0, 1] or a negative drift. *)
 
 val max_sustained :
   ?rates:float list ->
   ?duration:float ->
+  ?sustain_completion:float ->
+  ?sustain_drift:float ->
   Builder.built ->
   seed:int ->
   float * probe_result list

@@ -5,8 +5,12 @@ module Json = Atum_util.Json
    artifacts exist.
    3: every artifact embeds a build_info provenance object, growth
    rows may carry a telemetry timeseries, and ATUM_timeseries.json
-   artifacts (gauge series + engine profile) exist. *)
-let schema_version = 3
+   artifacts (gauge series + engine profile) exist.
+   4: the chaos layer — ATUM_resilience.json artifacts (fault
+   schedule, per-phase delivery success, time-to-heal), fault.* and
+   byzantine.* trace/metric namespaces, and byzantine_events /
+   fault_events sections in ATUM_analyze.json. *)
+let schema_version = 4
 
 (* Wall-clock time is the only nondeterministic field in a benchmark
    artifact; zeroing it (ATUM_BENCH_JSON_CANON) makes same-seed runs
@@ -234,9 +238,7 @@ let render_profile fmt json =
       rows;
     Ok ()
 
-(* The full ATUM_timeseries.json artifact: provenance header, gauge
-   timelines, then the per-label engine profile. *)
-let render_timeseries_artifact fmt json =
+let render_artifact_header fmt json =
   let hdr k =
     match Json.member k json with
     | Some (Json.String s) -> s
@@ -245,11 +247,16 @@ let render_timeseries_artifact fmt json =
   in
   Format.fprintf fmt "artifact         : cmd=%s seed=%s schema=%s@." (hdr "cmd") (hdr "seed")
     (hdr "schema_version");
-  (match Json.member "build_info" json with
+  match Json.member "build_info" json with
   | Some bi ->
     let f k = match Json.member k bi with Some (Json.String s) -> s | _ -> "?" in
     Format.fprintf fmt "build            : %s (git %s)@." (f "version") (f "git")
-  | None -> ());
+  | None -> ()
+
+(* The full ATUM_timeseries.json artifact: provenance header, gauge
+   timelines, then the per-label engine profile. *)
+let render_timeseries_artifact fmt json =
+  render_artifact_header fmt json;
   match Json.member "timeseries" json with
   | None -> Error "Report.render_timeseries_artifact: missing timeseries section"
   | Some ts -> (
@@ -259,3 +266,105 @@ let render_timeseries_artifact fmt json =
       match Json.member "profile" json with
       | None -> Error "Report.render_timeseries_artifact: missing profile section"
       | Some p -> render_profile fmt p))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering ATUM_resilience.json                                      *)
+(* ------------------------------------------------------------------ *)
+
+let json_num = function
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Null | Json.Bool _ | Json.String _ | Json.List _ | Json.Obj _ -> None
+
+let render_resilience fmt r =
+  let num k j = Option.bind (Json.member k j) json_num in
+  let int_of k j = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  (match (int_of "n" r, int_of "attackers" r, int_of "target_vg" r) with
+  | Some n, Some a, Some tv ->
+    Format.fprintf fmt "deployment       : %d nodes, %d targeted attackers%s@." n a
+      (if tv >= 0 then Printf.sprintf " (target vgroup %d)" tv else "")
+  | _ -> ());
+  (match Json.member "schedule" r with
+  | Some (Json.List steps) ->
+    Format.fprintf fmt "fault schedule   : %d steps@." (List.length steps);
+    List.iter
+      (fun s ->
+        let name =
+          match Json.member "step" s with Some (Json.String x) -> x | _ -> "?"
+        in
+        Format.fprintf fmt "  %-8s %s@."
+          (Printf.sprintf "t+%.0fs" (Option.value ~default:0.0 (num "after_s" s)))
+          name)
+      steps
+  | _ -> ());
+  (match Json.member "phases" r with
+  | Some (Json.List phases) ->
+    Format.fprintf fmt "delivery success :@.";
+    List.iter
+      (fun p ->
+        let name =
+          match Json.member "phase" p with Some (Json.String x) -> x | _ -> "?"
+        in
+        Format.fprintf fmt "  %-8s %5.1f%%  (%d broadcasts, %.0f/%.0f deliveries)@." name
+          (100.0 *. Option.value ~default:0.0 (num "success" p))
+          (Option.value ~default:0 (int_of "broadcasts" p))
+          (Option.value ~default:0.0 (num "observed_deliveries" p))
+          (Option.value ~default:0.0 (num "expected_deliveries" p)))
+      phases
+  | _ -> ());
+  (match Json.member "heals" r with
+  | Some (Json.List heals) ->
+    Format.fprintf fmt "heals            :@.";
+    List.iter
+      (fun h ->
+        let at =
+          Printf.sprintf "t=%.0fs" (Option.value ~default:0.0 (num "heal_at_s" h))
+        in
+        match num "time_to_heal_s" h with
+        | Some d -> Format.fprintf fmt "  heal at %-8s converged in %.0f s@." at d
+        | None ->
+          Format.fprintf fmt "  heal at %-8s window closed before convergence@." at)
+      heals
+  | _ -> ());
+  (match Json.member "time_to_heal_percentiles" r with
+  | Some (Json.Obj ps) when ps <> [] ->
+    Format.fprintf fmt "time-to-heal     :";
+    List.iter
+      (fun (k, v) ->
+        match json_num v with
+        | Some f -> Format.fprintf fmt " %s=%.0fs" k f
+        | None -> ())
+      ps;
+    Format.fprintf fmt "@."
+  | _ -> ());
+  (match Json.member "violations" r with
+  | Some vs ->
+    let count label =
+      match Json.member label vs with
+      | Some (Json.Obj kinds) ->
+        List.fold_left
+          (fun acc (_, v) -> match v with Json.Int n -> acc + n | _ -> acc)
+          0 kinds
+      | _ -> 0
+    in
+    Format.fprintf fmt "violations       : before=%d during=%d after=%d@." (count "before")
+      (count "during") (count "after")
+  | None -> ());
+  let consistency =
+    match Json.member "consistency" r with Some (Json.String s) -> s | _ -> "?"
+  in
+  let converged =
+    match Json.member "converged" r with Some (Json.Bool b) -> b | _ -> false
+  in
+  Format.fprintf fmt "recovery         : consistency=%s converged=%b@." consistency converged
+
+(* An ATUM_resilience.json artifact: header plus the resilience
+   summary (falls through to the timeseries renderer otherwise, so
+   `atum-cli report` takes either artifact kind). *)
+let render_resilience_artifact fmt json =
+  match Json.member "resilience" json with
+  | None -> Error "Report.render_resilience_artifact: missing resilience section"
+  | Some r ->
+    render_artifact_header fmt json;
+    render_resilience fmt r;
+    Ok ()

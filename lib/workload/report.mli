@@ -73,3 +73,13 @@ val render_timeseries_artifact :
 (** Render a whole [ATUM_timeseries.json] artifact: provenance header
     ([cmd], [seed], [build_info]), then {!render_timeseries}, then
     {!render_profile}. *)
+
+val render_resilience_artifact :
+  Format.formatter -> Atum_util.Json.t -> (unit, string) result
+(** Render an [ATUM_resilience.json] artifact (a {!Resilience.to_json}
+    summary under the ["resilience"] member): provenance header, the
+    fault schedule, per-phase delivery success, heal records with
+    time-to-heal percentiles, violation counts before/during/after the
+    faults, and the final consistency/convergence verdict.  [Error] if
+    the document has no ["resilience"] member — [atum-cli report]
+    dispatches on that to fall back to the timeseries renderer. *)

@@ -1,0 +1,329 @@
+(* Recovery verification under scripted chaos.
+
+   Runs a Fault schedule (and optionally a squad of targeted
+   equivocating attackers) against a grown deployment while a steady
+   broadcast workload measures delivery success, then verifies that
+   the system actually *recovers*: after each heal step the
+   convergence checker polls [System.check_consistency] plus a fresh
+   [Monitor] sweep until both come back clean, and records the
+   time-to-heal.  Violations are expected — and counted, per phase —
+   while faults are active; what the experiment asserts is that they
+   stop accruing once the network heals.
+
+   Everything is driven by the simulation clock and the seeded RNG, so
+   the same seed and schedule produce byte-identical artifacts. *)
+
+module Atum = Atum_core.Atum
+module System = Atum_core.System
+module Monitor = Atum_core.Monitor
+module Fault = Atum_sim.Fault
+module Metrics = Atum_sim.Metrics
+module Json = Atum_util.Json
+module Stats = Atum_util.Stats
+module Rng = Atum_util.Rng
+
+type phase_stats = {
+  phase : string;  (* "before" | "during" | "after" *)
+  broadcasts : int;
+  expected : int;  (* sum over sends of the live correct count at send time *)
+  delivered : int;
+  success : float;
+}
+
+type heal_record = {
+  heal_at : float;
+  converged_at : float option;  (* None: not within this heal's window *)
+  time_to_heal : float option;
+}
+
+type result = {
+  n : int;
+  seed : int;
+  target_vg : int;  (* vgroup the attackers concentrate on; -1 = none *)
+  attackers : int;
+  schedule : Fault.schedule;
+  faults_applied : int;
+  phases : phase_stats list;
+  heals : heal_record list;
+  tth_percentiles : (string * float) list;  (* over converged heals *)
+  violations_before : (string * int) list;
+  violations_during : (string * int) list;
+  violations_after : (string * int) list;
+  post_heal_deliveries : int;  (* net.deliver.post_heal counter *)
+  consistency : (unit, string) Stdlib.result;  (* final check *)
+  converged : bool;  (* clean consistency + sweep after the final heal *)
+}
+
+let largest_vgroup sys =
+  List.fold_left
+    (fun acc vid ->
+      match System.vgroup_opt sys vid with
+      | Some vg when not vg.System.retired ->
+        let size = List.length vg.System.members in
+        (match acc with
+        | Some (_, best) when best >= size -> acc
+        | _ -> Some (vid, size))
+      | _ -> acc)
+    None (System.vgroup_ids sys)
+
+(* The acceptance scenario: partition half the largest vgroup's
+   replicas away, crash one correct member in each of two other
+   vgroups, then heal and recover.  Built against the live registry so
+   the node ids are real; fully determined by the deployment state. *)
+let default_schedule (built : Builder.built) =
+  let sys = Atum.system built.Builder.atum in
+  let target = largest_vgroup sys in
+  let half =
+    match target with
+    | Some (vid, _) ->
+      let vg = System.vgroup sys vid in
+      let keep = max 1 (List.length vg.System.members / 2) in
+      List.filteri (fun i _ -> i < keep) vg.System.members
+    | None -> []
+  in
+  let victims =
+    let target_vid = match target with Some (vid, _) -> vid | None -> -1 in
+    let rec pick acc = function
+      | [] -> List.rev acc
+      | vid :: rest ->
+        if List.length acc >= 2 then List.rev acc
+        else if vid = target_vid then pick acc rest
+        else (
+          match System.vgroup_opt sys vid with
+          | Some vg when not vg.System.retired -> (
+            match System.correct_members sys vg with
+            | m :: _ when m <> built.Builder.first -> pick (m :: acc) rest
+            | _ -> pick acc rest)
+          | _ -> pick acc rest)
+    in
+    pick [] (System.vgroup_ids sys)
+  in
+  List.concat
+    [
+      (if half = [] then []
+       else [ { Fault.after = 10.0; step = Fault.Partition [ half ] } ]);
+      (if victims = [] then [] else [ { Fault.after = 30.0; step = Fault.Crash victims } ]);
+      (if half = [] then [] else [ { Fault.after = 150.0; step = Fault.Heal } ]);
+      (if victims = [] then []
+       else [ { Fault.after = 170.0; step = Fault.Recover victims } ]);
+    ]
+
+(* New violations in [later] relative to the earlier snapshot (both
+   are cumulative per-kind counts, sorted by kind). *)
+let diff_violations later earlier =
+  List.filter_map
+    (fun (k, n) ->
+      let prev = Option.value ~default:0 (List.assoc_opt k earlier) in
+      if n > prev then Some (k, n - prev) else None)
+    later
+
+let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
+    ?(heal_timeout = 600.0) ?(drain = 180.0) (built : Builder.built) ~seed () =
+  let atum = built.Builder.atum in
+  let sys = Atum.system atum in
+  let rng = Rng.create (seed + 77) in
+  (* Latency-insensitive but delivery-critical: gossip on every cycle
+     so a delivery miss means a fault, not an unlucky coin. *)
+  Atum.on_forward atum System.flood_forward;
+  (* Our own monitor (displacing any earlier auditor): the convergence
+     checker below polls its sweeps. *)
+  let mon = Monitor.attach sys in
+  let target_vg = match largest_vgroup sys with Some (vid, _) -> vid | None -> -1 in
+  if attackers > 0 && target_vg >= 0 then
+    for _ = 1 to attackers do
+      let nid = System.spawn_node sys () in
+      System.make_byzantine sys
+        ~strategy:(System.Target_vgroup { vg = target_vg; inner = System.Equivocate })
+        nid
+    done;
+  let schedule = match schedule with Some s -> s | None -> default_schedule built in
+  (* Per-phase delivery accounting, attributed by broadcast id: a
+     message sent during a fault counts against "during" even if its
+     stragglers arrive later. *)
+  let bid_phase = Hashtbl.create 256 in
+  let sent = Array.make 3 0 in
+  let expected = Array.make 3 0 in
+  let delivered = Array.make 3 0 in
+  Atum.on_deliver atum (fun _ ~bid ~origin:_ _ ->
+      match Hashtbl.find_opt bid_phase bid with
+      | Some i -> delivered.(i) <- delivered.(i) + 1
+      | None -> ());
+  let payload () = String.make (10 + Rng.int rng 91) 'x' in
+  let tick phase_idx =
+    (match Builder.correct_members built with
+    | [] -> ()
+    | correct ->
+      let publisher = Rng.pick rng correct in
+      let bid = Atum.broadcast atum ~from:publisher (payload ()) in
+      Hashtbl.replace bid_phase bid phase_idx;
+      sent.(phase_idx) <- sent.(phase_idx) + 1;
+      expected.(phase_idx) <- expected.(phase_idx) + List.length correct);
+    Atum.run_for atum gap
+  in
+  (* Phase 1: healthy baseline. *)
+  for _ = 1 to messages_per_phase do
+    tick 0
+  done;
+  let v_before = Monitor.violations mon in
+  (* Phase 2: install the schedule, keep broadcasting through it. *)
+  let t_fault = Atum.now atum in
+  let fq =
+    Fault.install ~on_crash:(System.crash sys) ~on_recover:(System.recover sys)
+      (System.network sys) schedule
+  in
+  (match Atum.telemetry atum with
+  | Some tel -> Fault.attach_gauges fq tel
+  | None -> ());
+  let converged () =
+    (match System.check_consistency sys with Ok () -> true | Error _ -> false)
+    && Monitor.sweep mon = 0
+  in
+  let all_offsets =
+    List.sort Float.compare (List.map (fun (e : Fault.entry) -> e.Fault.after) schedule)
+  in
+  let heals =
+    List.map
+      (fun o ->
+        let heal_at = t_fault +. o in
+        while Atum.now atum < heal_at do
+          tick 1
+        done;
+        (* Poll until clean — but only until the next scheduled step:
+           a heal whose crash victims are still down cannot converge,
+           and pretending to wait for it would just burn the budget. *)
+        let limit =
+          let cap = heal_at +. heal_timeout in
+          match List.find_opt (fun x -> x > o) all_offsets with
+          | Some next -> Float.min cap (t_fault +. next)
+          | None -> cap
+        in
+        let converged_at = ref None in
+        while Option.is_none !converged_at && Atum.now atum < limit do
+          tick 1;
+          if converged () then converged_at := Some (Atum.now atum)
+        done;
+        {
+          heal_at;
+          converged_at = !converged_at;
+          time_to_heal = Option.map (fun c -> c -. heal_at) !converged_at;
+        })
+      (List.sort_uniq Float.compare (Fault.heal_offsets schedule))
+  in
+  let v_mid = Monitor.violations mon in
+  (* Phase 3: healthy again (we hope) — measure, then drain.  An
+     active adversary keeps churning (join/leave sagas are always in
+     flight somewhere), so poll through the drain for a clean snapshot
+     rather than judging whatever instant the drain happens to end
+     on. *)
+  for _ = 1 to messages_per_phase do
+    tick 2
+  done;
+  let drain_end = Atum.now atum +. drain in
+  let final_converged = ref (converged ()) in
+  while (not !final_converged) && Atum.now atum < drain_end do
+    Atum.run_for atum gap;
+    final_converged := converged ()
+  done;
+  let final_converged = !final_converged in
+  let v_after = Monitor.violations mon in
+  let phases =
+    List.map2
+      (fun phase i ->
+        {
+          phase;
+          broadcasts = sent.(i);
+          expected = expected.(i);
+          delivered = delivered.(i);
+          success =
+            (if expected.(i) = 0 then 0.0
+             else float_of_int delivered.(i) /. float_of_int expected.(i));
+        })
+      [ "before"; "during"; "after" ] [ 0; 1; 2 ]
+  in
+  let tths = List.filter_map (fun h -> h.time_to_heal) heals in
+  let tth_percentiles =
+    if tths = [] then []
+    else
+      [
+        ("p50", Stats.percentile tths 50.0);
+        ("p90", Stats.percentile tths 90.0);
+        ("max", Stats.percentile tths 100.0);
+      ]
+  in
+  let converged =
+    match List.rev heals with
+    | last :: _ -> Option.is_some last.converged_at || final_converged
+    | [] -> final_converged
+  in
+  {
+    n = Atum.size atum;
+    seed;
+    target_vg;
+    attackers;
+    schedule;
+    faults_applied = Fault.applied fq;
+    phases;
+    heals;
+    tth_percentiles;
+    violations_before = v_before;
+    violations_during = diff_violations v_mid v_before;
+    violations_after = diff_violations v_after v_mid;
+    post_heal_deliveries = Metrics.counter (Atum.metrics atum) "net.deliver.post_heal";
+    consistency = System.check_consistency sys;
+    converged;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let phase_to_json p =
+  Json.Obj
+    [
+      ("phase", Json.String p.phase);
+      ("broadcasts", Json.Int p.broadcasts);
+      ("expected_deliveries", Json.Int p.expected);
+      ("observed_deliveries", Json.Int p.delivered);
+      ("success", Json.Float p.success);
+    ]
+
+let heal_to_json h =
+  Json.Obj
+    [
+      ("heal_at_s", Json.Float h.heal_at);
+      ( "converged_at_s",
+        match h.converged_at with Some c -> Json.Float c | None -> Json.Null );
+      ( "time_to_heal_s",
+        match h.time_to_heal with Some d -> Json.Float d | None -> Json.Null );
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("n", Json.Int r.n);
+      ("seed", Json.Int r.seed);
+      ("target_vg", Json.Int r.target_vg);
+      ("attackers", Json.Int r.attackers);
+      ("schedule", Fault.to_json r.schedule);
+      ("faults_applied", Json.Int r.faults_applied);
+      ("phases", Json.List (List.map phase_to_json r.phases));
+      ("heals", Json.List (List.map heal_to_json r.heals));
+      ( "time_to_heal_percentiles",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.tth_percentiles) );
+      ( "violations",
+        Json.Obj
+          (List.map
+             (fun (label, vs) ->
+               (label, Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) vs)))
+             [
+               ("before", r.violations_before);
+               ("during", r.violations_during);
+               ("after", r.violations_after);
+             ]) );
+      ("post_heal_deliveries", Json.Int r.post_heal_deliveries);
+      ( "consistency",
+        match r.consistency with
+        | Ok () -> Json.String "ok"
+        | Error e -> Json.String e );
+      ("converged", Json.Bool r.converged);
+    ]

@@ -1,0 +1,82 @@
+(** Recovery verification under scripted chaos (the `atum-cli chaos`
+    experiment).
+
+    Runs an {!Atum_sim.Fault} schedule — plus, optionally, targeted
+    equivocating attackers ({!Atum_core.System.Target_vgroup}) —
+    against a grown deployment while a steady broadcast workload
+    measures delivery success before, during and after the faults.
+    After each heal step a convergence checker polls
+    {!Atum_core.System.check_consistency} and a fresh
+    {!Atum_core.Monitor.sweep} until both come back clean, recording
+    the time-to-heal.  Same seed and schedule produce byte-identical
+    results. *)
+
+type phase_stats = {
+  phase : string;  (** "before" | "during" | "after" *)
+  broadcasts : int;
+  expected : int;
+      (** sum over sends of the live correct-member count at send
+          time: every correct member is expected to deliver *)
+  delivered : int;
+  success : float;  (** delivered / expected; the "during" dip is the fault's cost *)
+}
+
+type heal_record = {
+  heal_at : float;  (** simulated time the heal/recover step fired *)
+  converged_at : float option;
+      (** first poll at which consistency was [Ok] and a monitor sweep
+          added zero violations; [None] if the window closed first
+          (the next fault step arrived, or [heal_timeout] expired) *)
+  time_to_heal : float option;
+}
+
+type result = {
+  n : int;
+  seed : int;
+  target_vg : int;  (** vgroup the attackers concentrate on; -1 = none *)
+  attackers : int;
+  schedule : Atum_sim.Fault.schedule;
+  faults_applied : int;
+  phases : phase_stats list;
+  heals : heal_record list;  (** one per heal/recover step, in schedule order *)
+  tth_percentiles : (string * float) list;  (** p50/p90/max over converged heals *)
+  violations_before : (string * int) list;
+  violations_during : (string * int) list;  (** new violations while faults ran *)
+  violations_after : (string * int) list;  (** new violations after the last heal window *)
+  post_heal_deliveries : int;  (** the network's [net.deliver.post_heal] counter *)
+  consistency : (unit, string) Stdlib.result;  (** final [check_consistency] *)
+  converged : bool;
+      (** the final heal's window reached a clean poll (or the
+          end-of-run check was clean) *)
+}
+
+val default_schedule : Builder.built -> Atum_sim.Fault.schedule
+(** The acceptance scenario, built against the live registry:
+    partition half of the largest vgroup's replicas at t+10s, crash
+    one correct member in each of two other vgroups at t+30s, heal at
+    t+150s, recover at t+170s. *)
+
+val run :
+  ?messages_per_phase:int ->
+  ?gap:float ->
+  ?attackers:int ->
+  ?schedule:Atum_sim.Fault.schedule ->
+  ?heal_timeout:float ->
+  ?drain:float ->
+  Builder.built ->
+  seed:int ->
+  unit ->
+  result
+(** Attach a fresh monitor (displacing any earlier auditor — build
+    with [~monitor:false]), spawn [attackers] (default 0)
+    [Target_vgroup]+[Equivocate] adversaries aimed at the largest
+    vgroup, install [schedule] (default {!default_schedule}), and
+    drive [messages_per_phase] (default 10) broadcasts spaced [gap]
+    (default 5s) through each phase.  Convergence polling after each
+    heal is bounded by [heal_timeout] (default 600s) and by the next
+    scheduled fault step; the run ends with a [drain] (default 180s)
+    quiet period before the final consistency check. *)
+
+val to_json : result -> Atum_util.Json.t
+(** The ["resilience"] member of [ATUM_resilience.json] — schema
+    documented in EXPERIMENTS.md. *)

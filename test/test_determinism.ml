@@ -53,6 +53,27 @@ let test_telemetry_same_seed () =
   let j3, _, _ = run 43 in
   Alcotest.(check bool) "different seed diverges" false (String.equal j1 j3)
 
+let chaos_run seed =
+  (* The chaos pipeline draws on every moving part at once — fault
+     tasks, adversary drivers, convergence polling — so its byte
+     identity is the strongest determinism statement the repo makes. *)
+  let built = W.Builder.grow ~trace:true ~n:24 ~seed () in
+  let r = W.Resilience.run ~messages_per_phase:4 ~attackers:2 ~drain:60.0 built ~seed () in
+  let atum = built.W.Builder.atum in
+  ( Json.to_string (W.Resilience.to_json r),
+    Json.to_string (Atum_sim.Metrics.to_json (Atum.metrics atum)),
+    Json.to_string (Atum_sim.Trace.to_json (Atum.trace atum)) )
+
+let test_chaos_same_seed () =
+  let r1, m1, t1 = chaos_run 42 in
+  let r2, m2, t2 = chaos_run 42 in
+  Alcotest.(check bool) "trace non-trivial" true (String.length t1 > 1000);
+  Alcotest.(check bool) "resilience byte-identical" true (String.equal r1 r2);
+  Alcotest.(check bool) "metrics byte-identical" true (String.equal m1 m2);
+  Alcotest.(check bool) "trace byte-identical" true (String.equal t1 t2);
+  let r3, _, _ = chaos_run 43 in
+  Alcotest.(check bool) "different seed diverges" false (String.equal r1 r3)
+
 let test_churn_seed_sensitivity () =
   (* Sanity: the equality above is not vacuous — a different seed must
      visibly change the run. *)
@@ -68,6 +89,7 @@ let () =
         [
           Alcotest.test_case "same-seed byte-identical" `Slow test_churn_same_seed;
           Alcotest.test_case "telemetry byte-identical" `Slow test_telemetry_same_seed;
+          Alcotest.test_case "chaos byte-identical" `Slow test_chaos_same_seed;
           Alcotest.test_case "seed sensitivity" `Slow test_churn_seed_sensitivity;
         ] );
     ]

@@ -668,10 +668,16 @@ let test_telemetry_stop_and_late_register () =
   let tel = Telemetry.create ~period:1.0 e in
   Telemetry.register tel "x" (fun () -> 1.0);
   Telemetry.start tel;
-  Alcotest.check_raises "register after start"
-    (Invalid_argument "Telemetry.register: sampling already started") (fun () ->
-      Telemetry.register tel "late" (fun () -> 0.0));
+  Engine.run ~until:1.5 e;
+  (* Late registration is allowed: the new gauge's missed samples are
+     backfilled with zeros so it stays aligned with the time axis. *)
+  Telemetry.register tel "late" (fun () -> 9.0);
+  Alcotest.check_raises "duplicate late gauge"
+    (Invalid_argument "Telemetry.register: duplicate gauge \"x\"") (fun () ->
+      Telemetry.register tel "x" (fun () -> 0.0));
   Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 1e-9))) "late gauge zero-backfilled" [ 0.0; 9.0 ]
+    (Telemetry.series tel "late");
   Telemetry.stop tel;
   Engine.run ~until:9.5 e;
   Alcotest.(check int) "no samples after stop" 2 (Telemetry.samples_total tel)

@@ -222,14 +222,22 @@ let test_ablation_forward_policies_tradeoff () =
   | _ -> Alcotest.fail "expected three rows"
 
 let test_ablation_shuffling_disperses () =
-  let on = Ablation.join_leave_attack ~n:60 ~attackers:6 ~rounds:8 ~shuffling:true ~seed:15 () in
-  let off = Ablation.join_leave_attack ~n:60 ~attackers:6 ~rounds:8 ~shuffling:false ~seed:15 () in
-  (* Statistical at this size, so only require the direction. *)
+  (* Statistical at this size: a single seed's draw can go either way,
+     so require the direction on a mean over a few seeds. *)
+  let mean shuffling =
+    let seeds = [ 15; 16; 17 ] in
+    List.fold_left
+      (fun acc seed ->
+        let r = Ablation.join_leave_attack ~n:60 ~attackers:6 ~rounds:8 ~shuffling ~seed () in
+        acc +. r.Ablation.concentration)
+      0.0 seeds
+    /. float_of_int (List.length seeds)
+  in
+  let on = mean true and off = mean false in
   Alcotest.(check bool)
-    (Printf.sprintf "concentration on=%.2f <= off=%.2f + slack" on.Ablation.concentration
-       off.Ablation.concentration)
+    (Printf.sprintf "mean concentration on=%.2f <= off=%.2f + slack" on off)
     true
-    (on.Ablation.concentration <= off.Ablation.concentration +. 0.15)
+    (on <= off +. 0.15)
 
 (* ------------------------------------------------------------------ *)
 (* Bench JSON artifacts                                                *)
