@@ -37,6 +37,8 @@ type t = {
   cfg : config;
   counts : (string, int ref) Hashtbl.t;
   seen : (System.node_id * int, unit) Hashtbl.t; (* (node, bid) delivered *)
+  mutable cursor : int; (* position in the system's dirty log *)
+  retained : (int, unit) Hashtbl.t; (* vgroups violating at last check *)
   mutable active : bool;
 }
 
@@ -125,9 +127,45 @@ let check_vgroup t ~transient vid =
         vg.System.members
     end
 
+(* One vgroup check with retention bookkeeping: a vgroup that
+   violates stays in [retained] and is re-examined on every
+   subsequent incremental sweep until it checks clean — persisting
+   faults keep accruing exactly as they do under a full scan. *)
+let check_and_retain t vid =
+  Metrics.incr (System.metrics t.sys) "monitor.sweep.checked";
+  let before = total t in
+  check_vgroup t ~transient:false vid;
+  if total t > before then Hashtbl.replace t.retained vid ()
+  else Hashtbl.remove t.retained vid
+
 let sweep t =
   let before = total t in
-  List.iter (check_vgroup t ~transient:false) (System.vgroup_ids t.sys);
+  List.iter (check_and_retain t) (System.vgroup_ids t.sys);
+  t.cursor <- System.dirty_cursor t.sys;
+  total t - before
+
+(* Vgroups that host a faulted node right now.  Fault-kind violations
+   ([vg_crashed], [vg_partitioned]) depend on network state the dirty
+   log does not see, so the incremental sweep always re-checks these;
+   both lists are empty (O(1)) on a healthy network. *)
+let fault_candidates t =
+  let net = System.network t.sys in
+  let vg_of nid =
+    match System.node_opt t.sys nid with Some n -> n.System.vg | None -> None
+  in
+  List.filter_map vg_of (Network.crashed_nodes net)
+  @ List.filter_map vg_of (Network.partitioned_nodes net)
+
+let sweep_dirty t =
+  let before = total t in
+  let dirty = System.dirty_since t.sys t.cursor in
+  t.cursor <- System.dirty_cursor t.sys;
+  let retained = Hashtbl.fold (fun v () acc -> v :: acc) t.retained [] in
+  let vids =
+    List.sort_uniq Int.compare
+      (List.rev_append retained (List.rev_append (fault_candidates t) dirty))
+  in
+  List.iter (check_and_retain t) vids;
   total t - before
 
 let on_audit t = function
@@ -152,11 +190,23 @@ let attach ?config sys =
     match config with Some c -> c | None -> default_config (System.params sys)
   in
   if cfg.period <= 0.0 then invalid_arg "Monitor.attach: period must be positive";
-  let t = { sys; cfg; counts = Hashtbl.create 8; seen = Hashtbl.create 1024; active = true } in
+  let t =
+    {
+      sys;
+      cfg;
+      counts = Hashtbl.create 8;
+      seen = Hashtbl.create 1024;
+      cursor = 0;
+      retained = Hashtbl.create 32;
+      active = true;
+    }
+  in
   System.set_audit sys (Some (fun a -> if t.active then on_audit t a));
   (* The sweep only reads simulation state, so interleaving it with
-     protocol events cannot perturb a seeded run's behaviour. *)
+     protocol events cannot perturb a seeded run's behaviour.  The
+     periodic task uses the incremental variant: cost scales with the
+     vgroups that changed since the last tick, not the system size. *)
   Engine.every ~label:"monitor.sweep" (System.engine sys) ~period:cfg.period (fun () ->
-      if t.active then ignore (sweep t);
+      if t.active then ignore (sweep_dirty t);
       t.active);
   t

@@ -46,7 +46,18 @@ val attach : ?config:config -> System.t -> t
     seeded run. *)
 
 val sweep : t -> int
-(** Check every vgroup now; returns the number of new violations. *)
+(** Check every vgroup now (the ground-truth full scan); returns the
+    number of new violations. *)
+
+val sweep_dirty : t -> int
+(** Incremental sweep: check only vgroups touched since the last
+    sweep (the system's dirty log), vgroups hosting a currently
+    crashed or partitioned node, and vgroups that violated on the
+    previous check (retained until they check clean, so persisting
+    faults keep accruing like they do under {!sweep}).  Cost is
+    proportional to that set, not the system size — each vgroup
+    examined bumps the ["monitor.sweep.checked"] metric.  The
+    periodic task {!attach} schedules uses this variant. *)
 
 val violations : t -> (string * int) list
 (** Per-kind violation counts, sorted by kind. *)

@@ -33,8 +33,16 @@ type wire =
   | Direct of { token : int; label : string }
   | Heartbeat
 
+(* Sync replicas keep a member-ordered view next to the lookup table:
+   the table is immutable between epochs, so the round driver walks a
+   list sorted once at install instead of re-sorting every boundary. *)
+type sync_replicas = {
+  by_member : (node_id, Atum_smr.Sync_smr.t) Hashtbl.t;
+  in_order : (node_id * Atum_smr.Sync_smr.t) list; (* ascending member id *)
+}
+
 type smr_inst =
-  | Smr_sync of (node_id, Atum_smr.Sync_smr.t) Hashtbl.t
+  | Smr_sync of sync_replicas
   | Smr_async of (node_id, Atum_smr.Pbft.t) Hashtbl.t
 
 (* How an adversarial node behaves.  [Mute] is the original
@@ -53,6 +61,13 @@ type byz_strategy =
   | Join_leave_attack
   | Target_vgroup of { vg : vg_id; inner : byz_strategy }
 
+(* Per-node state is deliberately lean — at a million nodes every
+   word per node is a megaword of heap.  The broadcast-dedup marker
+   is a bitset over the dense broadcast-id space (three words when
+   idle); the acceptance scratch tables (senders seen per pending
+   group message / broadcast part) and heartbeat timestamps live in
+   system-level tables keyed by (node, ...) instead of one 16-bucket
+   stdlib hash table per node per concern. *)
 type node = {
   id : node_id;
   mutable vg : vg_id option;
@@ -60,11 +75,7 @@ type node = {
   mutable strategy : byz_strategy;
   mutable alive : bool;
   mutable exchanging : bool; (* engaged in a shuffle exchange right now *)
-  delivered : (int, unit) Hashtbl.t; (* broadcast ids this node delivered *)
-  bcast_senders : (int * vg_id, node_id list ref) Hashtbl.t;
-  gm_senders : (int, node_id list ref) Hashtbl.t;
-  gm_accepted : (int, unit) Hashtbl.t;
-  last_seen : (node_id, float) Hashtbl.t;
+  delivered : Atum_util.Bitset.t; (* broadcast ids this node delivered *)
 }
 
 type vgroup = {
@@ -76,6 +87,12 @@ type vgroup = {
   mutable shuffle_pending : bool;
   mutable retired : bool;
   mutable saga_gen : int; (* increments when a saga takes the vgroup *)
+  (* Cached gossip view: the neighbor list annotated with the cycles
+     linking to it, sorted by neighbor id — recomputed only when the
+     overlay generation moves (one sort per topology change, not one
+     per delivery). *)
+  mutable nbrs_gen : int;
+  mutable nbrs : (vg_id * int list) list;
 }
 
 type pending_op = {
@@ -95,6 +112,22 @@ type gm_state = {
 
 type bcast_meta = { started : float }
 
+(* One (src_vg -> dst_vg) gossip round being assembled for the current
+   engine instant: every member that delivers inside one event appends
+   itself as a sender, and a single flush event hands the whole round
+   to [Network.send_group] — one engine event per neighbor vgroup per
+   round instead of one per (sender, neighbor) pair. *)
+type fanout_entry = {
+  f_dst : vg_id;
+  f_src_vg : vg_id;
+  f_src_size : int;
+  f_bid : int;
+  f_origin : node_id;
+  f_body : string;
+  f_cycle : int;
+  mutable f_srcs : (node_id * int) list; (* (sender, bytes), reversed *)
+}
+
 (* Semantic checkpoints for an external auditor (the invariant
    monitor): fired synchronously at the point where the registry or a
    node's delivery log actually changes. *)
@@ -111,12 +144,31 @@ type t = {
   rng : Rng.t;
   metrics : Metrics.t;
   trace : Trace.t;
-  nodes : (node_id, node) Hashtbl.t;
-  vgroups : (vg_id, vgroup) Hashtbl.t;
+  nodes : node Atum_util.Arena.t;
+  vgroups : vgroup Atum_util.Arena.t;
+  (* Maintained counters: gauges and sagas read these instead of
+     rescanning the registry (the old O(N log N)-per-sample bug). *)
+  mutable live_count : int; (* alive nodes with a vgroup *)
+  mutable live_byz_count : int; (* Byzantine subset of the above *)
+  mutable active_vgroups : int; (* non-retired vgroups *)
+  (* Append-only log of vgroup ids whose state changed; consumers
+     (incremental consistency checks, monitor sweeps) keep a cursor
+     into it and only examine what moved since their last look. *)
+  mutable dirty_log : int array;
+  mutable dirty_len : int;
+  (* Acceptance scratch + liveness state, keyed by node (see [node]). *)
+  bcast_senders : (node_id * int * vg_id, node_id list ref) Hashtbl.t;
+  gm_senders : (node_id * int, node_id list ref) Hashtbl.t;
+  gm_accepted : (node_id * int, unit) Hashtbl.t;
+  last_seen : (node_id * node_id, float) Hashtbl.t;
+  mutable recycle_ids : bool; (* free node ids on depart completion *)
+  mutable fast_paths : bool; (* cached gossip views + O(1) gauges *)
+  (* Gossip rounds being assembled for the current instant (fast path;
+     reversed insertion order) and whether their flush is scheduled. *)
+  mutable fanout : fanout_entry list;
+  mutable fanout_scheduled : bool;
   mutable hgraph : Hgraph.t;
   mutable bootstrapped : bool;
-  mutable next_node : int;
-  mutable next_vg : int;
   mutable next_gm : int;
   mutable next_bid : int;
   mutable next_op : int;
@@ -184,12 +236,23 @@ let create ?(net_config : Network.config option) (params : Params.t) =
     rng = Rng.create params.seed;
     metrics;
     trace;
-    nodes = Hashtbl.create 1024;
-    vgroups = Hashtbl.create 256;
-    hgraph = Hgraph.singleton ~cycles:params.hc (-1);
+    nodes = Atum_util.Arena.create ~cap:1024 ();
+    vgroups = Atum_util.Arena.create ~cap:256 ();
+    live_count = 0;
+    live_byz_count = 0;
+    active_vgroups = 0;
+    dirty_log = Array.make 256 0;
+    dirty_len = 0;
+    bcast_senders = Hashtbl.create 256;
+    gm_senders = Hashtbl.create 256;
+    gm_accepted = Hashtbl.create 256;
+    last_seen = Hashtbl.create 256;
+    recycle_ids = false;
+    fast_paths = true;
+    fanout = [];
+    fanout_scheduled = false;
+    hgraph = Hgraph.empty ~cycles:params.hc;
     bootstrapped = false;
-    next_node = 0;
-    next_vg = 0;
     next_gm = 0;
     next_bid = 0;
     next_op = 0;
@@ -248,10 +311,34 @@ let set_deliver t f = t.on_deliver <- f
 let set_audit t f = t.on_audit <- f
 let set_forward_policy t f = t.forward_policy <- f
 
-let node t id = Hashtbl.find t.nodes id
-let node_opt t id = Hashtbl.find_opt t.nodes id
-let vgroup t vid = Hashtbl.find t.vgroups vid
-let vgroup_opt t vid = Hashtbl.find_opt t.vgroups vid
+let node t id = Atum_util.Arena.find t.nodes id
+let node_opt t id = Atum_util.Arena.get t.nodes id
+let vgroup t vid = Atum_util.Arena.find t.vgroups vid
+let vgroup_opt t vid = Atum_util.Arena.get t.vgroups vid
+
+(* Mark a vgroup as touched for the incremental consumers.  Appends
+   are amortized O(1); duplicates are fine (consumers dedup). *)
+let mark_dirty t vid =
+  if t.dirty_len = Array.length t.dirty_log then begin
+    let log = Array.make (2 * t.dirty_len) 0 in
+    Array.blit t.dirty_log 0 log 0 t.dirty_len;
+    t.dirty_log <- log
+  end;
+  t.dirty_log.(t.dirty_len) <- vid;
+  t.dirty_len <- t.dirty_len + 1
+
+let dirty_cursor t = t.dirty_len
+
+(* Vgroup ids touched since [cursor], deduped ascending. *)
+let dirty_since t cursor =
+  if cursor >= t.dirty_len then []
+  else begin
+    let acc = ref [] in
+    for i = t.dirty_len - 1 downto max 0 cursor do
+      acc := t.dirty_log.(i) :: !acc
+    done;
+    List.sort_uniq Int.compare !acc
+  end
 
 let node_name id = "node-" ^ string_of_int id
 
@@ -274,35 +361,92 @@ let strategy_name = function
 let effective_strategy n =
   match n.strategy with Target_vgroup { inner; _ } -> inner | s -> s
 
-(* In ascending id order: callers feed this list to seeded Rng picks
-   (Builder, Churn), so its order is part of the reproducible state. *)
+(* Liveness/membership mutators.  Every change to [n.vg], [n.alive]
+   or a vgroup's lifecycle funnels through these so the O(1) counters
+   and the dirty log stay exact. *)
+let is_live n = n.alive && Option.is_some n.vg
+
+let count_live t n delta =
+  t.live_count <- t.live_count + delta;
+  if n.byzantine then t.live_byz_count <- t.live_byz_count + delta
+
+let set_node_vg t n vg =
+  (match n.vg with Some v -> mark_dirty t v | None -> ());
+  (match vg with Some v -> mark_dirty t v | None -> ());
+  let was = is_live n in
+  n.vg <- vg;
+  let is = is_live n in
+  if was && not is then count_live t n (-1) else if (not was) && is then count_live t n 1
+
+let set_node_alive t n alive =
+  (match n.vg with Some v -> mark_dirty t v | None -> ());
+  let was = is_live n in
+  n.alive <- alive;
+  let is = is_live n in
+  if was && not is then count_live t n (-1) else if (not was) && is then count_live t n 1
+
+let retire_vgroup t vg =
+  if not vg.retired then begin
+    vg.retired <- true;
+    t.active_vgroups <- t.active_vgroups - 1;
+    mark_dirty t vg.vid
+  end
+
+let add_vgroup t ~members ~busy =
+  let vid =
+    Atum_util.Arena.alloc_with t.vgroups (fun vid ->
+        {
+          vid;
+          members;
+          epoch = 0;
+          smr = None;
+          busy;
+          shuffle_pending = false;
+          retired = false;
+          saga_gen = 0;
+          nbrs_gen = -1;
+          nbrs = [];
+        })
+  in
+  t.active_vgroups <- t.active_vgroups + 1;
+  mark_dirty t vid;
+  vgroup t vid
+
+(* In ascending id order (the arena walks slots in index order):
+   callers feed this list to seeded Rng picks (Builder, Churn), so
+   its order is part of the reproducible state.  The legacy path
+   reproduces the pre-arena cost — a hash-fold over the registry
+   followed by a sort — so [set_fast_paths false] benchmarks price
+   the old behaviour honestly; both paths return the same list. *)
 let live_nodes t =
-  List.filter_map
-    (fun (_, n) -> if n.alive && Option.is_some n.vg then Some n else None)
-    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare t.nodes)
+  let folded =
+    Atum_util.Arena.fold
+      (fun _ n acc -> if n.alive && Option.is_some n.vg then n :: acc else acc)
+      t.nodes []
+  in
+  if t.fast_paths then List.rev folded
+  else List.sort (fun (a : node) b -> Int.compare a.id b.id) folded
 
-let system_size t = List.length (live_nodes t)
+(* O(1): maintained by the membership/liveness mutators below.  The
+   slow registry recount survives as the legacy path so the scale
+   benchmark can price the old behaviour ([set_fast_paths false]). *)
+let system_size t =
+  if t.fast_paths then t.live_count else List.length (live_nodes t)
 
-let vgroup_count t =
-  Hashtbl.fold (fun _ vg acc -> if vg.retired then acc else acc + 1) t.vgroups 0
+let live_byzantine_count t = t.live_byz_count
+
+let vgroup_count t = t.active_vgroups
 
 let vgroup_ids t =
-  Atum_util.Hashtbl_ext.sorted_keys ~cmp:Int.compare t.vgroups
+  (* Every vgroup id ever created, retired ones included: dense ids
+     make that exactly [0 .. length-1]. *)
+  List.init (Atum_util.Arena.length t.vgroups) (fun i -> i)
 
 let vgroup_sizes t =
-  List.filter_map
-    (fun (_, vg) -> if vg.retired then None else Some (List.length vg.members))
-    (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare t.vgroups)
-
-let fresh_node_id t =
-  let id = t.next_node in
-  t.next_node <- id + 1;
-  id
-
-let fresh_vg_id t =
-  let id = t.next_vg in
-  t.next_vg <- id + 1;
-  id
+  List.rev
+    (Atum_util.Arena.fold
+       (fun _ vg acc -> if vg.retired then acc else List.length vg.members :: acc)
+       t.vgroups [])
 
 let fresh_gm_id t =
   let id = t.next_gm in
@@ -339,7 +483,7 @@ let execute_hook :
 
 let stop_smr vg =
   match vg.smr with
-  | Some (Smr_sync tbl) -> Hashtbl.iter (fun _ inst -> Atum_smr.Sync_smr.stop inst) tbl
+  | Some (Smr_sync reps) -> List.iter (fun (_, inst) -> Atum_smr.Sync_smr.stop inst) reps.in_order
   | Some (Smr_async tbl) -> Hashtbl.iter (fun _ inst -> Atum_smr.Pbft.stop inst) tbl
   | None -> ()
 
@@ -371,7 +515,12 @@ let install_smr t vg =
         in
         Hashtbl.replace tbl self inst)
       correct;
-    vg.smr <- Some (Smr_sync tbl)
+    let in_order =
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare a b)
+        (Hashtbl.fold (fun m inst acc -> (m, inst) :: acc) tbl [])
+    in
+    vg.smr <- Some (Smr_sync { by_member = tbl; in_order })
   | Params.Async ->
     let f = Atum_smr.Smr_intf.async_f ~group_size:g in
     let tbl = Hashtbl.create g in
@@ -397,6 +546,14 @@ let install_smr t vg =
       correct;
     vg.smr <- Some (Smr_async tbl))
 
+(* Lazy SMR: bulk-built vgroups ([build_direct]) defer replica
+   creation until the first agreement actually needs one — a
+   million-node build would otherwise pay for a million SMR instances
+   up front.  A no-op on every saga-built vgroup, whose instances are
+   installed eagerly by [reconfigure]. *)
+let ensure_smr t vg =
+  if vg.smr = None && vg.members <> [] && not vg.retired then install_smr t vg
+
 let pending_of t vid =
   match Hashtbl.find_opt t.pending_ops vid with
   | Some r -> r
@@ -411,8 +568,8 @@ let proposer_of t vg =
 let propose_raw _t vg ~proposer payload =
   match vg.smr with
   | None -> ()
-  | Some (Smr_sync tbl) ->
-    (match Hashtbl.find_opt tbl proposer with
+  | Some (Smr_sync reps) ->
+    (match Hashtbl.find_opt reps.by_member proposer with
     | Some inst -> Atum_smr.Sync_smr.propose inst payload
     | None -> ())
   | Some (Smr_async tbl) ->
@@ -445,6 +602,7 @@ let reconfigure t vg =
 let agree t vg ?proposer ?parent payload action =
   if vg.retired then ()
   else begin
+    ensure_smr t vg;
     let op_id = string_of_int t.next_op in
     t.next_op <- t.next_op + 1;
     let span = span_begin t ~saga:"agree" ~vgroup:vg.vid ?parent () in
@@ -654,27 +812,26 @@ let notify_neighbors t vg =
   end
 
 let seed_last_seen t vg member =
-  let n = node t member in
   List.iter
     (fun peer -> if peer <> member then begin
-        Hashtbl.replace n.last_seen peer (now t);
-        (match node_opt t peer with
-        | Some pn -> Hashtbl.replace pn.last_seen member (now t)
-        | None -> ())
+        Hashtbl.replace t.last_seen (member, peer) (now t);
+        if Atum_util.Arena.mem t.nodes peer then
+          Hashtbl.replace t.last_seen (peer, member) (now t)
       end)
     vg.members
 
 let add_member t vg member =
   vg.members <- vg.members @ [ member ];
-  (node t member).vg <- Some vg.vid;
+  set_node_vg t (node t member) (Some vg.vid);
   seed_last_seen t vg member;
   reconfigure t vg;
   notify_neighbors t vg
 
 let remove_member t vg member =
   vg.members <- List.filter (fun m -> m <> member) vg.members;
+  mark_dirty t vg.vid;
   let n = node t member in
-  if Option.equal Int.equal n.vg (Some vg.vid) then n.vg <- None;
+  if Option.equal Int.equal n.vg (Some vg.vid) then set_node_vg t n None;
   reconfigure t vg;
   notify_neighbors t vg
 
@@ -760,23 +917,12 @@ and split t vg =
           Metrics.incr t.metrics "vgroup.split";
           trace_emit t ~kind:"vgroup.split" ~vgroup:vg.vid ();
           let keep, depart = Grouping.split_halves t.rng vg.members in
-          let evid = fresh_vg_id t in
-          let e =
-            {
-              vid = evid;
-              members = depart;
-              epoch = 0;
-              smr = None;
-              busy = true;
-              shuffle_pending = false;
-              retired = false;
-              saga_gen = 0;
-            }
-          in
-          Hashtbl.replace t.vgroups evid e;
+          let e = add_vgroup t ~members:depart ~busy:true in
+          let evid = e.vid in
           arm_saga_watchdog t e;
           vg.members <- keep;
-          List.iter (fun m -> (node t m).vg <- Some evid) depart;
+          mark_dirty t vg.vid;
+          List.iter (fun m -> set_node_vg t (node t m) (Some evid)) depart;
           reconfigure t vg;
           reconfigure t e;
           (* One walk per cycle decides where E lands on that cycle. *)
@@ -850,12 +996,13 @@ and merge t vg ~attempts =
                 trace_emit t ~kind:"vgroup.merge" ~vgroup:mvid ();
                 let moving = vg.members in
                 Hgraph.remove t.hgraph vg.vid;
-                vg.retired <- true;
+                retire_vgroup t vg;
                 vg.members <- [];
                 stop_smr vg;
                 vg.smr <- None;
-                List.iter (fun x -> (node t x).vg <- Some mvid) moving;
+                List.iter (fun x -> set_node_vg t (node t x) (Some mvid)) moving;
                 m.members <- m.members @ moving;
+                mark_dirty t mvid;
                 List.iter (fun x -> seed_last_seen t m x) moving;
                 reconfigure t m;
                 notify_neighbors t m;
@@ -947,8 +1094,8 @@ and shuffle t vg =
                               List.map (fun x -> if x = m then partner else x) vg.members;
                             p.members <-
                               List.map (fun x -> if x = partner then m else x) p.members;
-                            (node t m).vg <- Some p.vid;
-                            (node t partner).vg <- Some vg.vid;
+                            set_node_vg t (node t m) (Some p.vid);
+                            set_node_vg t (node t partner) (Some vg.vid);
                             seed_last_seen t vg partner;
                             seed_last_seen t p m;
                             reconfigure t vg;
@@ -1030,6 +1177,30 @@ let join t ~joiner ~contact ?(k = fun _ -> ()) () =
           ())
       ()
 
+(* Return a departed node's dense id to the arena free list so the
+   next spawn reuses it.  Stale liveness entries are purged (a
+   recycled id must not inherit its predecessor's heartbeat history);
+   acceptance scratch keyed by globally-unique gm/broadcast ids is
+   harmless and left to drain.  Opt-in ([set_id_recycling]) because
+   strategies that re-join under the same id (Join_leave_attack)
+   need the record to survive its departure. *)
+let release_node t nid =
+  match node_opt t nid with
+  | None -> ()
+  | Some n ->
+    if Option.is_some n.vg then invalid_arg "System.release_node: node still in a vgroup";
+    if is_live n then invalid_arg "System.release_node: node still live";
+    let stale =
+      Hashtbl.fold
+        (fun ((a, b) as key) _ acc -> if a = nid || b = nid then key :: acc else acc)
+        t.last_seen []
+    in
+    List.iter (Hashtbl.remove t.last_seen) stale;
+    Network.unregister t.net nid;
+    Atum_util.Arena.release t.nodes nid
+
+let set_id_recycling t on = t.recycle_ids <- on
+
 (* Leave (§3.3.3): agreement at the leaver's vgroup, neighbor
    notification, then merge (if undersized) or shuffle.
 
@@ -1071,10 +1242,11 @@ let rec depart t ~target ~reason ?(k = fun () -> ()) () =
             Metrics.incr t.metrics ("node." ^ reason);
             span_end t ~saga ~node:target ~vgroup:vid span;
             k ();
+            if t.recycle_ids && Option.is_none n.vg then release_node t target;
             if vg.members = [] then begin
               (* Last member gone: retire the vgroup entirely. *)
               if vgroup_count t > 1 then Hgraph.remove t.hgraph vg.vid;
-              vg.retired <- true;
+              retire_vgroup t vg;
               stop_smr vg;
               vg.smr <- None
             end
@@ -1103,10 +1275,112 @@ let encode_bcast ~bid ~origin ~body =
 (* Per-node delivery: record latency, hand to the application, then
    gossip the message to neighbor vgroups selected by the forward
    callback (flooding by default). *)
+(* The vgroup's gossip view: its neighbors annotated with the
+   (deduped, ascending) cycles linking to them, sorted by neighbor
+   id.  Cached against the overlay generation, so the sort runs once
+   per topology change instead of once per delivery — the per-saga
+   hoist of the old per-delivery [chosen] table sort. *)
+let gossip_view t vg =
+  let gen = Hgraph.generation t.hgraph in
+  if vg.nbrs_gen <> gen then begin
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (cycle, nb) ->
+        if nb <> vg.vid then
+          match Hashtbl.find_opt tbl nb with
+          | Some cs -> cs := cycle :: !cs
+          | None -> Hashtbl.replace tbl nb (ref [ cycle ]))
+      (Hgraph.neighbors t.hgraph vg.vid);
+    vg.nbrs <-
+      List.map
+        (fun (nb, cs) -> (nb, List.sort_uniq Int.compare !cs))
+        (Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare tbl);
+    vg.nbrs_gen <- gen;
+    Metrics.incr t.metrics "gossip.view.rebuilt"
+  end;
+  vg.nbrs
+
+(* One target per selected neighbor, tagged with the lowest cycle
+   that selected it.  Output is sorted by neighbor id either way; the
+   legacy path rebuilds (and re-sorts) the selection table on every
+   delivery, kept for the scale benchmark's before/after. *)
+let gossip_targets t vg ~bid =
+  let vid = vg.vid in
+  if t.fast_paths then
+    List.filter_map
+      (fun (nb, cycles) ->
+        let rec first = function
+          | [] -> None
+          | c :: rest ->
+            if t.forward_policy ~bid ~from_vg:vid ~cycle:c ~neighbor:nb then Some (nb, c)
+            else first rest
+        in
+        first cycles)
+      (gossip_view t vg)
+  else begin
+    let chosen = Hashtbl.create 8 in
+    List.iter
+      (fun (cycle, nb) ->
+        if nb <> vid && t.forward_policy ~bid ~from_vg:vid ~cycle ~neighbor:nb then
+          match Hashtbl.find_opt chosen nb with
+          | Some c when c <= cycle -> ()
+          | _ -> Hashtbl.replace chosen nb cycle)
+      (Hgraph.neighbors t.hgraph vid);
+    Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare chosen
+  end
+
+(* Drain the per-instant fan-out buffer: one [send_group] per
+   (src_vg, dst_vg, bid) round.  The buffer is cleared before sending
+   so deliveries triggered later at this timestamp start a new round. *)
+let flush_fanout t =
+  let entries = List.rev t.fanout in
+  t.fanout <- [];
+  t.fanout_scheduled <- false;
+  List.iter
+    (fun e ->
+      match vgroup_opt t e.f_dst with
+      | Some nbg when not nbg.retired ->
+        Network.send_group t.net ~srcs:(List.rev e.f_srcs) ~dsts:nbg.members
+          (Group_part
+             {
+               gm_id = -1;
+               src_vg = e.f_src_vg;
+               src_size = e.f_src_size;
+               payload = Bcast { bid = e.f_bid; origin = e.f_origin; body = e.f_body; cycle = e.f_cycle };
+             })
+      | _ -> ())
+    entries
+
+let queue_fanout t ~dst ~src_vg ~src_size ~bid ~origin ~body ~cycle ~sender ~bytes =
+  let rec find = function
+    | [] -> None
+    | (e : fanout_entry) :: rest ->
+      if e.f_dst = dst && e.f_bid = bid && e.f_src_vg = src_vg then Some e else find rest
+  in
+  (match find t.fanout with
+  | Some e -> e.f_srcs <- (sender, bytes) :: e.f_srcs
+  | None ->
+    t.fanout <-
+      {
+        f_dst = dst;
+        f_src_vg = src_vg;
+        f_src_size = src_size;
+        f_bid = bid;
+        f_origin = origin;
+        f_body = body;
+        f_cycle = cycle;
+        f_srcs = [ (sender, bytes) ];
+      }
+      :: t.fanout);
+  if not t.fanout_scheduled then begin
+    t.fanout_scheduled <- true;
+    Engine.schedule ~label:"system.fanout" t.engine ~delay:0.0 (fun () -> flush_fanout t)
+  end
+
 let node_deliver t nid ~bid ~origin ~body =
   let n = node t nid in
-  if (not (Hashtbl.mem n.delivered bid)) && is_correct n then begin
-    Hashtbl.replace n.delivered bid ();
+  if (not (Atum_util.Bitset.mem n.delivered bid)) && is_correct n then begin
+    Atum_util.Bitset.set n.delivered bid;
     audit t (Audit_deliver { node = nid; bid; known = Hashtbl.mem t.bcasts bid });
     (match Hashtbl.find_opt t.bcasts bid with
     | Some meta ->
@@ -1119,23 +1393,8 @@ let node_deliver t nid ~bid ~origin ~body =
     | None -> ()
     | Some vid ->
       if Hgraph.mem t.hgraph vid then begin
-        (* One group message per selected neighbor, tagged with the
-           lowest cycle that selected it so the receiving side can
-           attribute the hop to an H-graph cycle.  The neighbor order
-           (sorted by id) matches the pre-lineage behaviour, keeping
-           scheduling bit-identical for a given seed. *)
-        let targets =
-          let chosen = Hashtbl.create 8 in
-          List.iter
-            (fun (cycle, nb) ->
-              if nb <> vid && t.forward_policy ~bid ~from_vg:vid ~cycle ~neighbor:nb then
-                match Hashtbl.find_opt chosen nb with
-                | Some c when c <= cycle -> ()
-                | _ -> Hashtbl.replace chosen nb cycle)
-            (Hgraph.neighbors t.hgraph vid);
-          Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare chosen
-        in
         let vg = vgroup t vid in
+        let targets = gossip_targets t vg ~bid in
         let src_size = List.length vg.members in
         let my_rank =
           let rec rank i = function
@@ -1146,24 +1405,31 @@ let node_deliver t nid ~bid ~origin ~body =
         in
         let full = my_rank < majority_of src_size in
         let bytes = if full then 64 + String.length body else 32 in
-        defer t (fun () ->
-            List.iter
-              (fun (nb, cycle) ->
-                match vgroup_opt t nb with
-                | Some nbg when not nbg.retired ->
-                  List.iter
-                    (fun d ->
-                      Network.send ~size:bytes t.net ~src:nid ~dst:d
-                        (Group_part
-                           {
-                             gm_id = -1;
-                             src_vg = vid;
-                             src_size;
-                             payload = Bcast { bid; origin; body; cycle };
-                           }))
-                    nbg.members
-                | _ -> ())
-              targets)
+        if t.fast_paths then
+          (* Vgroup-round batching: members delivering inside the same
+             engine event merge their sends to each neighbor into one
+             [send_group] round (flushed once per instant). *)
+          List.iter
+            (fun (nb, cycle) ->
+              queue_fanout t ~dst:nb ~src_vg:vid ~src_size ~bid ~origin ~body ~cycle
+                ~sender:nid ~bytes)
+            targets
+        else
+          defer t (fun () ->
+              List.iter
+                (fun (nb, cycle) ->
+                  match vgroup_opt t nb with
+                  | Some nbg when not nbg.retired ->
+                    Network.send_multi ~size:bytes t.net ~src:nid ~dsts:nbg.members
+                      (Group_part
+                         {
+                           gm_id = -1;
+                           src_vg = vid;
+                           src_size;
+                           payload = Bcast { bid; origin; body; cycle };
+                         })
+                  | _ -> ())
+                targets)
       end
   end
 
@@ -1175,6 +1441,7 @@ let broadcast t ~from body =
   | None -> invalid_arg "System.broadcast: node not in the system"
   | Some vid ->
     let vg = vgroup t vid in
+    ensure_smr t vg;
     let bid = t.next_bid in
     t.next_bid <- bid + 1;
     Hashtbl.replace t.bcasts bid { started = now t };
@@ -1205,18 +1472,22 @@ let byz_gossip t n ~bid ~origin ~mutate =
   | None -> ()
   | Some vid ->
     if Hgraph.mem t.hgraph vid then begin
-      let targets =
-        let chosen = Hashtbl.create 8 in
-        List.iter
-          (fun (cycle, nb) ->
-            if nb <> vid then
-              match Hashtbl.find_opt chosen nb with
-              | Some c when c <= cycle -> ()
-              | _ -> Hashtbl.replace chosen nb cycle)
-          (Hgraph.neighbors t.hgraph vid);
-        Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare chosen
-      in
       let vg = vgroup t vid in
+      let targets =
+        if t.fast_paths then
+          List.map (fun (nb, cycles) -> (nb, List.hd cycles)) (gossip_view t vg)
+        else begin
+          let chosen = Hashtbl.create 8 in
+          List.iter
+            (fun (cycle, nb) ->
+              if nb <> vid then
+                match Hashtbl.find_opt chosen nb with
+                | Some c when c <= cycle -> ()
+                | _ -> Hashtbl.replace chosen nb cycle)
+            (Hgraph.neighbors t.hgraph vid);
+          Atum_util.Hashtbl_ext.sorted_bindings ~cmp:Int.compare chosen
+        end
+      in
       let src_size = List.length vg.members in
       defer t (fun () ->
           List.iter
@@ -1224,17 +1495,15 @@ let byz_gossip t n ~bid ~origin ~mutate =
               match vgroup_opt t nb with
               | Some nbg when not nbg.retired ->
                 let body = mutate cycle in
-                List.iter
-                  (fun d ->
-                    Network.send ~size:(64 + String.length body) t.net ~src:n.id ~dst:d
-                      (Group_part
-                         {
-                           gm_id = -1;
-                           src_vg = vid;
-                           src_size;
-                           payload = Bcast { bid; origin; body; cycle };
-                         }))
-                  nbg.members
+                Network.send_multi ~size:(64 + String.length body) t.net ~src:n.id
+                  ~dsts:nbg.members
+                  (Group_part
+                     {
+                       gm_id = -1;
+                       src_vg = vid;
+                       src_size;
+                       payload = Bcast { bid; origin; body; cycle };
+                     })
               | _ -> ())
             targets)
     end
@@ -1252,16 +1521,16 @@ let byz_on_bcast t n ~bid ~origin ~body =
   match effective_strategy n with
   | Mute | Flood _ | Join_leave_attack | Target_vgroup _ -> ()
   | Equivocate ->
-    if not (Hashtbl.mem n.delivered bid) then begin
-      Hashtbl.replace n.delivered bid ();
+    if not (Atum_util.Bitset.mem n.delivered bid) then begin
+      Atum_util.Bitset.set n.delivered bid;
       Metrics.incr t.metrics "byzantine.equivocation";
       trace_emit t ~kind:"byzantine.equivocate" ~node:n.id ?vgroup:n.vg ~bid ();
       byz_gossip t n ~bid ~origin ~mutate:(fun cycle ->
           body ^ "/eq" ^ string_of_int cycle)
     end
   | Selective_drop p ->
-    if not (Hashtbl.mem n.delivered bid) then begin
-      Hashtbl.replace n.delivered bid ();
+    if not (Atum_util.Bitset.mem n.delivered bid) then begin
+      Atum_util.Bitset.set n.delivered bid;
       if byz_coin ~bid ~nid:n.id ~p then begin
         Metrics.incr t.metrics "byzantine.selective_drop";
         trace_emit t ~kind:"byzantine.selective_drop" ~node:n.id ~bid ()
@@ -1278,8 +1547,9 @@ let byz_on_bcast t n ~bid ~origin ~body =
 
 let heartbeat_sweep t =
   (* Heartbeats draw per-message latencies from the network RNG, so
-     the send order must not depend on bucket layout. *)
-  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
+     the send order must not depend on bucket layout; the arena walks
+     vgroups in ascending id order. *)
+  Atum_util.Arena.iter
     (fun _ vg ->
       if (not vg.retired) && List.length vg.members > 1 then begin
         (* Everyone (including Byzantine nodes, which have an interest
@@ -1306,7 +1576,6 @@ let heartbeat_sweep t =
         match correct_members t vg with
         | [] -> ()
         | detector :: _ ->
-          let dn = node t detector in
           List.iter
             (fun peer ->
               if peer <> detector then begin
@@ -1315,7 +1584,8 @@ let heartbeat_sweep t =
                    join-time seeds, not evidence. *)
                 let last =
                   Float.max t.heartbeats_since
-                    (Option.value ~default:(now t) (Hashtbl.find_opt dn.last_seen peer))
+                    (Option.value ~default:(now t)
+                       (Hashtbl.find_opt t.last_seen (detector, peer)))
                 in
                 if now t -. last > t.params.eviction_timeout then evict t ~target:peer ()
               end)
@@ -1411,8 +1681,8 @@ let handle_wire t nid ~src wire =
         match vgroup_opt t vid with
         | Some vg when vg.epoch = epoch && not vg.retired -> (
           match vg.smr with
-          | Some (Smr_sync tbl) -> (
-            match Hashtbl.find_opt tbl nid with
+          | Some (Smr_sync reps) -> (
+            match Hashtbl.find_opt reps.by_member nid with
             | Some inst -> Atum_smr.Sync_smr.receive inst ~src m
             | None -> ())
           | _ -> ())
@@ -1431,19 +1701,19 @@ let handle_wire t nid ~src wire =
         let needed_src = majority_of src_size in
         match payload with
         | Control _ ->
-          if not (Hashtbl.mem n.gm_accepted gm_id) then begin
+          if not (Hashtbl.mem t.gm_accepted (nid, gm_id)) then begin
             let senders =
-              match Hashtbl.find_opt n.gm_senders gm_id with
+              match Hashtbl.find_opt t.gm_senders (nid, gm_id) with
               | Some r -> r
               | None ->
                 let r = ref [] in
-                Hashtbl.replace n.gm_senders gm_id r;
+                Hashtbl.replace t.gm_senders (nid, gm_id) r;
                 r
             in
             if not (List.mem src !senders) then senders := src :: !senders;
             if List.length !senders >= needed_src then begin
-              Hashtbl.replace n.gm_accepted gm_id ();
-              Hashtbl.remove n.gm_senders gm_id;
+              Hashtbl.replace t.gm_accepted (nid, gm_id) ();
+              Hashtbl.remove t.gm_senders (nid, gm_id);
               match Hashtbl.find_opt t.gms gm_id with
               | Some st ->
                 st.node_accepts <- st.node_accepts + 1;
@@ -1456,19 +1726,19 @@ let handle_wire t nid ~src wire =
             end
           end
         | Bcast { bid; origin; body; cycle } ->
-          if not (Hashtbl.mem n.delivered bid) then begin
-            let key = (bid, src_vg) in
+          if not (Atum_util.Bitset.mem n.delivered bid) then begin
+            let key = (nid, bid, src_vg) in
             let senders =
-              match Hashtbl.find_opt n.bcast_senders key with
+              match Hashtbl.find_opt t.bcast_senders key with
               | Some r -> r
               | None ->
                 let r = ref [] in
-                Hashtbl.replace n.bcast_senders key r;
+                Hashtbl.replace t.bcast_senders key r;
                 r
             in
             if not (List.mem src !senders) then senders := src :: !senders;
             if List.length !senders >= needed_src then begin
-              Hashtbl.remove n.bcast_senders key;
+              Hashtbl.remove t.bcast_senders key;
               (* Gossip lineage: this node accepts the broadcast from
                  vgroup [src_vg]; first delivery is a hop edge in the
                  dissemination tree. *)
@@ -1488,7 +1758,7 @@ let handle_wire t nid ~src wire =
           Hashtbl.remove t.tokens token;
           k ()
         | None -> ())
-      | Heartbeat -> Hashtbl.replace n.last_seen src (now t)
+      | Heartbeat -> Hashtbl.replace t.last_seen (nid, src) (now t)
     end
     else if n.alive && n.byzantine then begin
       (* Byzantine nodes record heartbeats (to keep pretending) and
@@ -1498,7 +1768,7 @@ let handle_wire t nid ~src wire =
          additionally react to broadcast parts ([byz_on_bcast]) with
          equivocation or selective forwarding. *)
       match wire with
-      | Heartbeat -> Hashtbl.replace n.last_seen src (now t)
+      | Heartbeat -> Hashtbl.replace t.last_seen (nid, src) (now t)
       | Direct { token; label = _ } -> (
         match Hashtbl.find_opt t.tokens token with
         | Some k ->
@@ -1519,17 +1789,19 @@ let handle_wire t nid ~src wire =
 let drive_sync_round t _round =
   (* Round boundaries emit wire messages; drive vgroups and members in
      id order so the event queue fills deterministically. *)
-  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
+  Atum_util.Arena.iter
     (fun _ vg ->
       if not vg.retired then
         match vg.smr with
-        | Some (Smr_sync tbl) ->
-          Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
-            (fun member inst ->
+        | Some (Smr_sync reps) ->
+          (* Member order was fixed at install time: no per-round
+             sort on this per-tick path. *)
+          List.iter
+            (fun (member, inst) ->
               match node_opt t member with
               | Some n when is_correct n -> Atum_smr.Sync_smr.on_round_boundary inst
               | _ -> ())
-            tbl
+            reps.in_order
         | _ -> ())
     t.vgroups
 
@@ -1539,23 +1811,18 @@ let drive_sync_round t _round =
 (* ------------------------------------------------------------------ *)
 
 let spawn_node t ?(byzantine = false) () =
-  let id = fresh_node_id t in
-  let n =
-    {
-      id;
-      vg = None;
-      byzantine;
-      strategy = Mute;
-      alive = true;
-      exchanging = false;
-      delivered = Hashtbl.create 16;
-      bcast_senders = Hashtbl.create 16;
-      gm_senders = Hashtbl.create 16;
-      gm_accepted = Hashtbl.create 16;
-      last_seen = Hashtbl.create 8;
-    }
+  let id =
+    Atum_util.Arena.alloc_with t.nodes (fun id ->
+        {
+          id;
+          vg = None;
+          byzantine;
+          strategy = Mute;
+          alive = true;
+          exchanging = false;
+          delivered = Atum_util.Bitset.create ();
+        })
   in
-  Hashtbl.replace t.nodes id n;
   Atum_crypto.Signature.register t.keyring (node_name id);
   Network.register t.net id (fun ~src w -> handle_wire t id ~src w);
   id
@@ -1564,21 +1831,9 @@ let bootstrap t ?(byzantine = false) () =
   if t.bootstrapped then invalid_arg "System.bootstrap: already bootstrapped";
   t.bootstrapped <- true;
   let id = spawn_node t ~byzantine () in
-  let vid = fresh_vg_id t in
-  let vg =
-    {
-      vid;
-      members = [ id ];
-      epoch = 0;
-      smr = None;
-      busy = false;
-      shuffle_pending = false;
-      retired = false;
-      saga_gen = 0;
-    }
-  in
-  Hashtbl.replace t.vgroups vid vg;
-  (node t id).vg <- Some vid;
+  let vg = add_vgroup t ~members:[ id ] ~busy:false in
+  let vid = vg.vid in
+  set_node_vg t (node t id) (Some vid);
   (* Replace the placeholder overlay with one rooted at the bootstrap
      vgroup: a single vertex that neighbors itself on every cycle. *)
   t.hgraph <- Hgraph.singleton ~cycles:t.params.hc vid;
@@ -1590,9 +1845,47 @@ let bootstrap t ?(byzantine = false) () =
   | None -> ());
   id
 
+(* Bulk construction for the scale benchmark and large experiments:
+   build the registry and overlay directly instead of running one
+   join saga (walk + agreement + shuffle) per node.  The result is a
+   valid settled system — [check_consistency] passes, every vgroup
+   size stays inside [gmin, gmax] (except a sub-[gmin] total) — and
+   SMR instances are installed lazily ([ensure_smr]), so the build
+   cost is the registry itself, not a million replicas.  Returns the
+   node ids in ascending order. *)
+let build_direct t ~nodes:count () =
+  if t.bootstrapped then invalid_arg "System.build_direct: already bootstrapped";
+  if count < 1 then invalid_arg "System.build_direct: need at least one node";
+  t.bootstrapped <- true;
+  let g = max 1 ((t.params.gmin + t.params.gmax) / 2) in
+  let ids = Array.init count (fun _ -> spawn_node t ()) in
+  (* Round to the nearest group count so sizes land within one of the
+     [gmin..gmax] midpoint. *)
+  let groups = max 1 (((2 * count) + g) / (2 * g)) in
+  let base = count / groups and extra = count mod groups in
+  let vids = ref [] in
+  let off = ref 0 in
+  for gi = 0 to groups - 1 do
+    let take = base + if gi < extra then 1 else 0 in
+    let members = Array.to_list (Array.sub ids !off take) in
+    let vg = add_vgroup t ~members ~busy:false in
+    List.iter (fun m -> set_node_vg t (node t m) (Some vg.vid)) members;
+    vids := vg.vid :: !vids;
+    off := !off + take
+  done;
+  (match List.rev !vids with
+  | [ v ] -> t.hgraph <- Hgraph.singleton ~cycles:t.params.hc v
+  | vids -> t.hgraph <- Hgraph.create ~cycles:t.params.hc t.rng vids);
+  (match t.rounds with
+  | Some r ->
+    ignore (Rounds.subscribe r (fun round -> drive_sync_round t round));
+    Rounds.start r
+  | None -> ());
+  Array.to_list ids
+
 let crash t nid =
   let n = node t nid in
-  n.alive <- false;
+  set_node_alive t n false;
   Network.crash t.net nid;
   Metrics.incr t.metrics "node.crashed";
   trace_emit t ~kind:"node.crashed" ~node:nid ()
@@ -1606,7 +1899,7 @@ let crash t nid =
 let recover t nid =
   let n = node t nid in
   if not n.alive then begin
-    n.alive <- true;
+    set_node_alive t n true;
     Network.recover t.net nid;
     Metrics.incr t.metrics "node.recovered";
     trace_emit t ~kind:"node.recovered" ~node:nid ()
@@ -1700,6 +1993,8 @@ let make_byzantine t ?(strategy = Mute) nid =
   | Mute | Equivocate | Selective_drop _ | Flood _ | Join_leave_attack
   | Target_vgroup _ -> ());
   let n = node t nid in
+  if (not n.byzantine) && is_live n then t.live_byz_count <- t.live_byz_count + 1;
+  (match n.vg with Some v -> mark_dirty t v | None -> ());
   n.byzantine <- true;
   n.strategy <- strategy;
   Metrics.incr t.metrics "node.byzantine";
@@ -1717,9 +2012,14 @@ let hgraph t = t.hgraph
    the ablation benchmark uses it to show why shuffling matters. *)
 let set_shuffling t enabled = t.shuffling_enabled <- enabled
 
+(* Legacy-behaviour switch for the scale benchmark's before/after:
+   [false] restores the pre-arena hot paths — per-delivery gossip
+   target sorts and full live-list recounts in the gauges. *)
+let set_fast_paths t enabled = t.fast_paths <- enabled
+
 let byzantine_concentration t =
   (* max fraction of Byzantine members over all vgroups *)
-  Hashtbl.fold
+  Atum_util.Arena.fold
     (fun _ vg acc ->
       if vg.retired || vg.members = [] then acc
       else begin
@@ -1733,39 +2033,43 @@ let byzantine_concentration t =
 (* Registry invariants, used by tests: membership is mutual (node.vg
    matches vgroup.members), every active vgroup is an H-graph vertex,
    and no node belongs to two vgroups. *)
+
+(* Per-vgroup invariant body, shared by the full sweep and the
+   incremental [check_vgroups].  Error order stays reproducible: the
+   arena (and the incremental caller's deduped list) walk ascending
+   vgroup ids. *)
+let check_vgroup_into t errors vid vg =
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  if vg.retired then begin
+    if Hgraph.mem t.hgraph vid && vgroup_count t > 0 then
+      err "retired vgroup %d still in overlay" vid
+  end
+  else begin
+    if not (Hgraph.mem t.hgraph vid) then err "vgroup %d missing from overlay" vid;
+    if not vg.busy then
+      for cycle = 0 to t.params.hc - 1 do
+        if Hgraph.successor_opt t.hgraph ~cycle vid = None then
+          err "settled vgroup %d absent from cycle %d" vid cycle
+      done;
+    if vg.members = [] then err "active vgroup %d is empty" vid;
+    List.iter
+      (fun m ->
+        match node_opt t m with
+        | None -> err "vgroup %d contains unknown node %d" vid m
+        | Some n ->
+          if not (Option.equal Int.equal n.vg (Some vid)) then
+            err "node %d in vgroup %d's member list but points to %s" m vid
+              (match n.vg with None -> "none" | Some v -> string_of_int v))
+      vg.members;
+    if List.length (List.sort_uniq Int.compare vg.members) <> List.length vg.members then
+      err "vgroup %d has duplicate members" vid
+  end
+
 let check_consistency t =
   let errors = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
-  (* Sorted traversal: the concatenated error string ends up in JSON
-     artifacts, so its order must be reproducible. *)
-  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
-    (fun vid vg ->
-      if vg.retired then begin
-        if Hgraph.mem t.hgraph vid && vgroup_count t > 0 then
-          err "retired vgroup %d still in overlay" vid
-      end
-      else begin
-        if not (Hgraph.mem t.hgraph vid) then err "vgroup %d missing from overlay" vid;
-        if not vg.busy then
-          for cycle = 0 to t.params.hc - 1 do
-            if Hgraph.successor_opt t.hgraph ~cycle vid = None then
-              err "settled vgroup %d absent from cycle %d" vid cycle
-          done;
-        if vg.members = [] then err "active vgroup %d is empty" vid;
-        List.iter
-          (fun m ->
-            match node_opt t m with
-            | None -> err "vgroup %d contains unknown node %d" vid m
-            | Some n ->
-              if not (Option.equal Int.equal n.vg (Some vid)) then
-                err "node %d in vgroup %d's member list but points to %s" m vid
-                  (match n.vg with None -> "none" | Some v -> string_of_int v))
-          vg.members;
-        if List.length (List.sort_uniq Int.compare vg.members) <> List.length vg.members then
-          err "vgroup %d has duplicate members" vid
-      end)
-    t.vgroups;
-  Atum_util.Hashtbl_ext.sorted_iter ~cmp:Int.compare
+  Atum_util.Arena.iter (fun vid vg -> check_vgroup_into t errors vid vg) t.vgroups;
+  Atum_util.Arena.iter
     (fun nid n ->
       match n.vg with
       | None -> ()
@@ -1783,6 +2087,22 @@ let check_consistency t =
       | Some vg when not vg.retired -> ()
       | _ -> err "overlay vertex %d is not an active vgroup" v)
     (Hgraph.vertices t.hgraph);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
+
+(* Incremental variant: check only the listed vgroup ids (typically
+   [dirty_since] output plus fault candidates).  Member backlinks are
+   covered by the per-vgroup body; every mutation that can break a
+   node's pointer marks the vgroups on both ends dirty, so a sweep
+   over the dirty set sees every potential violation.  Cost is
+   proportional to the vgroups checked, not the system size. *)
+let check_vgroups t vids =
+  let errors = ref [] in
+  List.iter
+    (fun vid ->
+      match vgroup_opt t vid with
+      | None -> ()
+      | Some vg -> check_vgroup_into t errors vid vg)
+    vids;
   match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))
 
 let run_until t time = Engine.run ~until:time t.engine
@@ -1804,8 +2124,14 @@ let attach_telemetry ?period ?capacity t =
     let reg = Telemetry.register tel in
     let delta = Telemetry.register_delta tel in
     reg "system.size" (fun () -> float_of_int (system_size t));
+    (* O(1): maintained counter.  The old gauge rebuilt (and sorted)
+       the whole live-node list on every sample, which made telemetry
+       cost O(N log N) per tick at scale.  [set_fast_paths false]
+       restores the recount for the legacy benchmark. *)
     reg "system.byzantine" (fun () ->
-        float_of_int (List.length (List.filter (fun n -> n.byzantine) (live_nodes t))));
+        float_of_int
+          (if t.fast_paths then live_byzantine_count t
+           else List.length (List.filter (fun n -> n.byzantine) (live_nodes t))));
     reg "vgroup.count" (fun () -> float_of_int (vgroup_count t));
     let sizes () = vgroup_sizes t in
     reg "vgroup.size.min" (fun () ->
@@ -1836,13 +2162,7 @@ let attach_telemetry ?period ?capacity t =
           (Metrics.counter t.metrics "saga.begin.total"
           - Metrics.counter t.metrics "saga.end.total"));
     delta "monitor.violation.delta" (fun () ->
-        List.fold_left
-          (fun acc name ->
-            if String.starts_with ~prefix:"monitor.violation." name then
-              acc + Metrics.counter t.metrics name
-            else acc)
-          0
-          (Metrics.counter_names t.metrics));
+        Metrics.prefix_total t.metrics "monitor.violation.");
     Telemetry.start tel;
     t.telemetry <- Some tel;
     tel

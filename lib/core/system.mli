@@ -57,11 +57,10 @@ type node = {
   mutable strategy : byz_strategy;
   mutable alive : bool;
   mutable exchanging : bool;
-  delivered : (int, unit) Hashtbl.t;
-  bcast_senders : (int * vg_id, node_id list ref) Hashtbl.t;
-  gm_senders : (int, node_id list ref) Hashtbl.t;
-  gm_accepted : (int, unit) Hashtbl.t;
-  last_seen : (node_id, float) Hashtbl.t;
+  delivered : Atum_util.Bitset.t;
+      (** broadcast ids this node has delivered (or, for a Byzantine
+          node, reacted to) — dense bids make a bitset 8× denser than
+          the per-node hash table it replaces *)
 }
 
 type vgroup = {
@@ -73,10 +72,22 @@ type vgroup = {
   mutable shuffle_pending : bool;
   mutable retired : bool;  (** merged away or emptied *)
   mutable saga_gen : int;  (** increments when a saga takes the vgroup *)
+  mutable nbrs_gen : int;  (** overlay generation the [nbrs] cache was built at *)
+  mutable nbrs : (vg_id * int list) list;
+      (** cached gossip view: each distinct overlay neighbor with the
+          ascending list of cycles linking to it; rebuilt lazily when
+          [nbrs_gen] falls behind the overlay generation *)
+}
+
+and sync_replicas = {
+  by_member : (node_id, Atum_smr.Sync_smr.t) Hashtbl.t;
+  in_order : (node_id * Atum_smr.Sync_smr.t) list;
+      (** ascending member id, frozen at install — the round driver
+          walks this instead of sorting the table every boundary *)
 }
 
 and smr_inst =
-  | Smr_sync of (node_id, Atum_smr.Sync_smr.t) Hashtbl.t
+  | Smr_sync of sync_replicas
   | Smr_async of (node_id, Atum_smr.Pbft.t) Hashtbl.t
 
 type t
@@ -124,6 +135,29 @@ val bootstrap : t -> ?byzantine:bool -> unit -> node_id
 
 val spawn_node : t -> ?byzantine:bool -> unit -> node_id
 (** Register a node with the network and keyring without joining it. *)
+
+val build_direct : t -> nodes:int -> unit -> node_id list
+(** Bulk construction for benchmarks and large experiments: spawn
+    [nodes] nodes, partition them into vgroups sized around
+    [(gmin + gmax) / 2], and build the overlay directly, instead of
+    running one join saga per node.  SMR instances are installed
+    lazily, on the vgroup's first {!agree}/{!broadcast}.  The result
+    is a settled, {!check_consistency}-clean system.  Callable once,
+    in place of {!bootstrap}; returns the node ids in ascending
+    order. *)
+
+val release_node : t -> node_id -> unit
+(** Return a departed node's id to the arena free list so a later
+    {!spawn_node} can reuse it.  The node must be outside the system
+    ([vg = None]) and not alive inside it; raises [Invalid_argument]
+    otherwise.  Unregisters the node from the network and drops its
+    liveness bookkeeping. *)
+
+val set_id_recycling : t -> bool -> unit
+(** When enabled, a node that completes a leave/evict saga with no
+    vgroup is released automatically ({!release_node}).  Off by
+    default: rejoin-style workloads (the join-leave attack) expect
+    their node ids to survive departure. *)
 
 val join : t -> joiner:node_id -> contact:node_id -> ?k:(vg_id -> unit) -> unit -> unit
 (** §3.3.2 join saga; [k] fires when the joiner is installed in its
@@ -214,7 +248,15 @@ val node_opt : t -> node_id -> node option
 val vgroup : t -> vg_id -> vgroup
 val vgroup_opt : t -> vg_id -> vgroup option
 val live_nodes : t -> node list
+
 val system_size : t -> int
+(** O(1): a maintained counter, not a registry recount (the recount —
+    the pre-arena behaviour — survives under [set_fast_paths false]
+    for the scale benchmark's before/after). *)
+
+val live_byzantine_count : t -> int
+(** O(1) maintained counter: Byzantine nodes among {!live_nodes}. *)
+
 val vgroup_count : t -> int
 val vgroup_ids : t -> vg_id list
 (** Every vgroup id ever created, retired ones included, sorted. *)
@@ -224,12 +266,32 @@ val correct_members : t -> vgroup -> node_id list
 val hgraph : t -> Atum_overlay.Hgraph.t
 val check_consistency : t -> (unit, string) result
 
+val check_vgroups : t -> vg_id list -> (unit, string) result
+(** Incremental slice of {!check_consistency}: validate only the
+    listed vgroups (unknown ids are skipped).  Cost is proportional to
+    the vgroups checked.  Combine with {!dirty_since}. *)
+
+val dirty_cursor : t -> int
+(** Current position in the dirty log.  Hand it back to
+    {!dirty_since} later to learn which vgroups changed in between. *)
+
+val dirty_since : t -> int -> vg_id list
+(** Vgroup ids touched since the cursor, deduped, ascending.  Every
+    membership, liveness, retirement or Byzantine-flag change marks
+    the vgroups on both ends of the transition. *)
+
 (* --- ablation hooks --------------------------------------------------- *)
 
 val set_shuffling : t -> bool -> unit
 (** Disable/enable random-walk shuffling (fault dispersal, §3.2) while
     keeping the rest of the membership machinery — used by the
     ablation benchmark. *)
+
+val set_fast_paths : t -> bool -> unit
+(** [false] restores the pre-arena hot paths — per-delivery gossip
+    target sorting and full live-list recounts in the telemetry
+    gauges — so the scale benchmark can price the old behaviour.
+    Defaults to [true]. *)
 
 val byzantine_concentration : t -> float
 (** Largest per-vgroup fraction of Byzantine members — the quantity

@@ -1,75 +1,145 @@
-type cycle = {
-  succ : (int, int) Hashtbl.t;
-  pred : (int, int) Hashtbl.t;
+(* H-graph overlay as dense arrays.
+
+   Vgroup ids are dense ints (see Atum_util.Arena), so each ring
+   keeps its successor/predecessor maps as flat int arrays indexed by
+   vertex id, -1 meaning "not on this cycle".  Every query the gossip
+   hot path performs (membership, neighbors, successor) is then an
+   array read; enumeration ([vertices]) is an ascending index walk —
+   already the sorted order the deterministic artifacts need, with no
+   hash fold and no sort.
+
+   [generation] counts structural mutations; the protocol layer keys
+   its per-vgroup neighbor-view caches on it so a view is recomputed
+   exactly once per overlay change instead of once per delivery. *)
+
+type t = {
+  ncycles : int;
+  mutable succ : int array array; (* succ.(cycle).(v) = successor, or -1 *)
+  mutable pred : int array array;
+  mutable on_cycles : int array; (* per-vertex count of cycles it is on *)
+  mutable cap : int;
+  mutable nverts : int; (* vertices present on at least one cycle *)
+  mutable generation : int;
 }
 
-type t = { rings : cycle array }
+let cycles t = t.ncycles
+let generation t = t.generation
 
-let cycles t = Array.length t.rings
+let make ~cycles ~cap =
+  if cycles <= 0 then invalid_arg "Hgraph: need at least one cycle";
+  let cap = max cap 16 in
+  {
+    ncycles = cycles;
+    succ = Array.init cycles (fun _ -> Array.make cap (-1));
+    pred = Array.init cycles (fun _ -> Array.make cap (-1));
+    on_cycles = Array.make cap 0;
+    cap;
+    nverts = 0;
+    generation = 0;
+  }
 
-let link ring a b =
-  Hashtbl.replace ring.succ a b;
-  Hashtbl.replace ring.pred b a
+let ensure t v =
+  if v >= t.cap then begin
+    let cap = max (v + 1) (2 * t.cap) in
+    let grow a =
+      let b = Array.make cap (-1) in
+      Array.blit a 0 b 0 t.cap;
+      b
+    in
+    t.succ <- Array.map grow t.succ;
+    t.pred <- Array.map grow t.pred;
+    let oc = Array.make cap 0 in
+    Array.blit t.on_cycles 0 oc 0 t.cap;
+    t.on_cycles <- oc;
+    t.cap <- cap
+  end
 
-let make_ring order =
-  let ring = { succ = Hashtbl.create 64; pred = Hashtbl.create 64 } in
+let check_vertex v ~who = if v < 0 then invalid_arg ("Hgraph." ^ who ^ ": negative vertex")
+
+(* Presence on a cycle is defined by the successor slot, as it was by
+   membership in the succ table before the array rewrite. *)
+let set_succ t ~cycle v s =
+  let row = t.succ.(cycle) in
+  if row.(v) < 0 && s >= 0 then begin
+    t.on_cycles.(v) <- t.on_cycles.(v) + 1;
+    if t.on_cycles.(v) = 1 then t.nverts <- t.nverts + 1
+  end
+  else if row.(v) >= 0 && s < 0 then begin
+    t.on_cycles.(v) <- t.on_cycles.(v) - 1;
+    if t.on_cycles.(v) = 0 then t.nverts <- t.nverts - 1
+  end;
+  row.(v) <- s
+
+let link t cycle a b =
+  set_succ t ~cycle a b;
+  t.pred.(cycle).(b) <- a
+
+let make_ring t cycle order =
   let n = Array.length order in
   for i = 0 to n - 1 do
-    link ring order.(i) order.((i + 1) mod n)
-  done;
-  ring
+    link t cycle order.(i) order.((i + 1) mod n)
+  done
 
 let create ~cycles rng vertices =
-  if cycles <= 0 then invalid_arg "Hgraph.create: need at least one cycle";
   if vertices = [] then invalid_arg "Hgraph.create: need at least one vertex";
+  List.iter (fun v -> check_vertex v ~who:"create") vertices;
   let base = Array.of_list vertices in
   if List.length (List.sort_uniq Int.compare vertices) <> Array.length base then
     invalid_arg "Hgraph.create: duplicate vertices";
-  let rings =
-    Array.init cycles (fun _ ->
-        let order = Array.copy base in
-        Atum_util.Rng.shuffle rng order;
-        make_ring order)
-  in
-  { rings }
+  let t = make ~cycles ~cap:(1 + Array.fold_left max 0 base) in
+  for cycle = 0 to cycles - 1 do
+    let order = Array.copy base in
+    Atum_util.Rng.shuffle rng order;
+    make_ring t cycle order
+  done;
+  t.generation <- 1;
+  t
 
 let singleton ~cycles v =
-  if cycles <= 0 then invalid_arg "Hgraph.singleton: need at least one cycle";
-  { rings = Array.init cycles (fun _ -> make_ring [| v |]) }
+  check_vertex v ~who:"singleton";
+  let t = make ~cycles ~cap:(v + 1) in
+  for cycle = 0 to cycles - 1 do
+    make_ring t cycle [| v |]
+  done;
+  t.generation <- 1;
+  t
+
+let empty ~cycles = make ~cycles ~cap:16
 
 (* A vertex may transiently live on a subset of the cycles while a
    split is splicing it in (§3.3.2); membership and neighbor queries
    therefore consider every ring. *)
 let vertices t =
-  let seen = Hashtbl.create 64 in
-  Array.iter (fun ring -> Hashtbl.iter (fun v _ -> Hashtbl.replace seen v ()) ring.succ) t.rings;
-  Atum_util.Hashtbl_ext.sorted_keys ~cmp:Int.compare seen
+  let acc = ref [] in
+  for v = t.cap - 1 downto 0 do
+    if t.on_cycles.(v) > 0 then acc := v :: !acc
+  done;
+  !acc
 
-let vertex_count t = List.length (vertices t)
+let vertex_count t = t.nverts
 
-let mem t v = Array.exists (fun ring -> Hashtbl.mem ring.succ v) t.rings
+let mem t v = v >= 0 && v < t.cap && t.on_cycles.(v) > 0
 
 let check_cycle_index t cycle =
-  if cycle < 0 || cycle >= Array.length t.rings then invalid_arg "Hgraph: bad cycle index"
+  if cycle < 0 || cycle >= t.ncycles then invalid_arg "Hgraph: bad cycle index"
+
+let slot row v = if v >= 0 && v < Array.length row then row.(v) else -1
 
 let successor t ~cycle v =
   check_cycle_index t cycle;
-  match Hashtbl.find_opt t.rings.(cycle).succ v with
-  | Some s -> s
-  | None -> invalid_arg "Hgraph.successor: unknown vertex"
+  let s = slot t.succ.(cycle) v in
+  if s < 0 then invalid_arg "Hgraph.successor: unknown vertex" else s
 
 let predecessor t ~cycle v =
   check_cycle_index t cycle;
-  match Hashtbl.find_opt t.rings.(cycle).pred v with
-  | Some p -> p
-  | None -> invalid_arg "Hgraph.predecessor: unknown vertex"
+  let p = slot t.pred.(cycle) v in
+  if p < 0 then invalid_arg "Hgraph.predecessor: unknown vertex" else p
 
 let neighbors t v =
   let acc = ref [] in
-  for c = Array.length t.rings - 1 downto 0 do
-    match (Hashtbl.find_opt t.rings.(c).pred v, Hashtbl.find_opt t.rings.(c).succ v) with
-    | Some p, Some s -> acc := (c, p) :: (c, s) :: !acc
-    | _ -> () (* not (yet) on this cycle *)
+  for c = t.ncycles - 1 downto 0 do
+    let p = slot t.pred.(c) v and s = slot t.succ.(c) v in
+    if p >= 0 && s >= 0 then acc := (c, p) :: (c, s) :: !acc
   done;
   !acc
 
@@ -78,31 +148,42 @@ let neighbor_set t v =
 
 let insert_after t ~cycle ~after v =
   check_cycle_index t cycle;
-  let ring = t.rings.(cycle) in
-  if Hashtbl.mem ring.succ v then invalid_arg "Hgraph.insert_after: vertex already on cycle";
-  match Hashtbl.find_opt ring.succ after with
-  | None -> invalid_arg "Hgraph.insert_after: anchor not on cycle"
-  | Some next ->
-    link ring after v;
-    link ring v next
+  check_vertex v ~who:"insert_after";
+  ensure t v;
+  if t.succ.(cycle).(v) >= 0 then invalid_arg "Hgraph.insert_after: vertex already on cycle";
+  let next = slot t.succ.(cycle) after in
+  if next < 0 then invalid_arg "Hgraph.insert_after: anchor not on cycle"
+  else begin
+    link t cycle after v;
+    link t cycle v next;
+    t.generation <- t.generation + 1
+  end
 
 let remove t v =
-  Array.iter
-    (fun ring ->
-      match (Hashtbl.find_opt ring.pred v, Hashtbl.find_opt ring.succ v) with
-      | Some p, Some s ->
-        Hashtbl.remove ring.succ v;
-        Hashtbl.remove ring.pred v;
-        if p <> v then link ring p s
-      | _ -> ())
-    t.rings
+  if v >= 0 && v < t.cap then begin
+    for cycle = 0 to t.ncycles - 1 do
+      let p = t.pred.(cycle).(v) and s = t.succ.(cycle).(v) in
+      if p >= 0 && s >= 0 then begin
+        set_succ t ~cycle v (-1);
+        t.pred.(cycle).(v) <- -1;
+        if p <> v then link t cycle p s
+      end
+    done;
+    t.generation <- t.generation + 1
+  end
 
 let check_invariants t =
   let expected = vertices t in
   let n = List.length expected in
-  let check_ring i ring =
-    if Hashtbl.length ring.succ <> n then
-      Error (Printf.sprintf "cycle %d has %d vertices, expected %d" i (Hashtbl.length ring.succ) n)
+  let ring_size cycle =
+    let row = t.succ.(cycle) in
+    let k = ref 0 in
+    Array.iter (fun s -> if s >= 0 then incr k) row;
+    !k
+  in
+  let check_ring i =
+    if ring_size i <> n then
+      Error (Printf.sprintf "cycle %d has %d vertices, expected %d" i (ring_size i) n)
     else begin
       (* Walk the successors: must return to start after exactly n steps
          and visit every vertex. *)
@@ -117,29 +198,30 @@ let check_invariants t =
           else if Hashtbl.mem seen v then Error (Printf.sprintf "cycle %d revisits %d" i v)
           else begin
             Hashtbl.replace seen v ();
-            match Hashtbl.find_opt ring.succ v with
-            | None -> Error (Printf.sprintf "cycle %d missing successor of %d" i v)
-            | Some s ->
-              if not (Option.equal Int.equal (Hashtbl.find_opt ring.pred s) (Some v)) then
-                Error (Printf.sprintf "cycle %d pred/succ mismatch at %d" i v)
-              else walk s (steps + 1)
+            let s = slot t.succ.(i) v in
+            if s < 0 then Error (Printf.sprintf "cycle %d missing successor of %d" i v)
+            else if slot t.pred.(i) s <> v then
+              Error (Printf.sprintf "cycle %d pred/succ mismatch at %d" i v)
+            else walk s (steps + 1)
           end
         in
         walk start 0
     end
   in
   let rec check_all i =
-    if i >= Array.length t.rings then Ok ()
+    if i >= t.ncycles then Ok ()
     else begin
-      match check_ring i t.rings.(i) with Ok () -> check_all (i + 1) | Error e -> Error e
+      match check_ring i with Ok () -> check_all (i + 1) | Error e -> Error e
     end
   in
   check_all 0
 
 let successor_opt t ~cycle v =
   check_cycle_index t cycle;
-  Hashtbl.find_opt t.rings.(cycle).succ v
+  let s = slot t.succ.(cycle) v in
+  if s < 0 then None else Some s
 
 let predecessor_opt t ~cycle v =
   check_cycle_index t cycle;
-  Hashtbl.find_opt t.rings.(cycle).pred v
+  let p = slot t.pred.(cycle) v in
+  if p < 0 then None else Some p

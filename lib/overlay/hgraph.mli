@@ -22,7 +22,18 @@ val singleton : cycles:int -> int -> t
 (** The bootstrap overlay: one vertex that is its own neighbor on
     every cycle. *)
 
+val empty : cycles:int -> t
+(** No vertices at all — the pre-bootstrap placeholder.  Every query
+    behaves as if the vertex set were empty; populate with
+    {!insert_after} anchored nowhere is impossible, so replace it
+    wholesale (see {!create}/{!singleton}). *)
+
 val cycles : t -> int
+
+val generation : t -> int
+(** Bumped on every structural mutation ([create], [insert_after],
+    [remove]).  Consumers key caches of derived views (gossip
+    neighbor lists) on it. *)
 
 val vertices : t -> int list
 (** Sorted. *)

@@ -3,7 +3,15 @@
    per-label event counts, a histogram of virtual-time scheduling
    delays, and (opt-in, see Prof_clock) wall-clock self-time. *)
 
-type ev = { fn : unit -> unit; label : string; sched : float }
+type ev = { mutable fn : unit -> unit; mutable label : string; mutable sched : float }
+
+(* Event records are pooled: [step] recycles each record after
+   running it, and [schedule_at] reuses recycled records instead of
+   allocating.  At millions of events per run the queue then performs
+   zero per-event allocation (the SoA Pqueue holds no records of its
+   own).  The closure slot is blanked on recycle so the pool never
+   pins a dead closure's environment. *)
+let nop () = ()
 
 (* Log2 buckets of (execution time - scheduling time) in virtual
    seconds.  Bucket 0 is "immediate" (delay <= 0); bucket i >= 1
@@ -35,6 +43,14 @@ type t = {
   mutable processed : int;
   mutable trace : Trace.t option;
   labels : (string, label_stats) Hashtbl.t;
+  (* One-entry memo for the per-label stats lookup: schedule sites
+     pass literal strings, so physical equality hits nearly always
+     and the per-event hash lookup disappears. *)
+  mutable memo_label : string;
+  mutable memo_stats : label_stats option;
+  mutable pool : ev array; (* stack of recycled records *)
+  mutable pool_len : int;
+  mutable pooling : bool; (* off: allocate per event (pre-pool cost) *)
 }
 
 let create () =
@@ -45,6 +61,11 @@ let create () =
     processed = 0;
     trace = None;
     labels = Hashtbl.create 32;
+    memo_label = "";
+    memo_stats = None;
+    pool = [||];
+    pool_len = 0;
+    pooling = true;
   }
 
 let now t = t.clock
@@ -53,9 +74,40 @@ let set_trace t trace = t.trace <- Some trace
 
 let unlabeled = "(unlabeled)"
 
+(* [set_pooling false] restores the pre-pool behaviour — one fresh
+   record per scheduled event, recycled records dropped on the floor —
+   so the scale benchmark's legacy mode pays the allocation and GC
+   pressure the pool was introduced to remove. *)
+let set_pooling t enabled = t.pooling <- enabled
+
+let take_ev t ~fn ~label ~sched =
+  if (not t.pooling) || t.pool_len = 0 then { fn; label; sched }
+  else begin
+    t.pool_len <- t.pool_len - 1;
+    let e = t.pool.(t.pool_len) in
+    e.fn <- fn;
+    e.label <- label;
+    e.sched <- sched;
+    e
+  end
+
+let recycle_ev t e =
+  if t.pooling then begin
+  e.fn <- nop;
+  e.label <- unlabeled;
+  if t.pool_len = Array.length t.pool then begin
+    let cap = max 64 (2 * Array.length t.pool) in
+    let pool = Array.make cap e in
+    Array.blit t.pool 0 pool 0 t.pool_len;
+    t.pool <- pool
+  end;
+  t.pool.(t.pool_len) <- e;
+  t.pool_len <- t.pool_len + 1
+  end
+
 let schedule_at ?(label = unlabeled) t ~time f =
   let time = if time < t.clock then t.clock else time in
-  Atum_util.Pqueue.push t.queue time { fn = f; label; sched = t.clock }
+  Atum_util.Pqueue.push t.queue time (take_ev t ~fn:f ~label ~sched:t.clock)
 
 let schedule ?label t ~delay f =
   let delay = if delay < 0.0 then 0.0 else delay in
@@ -79,14 +131,22 @@ let every ?label t ?start ~period f =
   schedule_at ?label t ~time:first tick
 
 let stats_for t label =
-  match Hashtbl.find_opt t.labels label with
-  | Some s -> s
-  | None ->
+  match t.memo_stats with
+  | Some s when t.memo_label == label -> s
+  | _ ->
     let s =
-      { events = 0; wall = 0.0; vt_first = 0.0; vt_last = 0.0;
-        delay_hist = Array.make delay_buckets 0 }
+      match Hashtbl.find_opt t.labels label with
+      | Some s -> s
+      | None ->
+        let s =
+          { events = 0; wall = 0.0; vt_first = 0.0; vt_last = 0.0;
+            delay_hist = Array.make delay_buckets 0 }
+        in
+        Hashtbl.replace t.labels label s;
+        s
     in
-    Hashtbl.replace t.labels label s;
+    t.memo_label <- label;
+    t.memo_stats <- Some s;
     s
 
 let account t (e : ev) ~time =
@@ -105,12 +165,14 @@ let step t =
     t.clock <- time;
     t.processed <- t.processed + 1;
     let s = account t e ~time in
+    let fn = e.fn in
+    recycle_ev t e;
     if Prof_clock.enabled then begin
       let t0 = Prof_clock.now () in
-      e.fn ();
+      fn ();
       s.wall <- s.wall +. (Prof_clock.now () -. t0)
     end
-    else e.fn ();
+    else fn ();
     true
 
 let run ?until ?max_events t =

@@ -25,6 +25,14 @@ let series_names t = Atum_util.Hashtbl_ext.sorted_keys ~cmp:String.compare t.ser
 
 let counter_names t = Atum_util.Hashtbl_ext.sorted_keys ~cmp:String.compare t.counters
 
+(* Integer addition commutes, so the unsorted traversal cannot leak
+   hash order into the result — unlike [counter_names], this is safe
+   to call on a per-sample hot path. *)
+let prefix_total t prefix =
+  Hashtbl.fold
+    (fun name r acc -> if String.starts_with ~prefix name then acc + !r else acc)
+    t.counters 0
+
 let clear t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.series

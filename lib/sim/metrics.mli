@@ -18,6 +18,11 @@ val series_names : t -> string list
 
 val counter_names : t -> string list
 
+val prefix_total : t -> string -> int
+(** Sum of every counter whose name starts with the prefix.  One
+    unsorted pass, no allocation — safe on per-sample hot paths where
+    {!counter_names} (which sorts) is not. *)
+
 val clear : t -> unit
 
 (* --- snapshot / merge / JSON export --------------------------------- *)

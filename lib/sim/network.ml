@@ -23,14 +23,23 @@ let wan_config ~seed =
     node_capacity = None;
   }
 
+(* Per-node state lives in flat arrays indexed by the dense node id
+   (see Atum_util.Arena): handler dispatch, partition tags, the
+   crashed set and the per-node service-queue tail are all O(1) array
+   reads with no hashing.  Arrays grow on registration; ids beyond
+   the high-water mark behave like unregistered nodes. *)
 type 'msg t = {
   engine : Engine.t;
   config : config;
   rng : Atum_util.Rng.t;
-  handlers : (int, src:int -> 'msg -> unit) Hashtbl.t;
-  partitions : (int, int) Hashtbl.t;
-  crashed : (int, unit) Hashtbl.t; (* explicit, so recover can't collide with a tag *)
-  ready : (int, float) Hashtbl.t; (* per-node processing queue tail *)
+  mutable handlers : (src:int -> 'msg -> unit) option array;
+  mutable partitions : int array; (* 0 = default partition *)
+  mutable crashed : bool array;
+  mutable ready : float array; (* per-node processing queue tail; 0 = idle *)
+  mutable cap : int; (* length of the arrays above *)
+  mutable crashed_count : int;
+  mutable tagged_count : int; (* nodes with a nonzero partition tag *)
+  mutable batching : bool; (* deliver send_multi batches as one event *)
   metrics : Metrics.t;
   trace : Trace.t option;
   mutable sent : int;
@@ -50,10 +59,14 @@ let create ?metrics ?trace engine config =
     engine;
     config;
     rng = Atum_util.Rng.create config.seed;
-    handlers = Hashtbl.create 256;
-    partitions = Hashtbl.create 64;
-    crashed = Hashtbl.create 64;
-    ready = Hashtbl.create 256;
+    handlers = Array.make 256 None;
+    partitions = Array.make 256 0;
+    crashed = Array.make 256 false;
+    ready = Array.make 256 0.0;
+    cap = 256;
+    crashed_count = 0;
+    tagged_count = 0;
+    batching = true;
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     trace;
     sent = 0;
@@ -70,9 +83,34 @@ let engine t = t.engine
 let metrics t = t.metrics
 let trace t = t.trace
 
-let register t node handler = Hashtbl.replace t.handlers node handler
+let ensure t node =
+  if node >= t.cap then begin
+    let cap = max (node + 1) (2 * t.cap) in
+    let handlers = Array.make cap None in
+    Array.blit t.handlers 0 handlers 0 t.cap;
+    let partitions = Array.make cap 0 in
+    Array.blit t.partitions 0 partitions 0 t.cap;
+    let crashed = Array.make cap false in
+    Array.blit t.crashed 0 crashed 0 t.cap;
+    let ready = Array.make cap 0.0 in
+    Array.blit t.ready 0 ready 0 t.cap;
+    t.handlers <- handlers;
+    t.partitions <- partitions;
+    t.crashed <- crashed;
+    t.ready <- ready;
+    t.cap <- cap
+  end
 
-let unregister t node = Hashtbl.remove t.handlers node
+let register t node handler =
+  ensure t node;
+  t.handlers.(node) <- Some handler
+
+let unregister t node = if node < t.cap then t.handlers.(node) <- None
+
+let handler_of t node = if node < t.cap then t.handlers.(node) else None
+
+let set_batching t on = t.batching <- on
+let batching t = t.batching
 
 let sample_latency t =
   match t.config.latency with
@@ -81,21 +119,60 @@ let sample_latency t =
   | Lognormal { mu; sigma; floor } ->
     Float.max floor (Atum_util.Rng.lognormal t.rng ~mu ~sigma)
 
-let partition_of t node = Option.value ~default:0 (Hashtbl.find_opt t.partitions node)
+let partition_of t node = if node < t.cap then t.partitions.(node) else 0
 
-let set_partition t node tag = Hashtbl.replace t.partitions node tag
+let set_partition t node tag =
+  ensure t node;
+  let old = t.partitions.(node) in
+  if old = 0 && tag <> 0 then t.tagged_count <- t.tagged_count + 1
+  else if old <> 0 && tag = 0 then t.tagged_count <- t.tagged_count - 1;
+  t.partitions.(node) <- tag
 
 let heal t =
-  Hashtbl.reset t.partitions;
+  Array.fill t.partitions 0 t.cap 0;
+  t.tagged_count <- 0;
   t.post_heal <- true
 
-let crash t node = Hashtbl.replace t.crashed node ()
+let crash t node =
+  ensure t node;
+  if not t.crashed.(node) then begin
+    t.crashed.(node) <- true;
+    t.crashed_count <- t.crashed_count + 1
+  end
 
 let recover t node =
-  Hashtbl.remove t.crashed node;
+  if node < t.cap && t.crashed.(node) then begin
+    t.crashed.(node) <- false;
+    t.crashed_count <- t.crashed_count - 1
+  end;
   t.post_heal <- true
 
-let is_crashed t node = Hashtbl.mem t.crashed node
+let is_crashed t node = node < t.cap && t.crashed.(node)
+
+(* Faulted-node views, ascending id order — the incremental monitor
+   rebuilds its candidate set from these instead of scanning every
+   vgroup. *)
+let crashed_nodes t =
+  if t.crashed_count = 0 then []
+  else begin
+    let acc = ref [] in
+    for i = t.cap - 1 downto 0 do
+      if t.crashed.(i) then acc := i :: !acc
+    done;
+    !acc
+  end
+
+let partitioned_nodes t =
+  if t.tagged_count = 0 then []
+  else begin
+    let acc = ref [] in
+    for i = t.cap - 1 downto 0 do
+      if t.partitions.(i) <> 0 then acc := i :: !acc
+    done;
+    !acc
+  end
+
+let faulted_count t = t.crashed_count + t.tagged_count
 
 let set_loss_boost t p =
   if p < 0.0 || p > 1.0 then invalid_arg "Network.set_loss_boost: p outside [0, 1]";
@@ -137,6 +214,44 @@ let severed t ~src ~dst =
   else if partition_of t src <> partition_of t dst then Some "partition"
   else None
 
+(* Deliver one message that survived transit.  Receiver service time
+   (node_capacity) is charged here, and only for messages that are
+   actually processed: a message dropped by the delivery-time
+   partition re-check or a missing handler must not advance the
+   receiver's queue tail, or dropped traffic would permanently consume
+   receiver capacity. *)
+let arrive t ~size ~src ~dst msg =
+  match severed t ~src ~dst with
+  | Some reason -> drop t ~reason ~src ~dst
+  | None -> begin
+    match handler_of t dst with
+    | None -> drop t ~reason:"no_handler" ~src ~dst
+    | Some _ ->
+      let deliver () =
+        (* Re-resolve the handler: it may have been replaced (or
+           removed) while the message waited in the receiver's
+           service queue. *)
+        match handler_of t dst with
+        | None -> drop t ~reason:"no_handler" ~src ~dst
+        | Some handler ->
+          t.delivered <- t.delivered + 1;
+          if t.post_heal then Metrics.incr t.metrics "net.deliver.post_heal";
+          trace_emit t ~kind:"net.deliver" ~node:dst ~peer:src ~size ();
+          handler ~src msg
+      in
+      (match t.config.node_capacity with
+      | None -> deliver ()
+      | Some capacity ->
+        (* The receiver serves messages in arrival order at a bounded
+           rate; a hot node's queue tail pushes delivery out. *)
+        let capacity = capacity *. t.capacity_factor in
+        let arrival = Engine.now t.engine in
+        let tail = Float.max arrival t.ready.(dst) in
+        let finish = tail +. (1.0 /. capacity) in
+        t.ready.(dst) <- finish;
+        Engine.schedule ~label:"net.service" t.engine ~delay:(finish -. arrival) deliver)
+  end
+
 let send ?(size = 64) t ~src ~dst msg =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;
@@ -152,45 +267,92 @@ let send ?(size = 64) t ~src ~dst msg =
     if lost then drop t ~reason:"loss" ~src ~dst
     else begin
       let delay = sample_latency t *. t.latency_factor in
-      (* The arrival event only covers network transit.  Receiver
-         service time (node_capacity) is charged at arrival time, and
-         only for messages that are actually processed: a message
-         dropped by the delivery-time partition re-check or a missing
-         handler must not advance the receiver's queue tail, or dropped
-         traffic would permanently consume receiver capacity. *)
       Engine.schedule ~label:"net.transit" t.engine ~delay (fun () ->
-          match severed t ~src ~dst with
-          | Some reason -> drop t ~reason ~src ~dst
-          | None -> begin
-            match Hashtbl.find_opt t.handlers dst with
-            | None -> drop t ~reason:"no_handler" ~src ~dst
-            | Some _ ->
-              let deliver () =
-                (* Re-resolve the handler: it may have been replaced (or
-                   removed) while the message waited in the receiver's
-                   service queue. *)
-                match Hashtbl.find_opt t.handlers dst with
-                | None -> drop t ~reason:"no_handler" ~src ~dst
-                | Some handler ->
-                  t.delivered <- t.delivered + 1;
-                  if t.post_heal then Metrics.incr t.metrics "net.deliver.post_heal";
-                  trace_emit t ~kind:"net.deliver" ~node:dst ~peer:src ~size ();
-                  handler ~src msg
-              in
-              (match t.config.node_capacity with
-              | None -> deliver ()
-              | Some capacity ->
-                (* The receiver serves messages in arrival order at a
-                   bounded rate; a hot node's queue tail pushes delivery
-                   out. *)
-                let capacity = capacity *. t.capacity_factor in
-                let arrival = Engine.now t.engine in
-                let tail = Option.value ~default:arrival (Hashtbl.find_opt t.ready dst) in
-                let finish = Float.max arrival tail +. (1.0 /. capacity) in
-                Hashtbl.replace t.ready dst finish;
-                Engine.schedule ~label:"net.service" t.engine ~delay:(finish -. arrival) deliver)
-          end)
+          arrive t ~size ~src ~dst msg)
     end
+
+(* Batched fan-out: one latency sample and ONE engine event for a
+   whole per-vgroup gossip round, instead of one event per (src, dst)
+   pair.  Loss and partition checks stay per destination, so the
+   delivered set is distribution-identical to the unbatched path; only
+   the number of queue operations (and the per-destination latency
+   jitter) changes.  With batching disabled this degrades to a plain
+   [send] per destination — the pre-batching engine, kept measurable
+   for the scale benchmark's before/after comparison. *)
+let send_multi ?(size = 64) t ~src ~dsts msg =
+  if not t.batching then List.iter (fun dst -> send ~size t ~src ~dst msg) dsts
+  else begin
+    let survivors =
+      List.filter
+        (fun dst ->
+          t.sent <- t.sent + 1;
+          t.bytes <- t.bytes + size;
+          trace_emit t ~kind:"net.send" ~node:src ~peer:dst ~size ();
+          let cut = severed t ~src ~dst in
+          let lost =
+            Atum_util.Rng.bernoulli t.rng
+              (Float.min 1.0 (t.config.drop_probability +. t.loss_boost))
+          in
+          match cut with
+          | Some reason ->
+            drop t ~reason ~src ~dst;
+            false
+          | None ->
+            if lost then begin
+              drop t ~reason:"loss" ~src ~dst;
+              false
+            end
+            else true)
+        dsts
+    in
+    if survivors <> [] then begin
+      let delay = sample_latency t *. t.latency_factor in
+      Engine.schedule ~label:"net.transit.batch" t.engine ~delay (fun () ->
+          List.iter (fun dst -> arrive t ~size ~src ~dst msg) survivors)
+    end
+  end
+
+(* Vgroup-round batching: all of a vgroup's same-instant senders fan
+   out to a neighbor round in one engine event.  The surviving (src,
+   size, dst) pairs — same per-pair accounting, loss and cut checks as
+   [send_multi] — share a single latency sample, so the event count
+   per gossip round drops from senders*1 to 1. *)
+let send_group t ~srcs ~dsts msg =
+  if not t.batching then
+    List.iter (fun (src, size) -> List.iter (fun dst -> send ~size t ~src ~dst msg) dsts) srcs
+  else begin
+    let pairs =
+      List.concat_map
+        (fun (src, size) ->
+          List.filter_map
+            (fun dst ->
+              t.sent <- t.sent + 1;
+              t.bytes <- t.bytes + size;
+              trace_emit t ~kind:"net.send" ~node:src ~peer:dst ~size ();
+              let cut = severed t ~src ~dst in
+              let lost =
+                Atum_util.Rng.bernoulli t.rng
+                  (Float.min 1.0 (t.config.drop_probability +. t.loss_boost))
+              in
+              match cut with
+              | Some reason ->
+                drop t ~reason ~src ~dst;
+                None
+              | None ->
+                if lost then begin
+                  drop t ~reason:"loss" ~src ~dst;
+                  None
+                end
+                else Some (src, size, dst))
+            dsts)
+        srcs
+    in
+    if pairs <> [] then begin
+      let delay = sample_latency t *. t.latency_factor in
+      Engine.schedule ~label:"net.transit.batch" t.engine ~delay (fun () ->
+          List.iter (fun (src, size, dst) -> arrive t ~size ~src ~dst msg) pairs)
+    end
+  end
 
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered

@@ -61,6 +61,29 @@ val send : ?size:int -> 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Queue a message for delivery after a sampled latency.  [size] (in
     bytes, default 64) only feeds the traffic accounting. *)
 
+val send_multi : ?size:int -> 'msg t -> src:int -> dsts:int list -> 'msg -> unit
+(** Batched fan-out: one latency sample and one engine event for the
+    whole destination list (a per-vgroup gossip round), instead of one
+    event per pair.  Loss, partition and crash checks remain per
+    destination.  With batching disabled (see {!set_batching}) this is
+    exactly [List.iter] of {!send}. *)
+
+val send_group : 'msg t -> srcs:(int * int) list -> dsts:int list -> 'msg -> unit
+(** Vgroup-round fan-in/fan-out: every [(src, size)] sender transmits
+    [msg] to every destination, as ONE latency sample and ONE engine
+    event for the whole round.  The logical message set — and the
+    per-pair loss, partition and crash checks — is identical to
+    calling {!send_multi} once per sender; only the event count and the
+    per-sender latency jitter change.  With batching disabled this
+    degrades to a plain {!send} per (src, dst) pair. *)
+
+val set_batching : 'msg t -> bool -> unit
+(** Toggle batched delivery for {!send_multi} (default [true]).
+    Disabling restores the pre-batching one-event-per-message engine —
+    kept so the scale benchmark can measure the batching win. *)
+
+val batching : 'msg t -> bool
+
 val sample_latency : 'msg t -> float
 (** One latency draw from the configured model (for protocols that
     need timeouts calibrated to the network).  Not scaled by
@@ -92,6 +115,18 @@ val recover : 'msg t -> int -> unit
     ["net.deliver.post_heal"] like {!heal}. *)
 
 val is_crashed : 'msg t -> int -> bool
+
+val crashed_nodes : 'msg t -> int list
+(** Currently crashed node ids, ascending.  O(1) when no node is
+    crashed; the incremental monitor derives its fault-candidate
+    vgroups from this instead of scanning the registry. *)
+
+val partitioned_nodes : 'msg t -> int list
+(** Node ids with a nonzero partition tag, ascending.  O(1) when no
+    partition is installed. *)
+
+val faulted_count : 'msg t -> int
+(** [crashed + partition-tagged] node count — O(1). *)
 
 (* --- fault-injection overrides (identity by default) ----------------- *)
 

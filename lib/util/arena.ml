@@ -1,0 +1,100 @@
+(* Dense-int id arena: a growable flat array plus a free list.
+
+   Ids are handed out densely from 0, so they double as array
+   indices everywhere downstream (network handler tables, overlay
+   rings, per-node state) — no hashing, no buckets, no rehash pauses.
+   [release] returns an id to the free list; the next [alloc] reuses
+   the smallest released id, keeping the id space dense under churn.
+
+   Iteration order is ascending index order, which is the ascending
+   id order the deterministic artifacts already rely on — the arena
+   replaces the fold-then-sort idiom over hash tables with a plain
+   array walk. *)
+
+type 'a t = {
+  mutable slots : 'a option array;
+  mutable high : int;        (* slots.(i) with i >= high are all None *)
+  mutable live : int;        (* number of Some slots *)
+  mutable free : int list;   (* released ids, kept sorted ascending *)
+}
+
+let create ?(cap = 16) () = { slots = Array.make (max cap 1) None; high = 0; live = 0; free = [] }
+
+let length t = t.high
+let live t = t.live
+
+let ensure t i =
+  if i >= Array.length t.slots then begin
+    let cap = max (i + 1) (2 * Array.length t.slots) in
+    let slots = Array.make cap None in
+    Array.blit t.slots 0 slots 0 t.high;
+    t.slots <- slots
+  end
+
+let alloc t v =
+  let id =
+    match t.free with
+    | id :: rest ->
+      t.free <- rest;
+      id
+    | [] ->
+      let id = t.high in
+      ensure t id;
+      t.high <- t.high + 1;
+      id
+  in
+  t.slots.(id) <- Some v;
+  t.live <- t.live + 1;
+  id
+
+(* Allocate where the stored value needs to know its own id. *)
+let alloc_with t f =
+  let id =
+    match t.free with
+    | id :: rest ->
+      t.free <- rest;
+      id
+    | [] ->
+      let id = t.high in
+      ensure t id;
+      t.high <- t.high + 1;
+      id
+  in
+  t.slots.(id) <- Some (f id);
+  t.live <- t.live + 1;
+  id
+
+let get t i = if i < 0 || i >= t.high then None else t.slots.(i)
+
+let find t i =
+  match get t i with Some v -> v | None -> raise Not_found
+
+let mem t i = get t i <> None
+
+let release t i =
+  match get t i with
+  | None -> invalid_arg "Arena.release: empty slot"
+  | Some _ ->
+    t.slots.(i) <- None;
+    t.live <- t.live - 1;
+    (* Sorted insert keeps allocation order deterministic and dense:
+       the smallest free id is always reused first.  Free lists stay
+       short (releases are churn events, not steady state). *)
+    let rec ins = function
+      | [] -> [ i ]
+      | x :: _ as l when i < x -> i :: l
+      | x :: rest -> x :: ins rest
+    in
+    t.free <- ins t.free
+
+let iter f t =
+  for i = 0 to t.high - 1 do
+    match t.slots.(i) with Some v -> f i v | None -> ()
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  for i = 0 to t.high - 1 do
+    match t.slots.(i) with Some v -> acc := f i v !acc | None -> ()
+  done;
+  !acc

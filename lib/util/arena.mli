@@ -1,0 +1,41 @@
+(** Dense-int id arena: growable flat array plus a free list.
+
+    [alloc] hands out ids densely from 0 (reusing the smallest
+    released id first), so ids double as array indices in every
+    downstream structure.  [iter]/[fold] walk slots in ascending id
+    order — the deterministic enumeration order the simulator's
+    artifacts rely on, with no sort. *)
+
+type 'a t
+
+val create : ?cap:int -> unit -> 'a t
+
+val alloc : 'a t -> 'a -> int
+(** Store a value and return its id: the smallest released id if any,
+    else the next fresh one. *)
+
+val alloc_with : 'a t -> (int -> 'a) -> int
+(** Like {!alloc} for values that carry their own id: the id is
+    chosen first and passed to the constructor. *)
+
+val release : 'a t -> int -> unit
+(** Return [id] to the free list.  Raises [Invalid_argument] if the
+    slot is already empty. *)
+
+val get : 'a t -> int -> 'a option
+val find : 'a t -> int -> 'a
+(** Raises [Not_found] on an empty or out-of-range slot. *)
+
+val mem : 'a t -> int -> bool
+
+val length : 'a t -> int
+(** High-water mark: one past the largest id ever allocated. *)
+
+val live : 'a t -> int
+(** Number of occupied slots — maintained, O(1). *)
+
+val iter : (int -> 'a -> unit) -> 'a t -> unit
+(** Ascending id order. *)
+
+val fold : (int -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** Ascending id order. *)

@@ -1,0 +1,50 @@
+(* Growable dense bitset over small non-negative ints.
+
+   Three words when empty, one bit per potential member once touched —
+   the per-node broadcast-dedup marker at million-node scale, where a
+   hash table per node (16-bucket minimum in the stdlib) would cost
+   three orders of magnitude more. *)
+
+type t = { mutable words : int array }
+
+let bits_per_word = Sys.int_size
+
+let empty_words : int array = [||]
+
+let create () = { words = empty_words }
+
+let ensure t i =
+  let need = (i / bits_per_word) + 1 in
+  if need > Array.length t.words then begin
+    let cap = max need (max 1 (2 * Array.length t.words)) in
+    let words = Array.make cap 0 in
+    Array.blit t.words 0 words 0 (Array.length t.words);
+    t.words <- words
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set: negative index";
+  ensure t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let unset t i =
+  if i >= 0 then begin
+    let w = i / bits_per_word in
+    if w < Array.length t.words then
+      t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+  end
+
+let mem t i =
+  i >= 0
+  &&
+  let w = i / bits_per_word in
+  w < Array.length t.words && t.words.(w) land (1 lsl (i mod bits_per_word)) <> 0
+
+let clear t = t.words <- empty_words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
+  go w 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words

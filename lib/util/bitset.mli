@@ -1,0 +1,23 @@
+(** Growable dense bitset over small non-negative ints.
+
+    Three words when empty, one bit per potential member once
+    touched.  Used for per-node broadcast dedup markers, where a hash
+    table per node (16-bucket stdlib minimum) is prohibitive at
+    million-node scale. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> int -> unit
+(** Raises [Invalid_argument] on a negative index. *)
+
+val unset : t -> int -> unit
+(** No-op when the index was never set (or is negative). *)
+
+val mem : t -> int -> bool
+
+val clear : t -> unit
+(** Drop every member and release the backing storage. *)
+
+val cardinal : t -> int

@@ -6,12 +6,23 @@
    reproducible artifact (JSON exports, wire messages, seeded runs).
    These helpers package the fold-then-sort idiom with an explicit,
    monomorphic comparator so call sites never reach for the
-   polymorphic [compare]. *)
+   polymorphic [compare].
+
+   [sorts_performed] counts every materialize-and-sort these helpers
+   execute.  Hot paths that are supposed to run sort-free (telemetry
+   gauge sampling, gossip fan-out, incremental sweeps) are pinned by
+   regression tests that snapshot the counter around the operation. *)
+
+let sorts = ref 0
+
+let sorts_performed () = !sorts
 
 let sorted_bindings ~cmp tbl =
+  incr sorts;
   List.sort (fun (a, _) (b, _) -> cmp a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let sorted_keys ~cmp tbl =
+  incr sorts;
   List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
 
 let sorted_iter ~cmp f tbl =

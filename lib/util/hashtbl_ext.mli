@@ -7,6 +7,12 @@
     must go through one of these helpers, which take an explicit
     comparator on the key type. *)
 
+val sorts_performed : unit -> int
+(** Process-wide count of materialize-and-sort traversals these
+    helpers have executed.  Regression tests snapshot it around
+    operations that must run sort-free (gauge sampling, gossip
+    fan-out) to pin their cost. *)
+
 val sorted_bindings : cmp:('a -> 'a -> int) -> ('a, 'b) Hashtbl.t -> ('a * 'b) list
 (** All bindings, sorted by key with [cmp].  With duplicate keys (from
     [Hashtbl.add] shadowing) the relative order of equal keys is

@@ -1,32 +1,66 @@
-type 'a entry = { prio : float; seq : int; value : 'a }
+(* Structure-of-arrays binary min-heap.
+
+   The heap used to store one [{ prio; seq; value }] record per
+   entry; at millions of scheduled events that is one short-lived
+   allocation per push plus a pointer chase per comparison.  Keeping
+   the fields in parallel arrays (an unboxed float array for the
+   priorities) removes the per-entry record entirely: pushes and
+   sift swaps touch flat arrays, and the only allocation left is the
+   amortized doubling of the backing store.
+
+   Slots at or beyond [len] are dead: they are only ever overwritten,
+   never read as ['a].  [pop] blanks the vacated slot so popped
+   values stay collectable. *)
 
 type 'a t = {
-  mutable heap : 'a entry array;
+  mutable prio : float array;
+  mutable seq : int array;
+  mutable value : 'a array;
   mutable len : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0 }
+(* Filler for dead slots.  The immediate 0 is never read back as
+   ['a]; all accesses in this module are polymorphic, so even a
+   [float t] keeps a boxed (non-flat) value array and stays sound. *)
+let blank : 'a. unit -> 'a = fun () -> Obj.magic 0
+
+let create () = { prio = [||]; seq = [||]; value = [||]; len = 0; next_seq = 0 }
 
 let is_empty t = t.len = 0
-
 let size t = t.len
 
-let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+let less t i j =
+  t.prio.(i) < t.prio.(j) || (t.prio.(i) = t.prio.(j) && t.seq.(i) < t.seq.(j))
+
+let swap t i j =
+  let p = t.prio.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.prio.(j) <- p;
+  let s = t.seq.(i) in
+  t.seq.(i) <- t.seq.(j);
+  t.seq.(j) <- s;
+  let v = t.value.(i) in
+  t.value.(i) <- t.value.(j);
+  t.value.(j) <- v
 
 let grow t =
-  let cap = max 16 (2 * Array.length t.heap) in
-  let heap = Array.make cap t.heap.(0) in
-  Array.blit t.heap 0 heap 0 t.len;
-  t.heap <- heap
+  let cap = max 16 (2 * Array.length t.prio) in
+  let prio = Array.make cap 0.0 in
+  let seq = Array.make cap 0 in
+  let value = Array.make cap (blank ()) in
+  Array.blit t.prio 0 prio 0 t.len;
+  Array.blit t.seq 0 seq 0 t.len;
+  Array.blit t.value 0 value 0 t.len;
+  t.prio <- prio;
+  t.seq <- seq;
+  t.value <- value
 
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if less t.heap.(i) t.heap.(parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
+    if less t i parent then begin
+      swap t i parent;
       sift_up t parent
     end
   end
@@ -34,38 +68,42 @@ let rec sift_up t i =
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < t.len && less t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.len && less t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if l < t.len && less t l !smallest then smallest := l;
+  if r < t.len && less t r !smallest then smallest := r;
   if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
+    swap t i !smallest;
     sift_down t !smallest
   end
 
 let push t prio value =
-  let entry = { prio; seq = t.next_seq; value } in
+  if t.len = Array.length t.prio then grow t;
+  let i = t.len in
+  t.prio.(i) <- prio;
+  t.seq.(i) <- t.next_seq;
+  t.value.(i) <- value;
   t.next_seq <- t.next_seq + 1;
-  if t.len = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry;
-  if t.len = Array.length t.heap then grow t;
-  t.heap.(t.len) <- entry;
   t.len <- t.len + 1;
-  sift_up t (t.len - 1)
+  sift_up t i
 
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.heap.(0) in
+    let p = t.prio.(0) and v = t.value.(0) in
     t.len <- t.len - 1;
     if t.len > 0 then begin
-      t.heap.(0) <- t.heap.(t.len);
+      t.prio.(0) <- t.prio.(t.len);
+      t.seq.(0) <- t.seq.(t.len);
+      t.value.(0) <- t.value.(t.len);
       sift_down t 0
     end;
-    Some (top.prio, top.value)
+    t.value.(t.len) <- blank ();
+    Some (p, v)
   end
 
-let peek t = if t.len = 0 then None else Some (t.heap.(0).prio, t.heap.(0).value)
+let peek t = if t.len = 0 then None else Some (t.prio.(0), t.value.(0))
 
 let clear t =
   t.len <- 0;
-  t.heap <- [||]
+  t.prio <- [||];
+  t.seq <- [||];
+  t.value <- [||]

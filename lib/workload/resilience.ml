@@ -174,9 +174,13 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
   (match Atum.telemetry atum with
   | Some tel -> Fault.attach_gauges fq tel
   | None -> ());
+  (* Cheap check first: the incremental sweep costs O(vgroups hosting
+     a faulted node) per poll and stays non-zero while any fault
+     persists, so the O(N) full consistency scan runs only on the
+     transition to clean — once per heal, not once per poll. *)
   let converged () =
-    (match System.check_consistency sys with Ok () -> true | Error _ -> false)
-    && Monitor.sweep mon = 0
+    Monitor.sweep_dirty mon = 0
+    && (match System.check_consistency sys with Ok () -> true | Error _ -> false)
   in
   let all_offsets =
     List.sort Float.compare (List.map (fun (e : Fault.entry) -> e.Fault.after) schedule)
@@ -197,10 +201,13 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
           | Some next -> Float.min cap (t_fault +. next)
           | None -> cap
         in
+        (* Check before ticking: a heal whose repair completes exactly
+           on a poll boundary used to be observed only after one more
+           [gap]-long tick, crediting it to the next bucket and
+           inflating every time-to-heal by up to [gap]. *)
         let converged_at = ref None in
         while Option.is_none !converged_at && Atum.now atum < limit do
-          tick 1;
-          if converged () then converged_at := Some (Atum.now atum)
+          if converged () then converged_at := Some (Atum.now atum) else tick 1
         done;
         {
           heal_at;

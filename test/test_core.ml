@@ -564,7 +564,7 @@ let test_monitor_dup_delivery () =
   Atum.on_deliver t (fun nid ~bid:_ ~origin:_ _ ->
       if not (Hashtbl.mem wiped nid) then begin
         Hashtbl.add wiped nid ();
-        Hashtbl.reset (System.node sys nid).System.delivered
+        Atum_util.Bitset.clear (System.node sys nid).System.delivered
       end);
   ignore (Atum.broadcast t ~from:n0 "once");
   Atum.run_for t 60.0;
