@@ -446,30 +446,42 @@ let lint_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Print allowlisted findings too.")
   in
+  let strict_allow_arg =
+    Arg.(
+      value & flag
+      & info [ "strict-allow" ]
+          ~doc:"Fail on stale allowlist entries too (CI mode: the allowlist cannot rot).")
+  in
   let dirs_arg =
     Arg.(
       value
       & pos_all string [ "lib"; "bin" ]
       & info [] ~docv:"DIR" ~doc:"Directories to scan, relative to the root.")
   in
-  let run root allow verbose dirs json out_dir =
+  let run root allow verbose strict_allow dirs json out_dir =
     let allow_file = if Filename.is_relative allow then Filename.concat root allow else allow in
-    let r = Driver.run ~root ~dirs ~allow_file () in
+    let r = Driver.run ~strict_allow ~root ~dirs ~allow_file () in
     Driver.print_human ~verbose Format.std_formatter r;
     if json then begin
       mkdir_p out_dir;
       let path = Driver.write_json ~dir:out_dir r in
-      Printf.printf "json             : wrote %s\n" path
+      Printf.printf "json             : wrote %s\n" path;
+      let spath = Driver.write_state_json ~dir:out_dir r in
+      Printf.printf "json             : wrote %s\n" spath
     end;
     if not (Driver.ok r) then exit 1
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
-         "Run the determinism & protocol-safety linter (AST-level, see LINT.md) over the \
-          repository sources.  Exits non-zero on any violation not suppressed by the \
-          allowlist.  With --json, writes ATUM_lint.json.")
-    Term.(const run $ root_arg $ allow_arg $ verbose_arg $ dirs_arg $ json_arg $ out_dir_arg)
+         "Run the determinism & protocol-safety linter over the repository sources: the \
+          per-file AST rules plus the repo-wide effect-propagation and domain-safety \
+          analysis (see LINT.md).  Exits non-zero on any violation not suppressed by the \
+          allowlist.  With --json, writes ATUM_lint.json and the ATUM_lint_state.json \
+          mutable-state inventory.")
+    Term.(
+      const run $ root_arg $ allow_arg $ verbose_arg $ strict_allow_arg $ dirs_arg $ json_arg
+      $ out_dir_arg)
 
 let dht_cmd =
   let byz_pct_arg =

@@ -53,6 +53,27 @@ let parse_line ~lineno raw =
     end
   end
 
+let spec_to_string e =
+  Printf.sprintf "%s:%s:%s" e.rule e.file
+    (match e.line with None -> "*" | Some n -> string_of_int n)
+
+(* Two entries covering the same rule:file:line are a rot signal (one
+   of them is a stale copy-paste) and an error, not a warning. *)
+let duplicate_errors entries =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun e ->
+      let key = spec_to_string e in
+      match Hashtbl.find_opt seen key with
+      | Some first ->
+        Some
+          (Printf.sprintf "lint.allow:%d: duplicate entry %s (first at line %d)"
+             e.source_line key first)
+      | None ->
+        Hashtbl.replace seen key e.source_line;
+        None)
+    entries
+
 let of_string s =
   let lines = String.split_on_char '\n' s in
   let rec go lineno acc errs = function
@@ -63,7 +84,8 @@ let of_string s =
       | Ok None -> go (lineno + 1) acc errs rest
       | Error msg -> go (lineno + 1) acc (msg :: errs) rest)
   in
-  go 1 [] [] lines
+  let entries, errs = go 1 [] [] lines in
+  (entries, errs @ duplicate_errors entries)
 
 let load path =
   if Sys.file_exists path then begin
@@ -92,6 +114,18 @@ let suppress t (d : Diagnostic.t) =
   | None -> ()
 
 let stale t = List.filter (fun e -> not e.used) t
+
+(* Non-marking query: does any entry cover this finding?  Pass 2 uses
+   it to decide whether an allowlisted D001 source should still seed
+   effect propagation (it should not: suppressing the source sanctions
+   its callers), without consuming the entry's [used] flag. *)
+let covers t ~rule ~file ~line =
+  List.exists
+    (fun e ->
+      String.equal e.rule rule
+      && String.equal e.file file
+      && (match e.line with None -> true | Some n -> n = line))
+    t
 
 let entry_to_string e =
   Printf.sprintf "%s:%s:%s # %s" e.rule e.file

@@ -52,6 +52,31 @@ let rules =
         "catch-all _ arm in a match over a wire-message variant: new constructors \
          must fail to compile, not vanish into a default case";
     };
+    {
+      id = "E001";
+      severity = Error;
+      summary =
+        "transitive impurity: a lib/ function reaches wall-clock or OS entropy \
+         (a D001 source) through the intra-repo call graph; the wrapper is as \
+         nondeterministic as the call it hides";
+    };
+    {
+      id = "S001";
+      severity = Error;
+      summary =
+        "module-level mutable state in lib/ (toplevel ref, Hashtbl.create, \
+         Buffer.create, Array.make, mutable-record literal): shared across every \
+         run in the process and across domains once sweeps go parallel; make it \
+         per-instance or Atomic.t";
+    };
+    {
+      id = "S002";
+      severity = Error;
+      summary =
+        "cross-domain race candidate: a function reachable from an Engine task \
+         closure writes a module-level mutable global; under parallel sweeps two \
+         domains race on it";
+    };
   ]
 
 let find_rule id = List.find (fun r -> String.equal r.id id) rules
@@ -110,7 +135,13 @@ let result_returning =
 
 (* Constructors of the variants that cross the simulated network:
    System.wire, System.gm_payload and Pbft.msg.  A match that names
-   any of these must stay exhaustive. *)
+   any of these must stay exhaustive.
+
+   The second group is *reserved* for the versioned binary codec
+   (ROADMAP item 3): the codec PR must name its frame constructors
+   from this list so every decoder match is exhaustiveness-policed
+   from the first commit, exactly as simplexmq's versioned Protocol
+   commands are. *)
 let wire_constructors =
   [
     (* System.wire *)
@@ -119,4 +150,56 @@ let wire_constructors =
     "Control"; "Bcast";
     (* Pbft.msg *)
     "Request"; "Preprepare"; "Prepare"; "Commit"; "Viewchange"; "Newview";
+    (* Reserved: versioned wire codec (ROADMAP item 3). *)
+    "Frame"; "Hello"; "Version_ack"; "Unsupported_version";
+    "Gossip_frame"; "Walk_frame"; "Smr_frame"; "Saga_frame"; "Decode_error";
   ]
+
+(* --- S001/S002: module-level mutable state --------------------------- *)
+
+(* Applications whose *toplevel* result is shared mutable state.  A
+   [let] of one of these at module level is S001; the same call inside
+   a function body builds per-call state and is fine. *)
+let mutable_constructors =
+  [
+    "ref"; "Stdlib.ref";
+    "Hashtbl.create"; "Stdlib.Hashtbl.create";
+    "Buffer.create"; "Stdlib.Buffer.create";
+    "Bytes.create"; "Bytes.make";
+    "Array.make"; "Array.create_float"; "Array.init";
+    "Queue.create"; "Stack.create";
+  ]
+
+(* Domain-safe by construction: inventoried in ATUM_lint_state.json
+   but never flagged by S001/S002. *)
+let atomic_constructors = [ "Atomic.make"; "Stdlib.Atomic.make" ]
+
+(* Write spellings recognised by the pass-1 indexer.  [assign] mutate
+   their first argument; [setfield] is the [g.f <- e] form handled
+   structurally. *)
+let write_functions =
+  [
+    ":="; "incr"; "decr";
+    "Hashtbl.add"; "Hashtbl.replace"; "Hashtbl.remove"; "Hashtbl.reset"; "Hashtbl.clear";
+    "Buffer.add_char"; "Buffer.add_string"; "Buffer.add_bytes"; "Buffer.clear"; "Buffer.reset";
+    "Array.set"; "Array.unsafe_set"; "Array.fill"; "Array.blit";
+    "Bytes.set"; "Bytes.unsafe_set"; "Bytes.fill"; "Bytes.blit";
+    "Queue.push"; "Queue.add"; "Queue.pop"; "Queue.take"; "Queue.clear";
+    "Stack.push"; "Stack.pop"; "Stack.clear";
+    (* Atomics mutate too — S002 exempts them, but the state inventory
+       still records who writes them. *)
+    "Atomic.set"; "Atomic.exchange"; "Atomic.incr"; "Atomic.decr";
+    "Atomic.fetch_and_add"; "Atomic.compare_and_set";
+  ]
+
+(* --- E001/S002: call-graph roots ------------------------------------- *)
+
+(* A closure passed to one of these runs inside the simulation engine;
+   everything it calls is task-reachable (S002's scope).  Matched on
+   the alias-expanded spelling's last two components so
+   [Engine.every], [Atum_sim.Engine.every] and a [module E = ...]
+   alias all count; the bare spelling only counts inside
+   lib/sim/engine.ml itself. *)
+let engine_schedulers = [ "schedule"; "schedule_at"; "every" ]
+
+let engine_module_file = "lib/sim/engine.ml"

@@ -1,21 +1,32 @@
-(* Directory scanning, allowlist application and reporting for
-   atum-lint.  Shared by [bin/atum_lint.ml] (the build gate) and the
-   [atum-cli lint] subcommand. *)
+(* Directory scanning, the two-pass analysis pipeline, allowlist
+   application and reporting for atum-lint.  Shared by
+   [bin/atum_lint.ml] (the build gate) and the [atum-cli lint]
+   subcommand.
 
-let schema_version = 1
+   Pass 1 parses every file once; the per-file syntactic rules
+   ([Engine]) run on each parse tree while [Index] accumulates the
+   value index and call graph.  Pass 2 ([Effects]) then derives the
+   interprocedural findings (E001/S001/S002) and the machine-readable
+   state inventory from the whole-repo index. *)
+
+let schema_version = 2
 
 type result = {
   files_scanned : int;
   diagnostics : Diagnostic.t list; (* sorted; includes suppressed *)
   parse_errors : (string * string) list; (* file, message *)
-  allow_errors : string list; (* malformed lint.allow lines *)
+  allow_errors : string list; (* malformed or duplicate lint.allow lines *)
   stale_allows : Allowlist.entry list;
+  strict_allow : bool; (* stale entries fail the gate *)
+  state : Effects.state; (* the module-level mutable-state inventory *)
 }
 
 let unsuppressed r =
   List.filter (fun d -> Option.is_none d.Diagnostic.suppressed) r.diagnostics
 
-let ok r = unsuppressed r = [] && r.parse_errors = [] && r.allow_errors = []
+let ok r =
+  unsuppressed r = [] && r.parse_errors = [] && r.allow_errors = []
+  && ((not r.strict_allow) || r.stale_allows = [])
 
 (* Deterministic recursive listing of .ml files under [dir] (relative
    to [root]), skipping build and VCS artifacts. *)
@@ -37,29 +48,46 @@ let rec list_ml_files ~root dir =
       [] entries
   end
 
-let scan ?(allow = ([] : Allowlist.t)) ?(allow_errors = []) ~root ~dirs () =
-  let files = List.concat_map (fun d -> list_ml_files ~root d) dirs in
+(* The shared pipeline over already-read sources: parse once, run the
+   per-file pass, build the index, run the repo-wide pass, apply the
+   allowlist.  [sources] must be deterministic in order. *)
+let scan_sources ?(allow = ([] : Allowlist.t)) ?(allow_errors = []) ?(strict_allow = false)
+    ~sources () =
+  let parsed = ref [] in
   let diags = ref [] in
   let parse_errors = ref [] in
   List.iter
-    (fun file ->
-      match Engine.check_file ~root ~file with
-      | Ok ds -> diags := ds :: !diags
+    (fun (file, source) ->
+      match Engine.parse_source ~file source with
+      | Ok structure ->
+        parsed := (file, structure) :: !parsed;
+        diags := Engine.check_structure ~file structure :: !diags
       | Error msg -> parse_errors := (file, msg) :: !parse_errors)
-    files;
-  let diagnostics = List.sort Diagnostic.compare (List.concat !diags) in
+    sources;
+  let index = Index.build (List.rev !parsed) in
+  let effect_diags, state = Effects.analyze ~index ~allow in
+  let diagnostics =
+    List.sort Diagnostic.compare (List.concat (effect_diags :: !diags))
+  in
   List.iter (fun d -> Allowlist.suppress allow d) diagnostics;
   {
-    files_scanned = List.length files;
+    files_scanned = List.length sources;
     diagnostics;
     parse_errors = List.rev !parse_errors;
     allow_errors;
     stale_allows = Allowlist.stale allow;
+    strict_allow;
+    state;
   }
 
-let run ~root ~dirs ~allow_file () =
+let scan ?allow ?allow_errors ?strict_allow ~root ~dirs () =
+  let files = List.concat_map (fun d -> list_ml_files ~root d) dirs in
+  let sources = List.map (fun file -> (file, Engine.read_file ~root ~file)) files in
+  scan_sources ?allow ?allow_errors ?strict_allow ~sources ()
+
+let run ?strict_allow ~root ~dirs ~allow_file () =
   let allow, allow_errors = Allowlist.load allow_file in
-  scan ~allow ~allow_errors ~root ~dirs ()
+  scan ~allow ~allow_errors ?strict_allow ~root ~dirs ()
 
 (* --- reporting ------------------------------------------------------ *)
 
@@ -78,8 +106,10 @@ let print_human ?(verbose = false) fmt r =
   List.iter (fun m -> Format.fprintf fmt "%s@." m) r.allow_errors;
   List.iter
     (fun e ->
-      Format.fprintf fmt "lint.allow:%d: stale entry (matched nothing): %s@."
-        e.Allowlist.source_line (Allowlist.entry_to_string e))
+      Format.fprintf fmt "lint.allow:%d: stale entry (matched nothing%s): %s@."
+        e.Allowlist.source_line
+        (if r.strict_allow then "; fails under --strict-allow" else "")
+        (Allowlist.entry_to_string e))
     r.stale_allows;
   let total, suppressed, open_ = summary_counts r in
   Format.fprintf fmt "atum-lint: %d file%s, %d finding%s (%d allowlisted, %d open)@."
@@ -97,6 +127,7 @@ let to_json r =
       ("schema_version", Int schema_version);
       ("cmd", String "lint");
       ("files_scanned", Int r.files_scanned);
+      ("strict_allow", Bool r.strict_allow);
       ( "rules",
         List
           (List.map
@@ -123,4 +154,12 @@ let to_json r =
 let write_json ~dir r =
   let path = Filename.concat dir "ATUM_lint.json" in
   Atum_util.Json.write_file ~path (to_json r);
+  path
+
+(* The state inventory is its own artifact: it is the work-list for
+   the multicore migration and is consumed by tooling, so it must stay
+   byte-identical across runs on an unchanged tree. *)
+let write_state_json ~dir r =
+  let path = Filename.concat dir "ATUM_lint_state.json" in
+  Atum_util.Json.write_file ~path (Effects.state_to_json r.state);
   path

@@ -212,11 +212,11 @@ let check_structure ~file structure =
   it.Ast_iterator.structure it structure;
   List.sort Diagnostic.compare ctx.diags
 
-let check_source ~file source =
+let parse_source ~file source =
   let lexbuf = Lexing.from_string source in
   Location.init lexbuf file;
   match Parse.implementation lexbuf with
-  | structure -> Ok (check_structure ~file structure)
+  | structure -> Ok structure
   | exception exn ->
     let msg =
       match Location.error_of_exn exn with
@@ -225,10 +225,15 @@ let check_source ~file source =
     in
     Error (String.trim msg)
 
-let check_file ~root ~file =
+let check_source ~file source =
+  Result.map (check_structure ~file) (parse_source ~file source)
+
+let read_file ~root ~file =
   let path = Filename.concat root file in
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let source = really_input_string ic len in
   close_in ic;
-  check_source ~file source
+  source
+
+let parse_file ~root ~file = parse_source ~file (read_file ~root ~file)

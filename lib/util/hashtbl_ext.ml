@@ -11,18 +11,21 @@
    [sorts_performed] counts every materialize-and-sort these helpers
    execute.  Hot paths that are supposed to run sort-free (telemetry
    gauge sampling, gossip fan-out, incremental sweeps) are pinned by
-   regression tests that snapshot the counter around the operation. *)
+   regression tests that snapshot the counter around the operation.
+   The counter is an [Atomic.t]: it is the one module-level global the
+   library keeps (atum-lint S001 polices the rest), and the sort-bound
+   tests must stay meaningful when sweeps fan out across domains. *)
 
-let sorts = ref 0
+let sorts = Atomic.make 0
 
-let sorts_performed () = !sorts
+let sorts_performed () = Atomic.get sorts
 
 let sorted_bindings ~cmp tbl =
-  incr sorts;
+  Atomic.incr sorts;
   List.sort (fun (a, _) (b, _) -> cmp a b) (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
 let sorted_keys ~cmp tbl =
-  incr sorts;
+  Atomic.incr sorts;
   List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
 
 let sorted_iter ~cmp f tbl =

@@ -1,0 +1,4 @@
+(* Caller of the sanctioned opt-in clock wrapper.  Unsuppressed, this
+   is E001; with the wrapper's D001 allowlisted it must stay silent. *)
+
+let stamp () = Atum_sim.Opt_clock.now ()

@@ -1,0 +1,8 @@
+(* Fixture for the sanctioned-wrapper story: a Prof_clock-style opt-in
+   wall clock.  The D001 below sits at a pinned line; when the test
+   allowlists it, the suppression must also silence E001 in every
+   caller — an allowlisted source sanctions its wrappers. *)
+
+let enabled = false
+
+let now () = if enabled then Unix.gettimeofday () else 0.0

@@ -1,0 +1,16 @@
+(* Positive fixture for the domain-safety rules: nothing here may
+   produce a finding.  Atomics are exempt (inventoried, not flagged)
+   and function-local mutable state is per-call by construction. *)
+
+let total = Atomic.make 0
+
+let fresh_counter () = ref 0
+
+let count xs =
+  let c = ref 0 in
+  List.iter (fun _ -> incr c) xs;
+  !c
+
+let tick () = Atomic.incr total
+
+let start engine = Engine.every engine ~period:1.0 (fun () -> tick (); true)

@@ -1,10 +1,18 @@
 (* atum-lint acceptance tests.
 
    The fixtures under lint_fixtures/ mirror the repo layout (lib/smr/,
-   lib/apps/) so path-scoped rules apply exactly as they do on the real
-   tree.  The bad fixtures must trip every rule — this is the negative
-   test demonstrating that the dune lint gate would fail a tree that
-   reintroduces a violation — and the good fixture must stay silent. *)
+   lib/sim/, lib/apps/) so path-scoped rules apply exactly as they do
+   on the real tree.  The bad fixtures must trip every rule — this is
+   the negative test demonstrating that the dune lint gate would fail
+   a tree that reintroduces a violation — and the good fixtures must
+   stay silent.
+
+   The v2 two-pass analysis gets the same treatment: entropy wrapped
+   two calls deep across a module boundary must be flagged (E001), an
+   allowlisted Prof_clock-style source must sanction its callers,
+   S001/S002 must fire on the stateful fixture and stay silent on the
+   atomic/local one, and ATUM_lint_state.json must round-trip
+   deterministically. *)
 
 module Driver = Atum_linter.Driver
 module Engine = Atum_linter.Engine
@@ -16,15 +24,21 @@ module Diagnostic = Atum_linter.Diagnostic
    [dune runtest] and [dune exec]. *)
 let fixture_root = Filename.concat (Filename.dirname Sys.executable_name) "lint_fixtures"
 
-let scan ?allow () =
-  Driver.scan ?allow ~root:fixture_root ~dirs:[ "lib" ] ()
+let scan ?allow ?strict_allow () =
+  Driver.scan ?allow ?strict_allow ~root:fixture_root ~dirs:[ "lib" ] ()
 
-let rules_hit file r =
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.equal (String.sub s i n) sub || go (i + 1)) in
+  n = 0 || go 0
+
+let rules_hit ?(only_open = false) file r =
+  let pool = if only_open then Driver.unsuppressed r else r.Driver.diagnostics in
   List.sort_uniq String.compare
     (List.filter_map
        (fun d ->
          if String.equal d.Diagnostic.file file then Some d.Diagnostic.rule else None)
-       r.Driver.diagnostics)
+       pool)
 
 let test_bad_fixtures_trip_every_rule () =
   let r = scan () in
@@ -43,12 +57,122 @@ let test_bad_fixtures_trip_every_rule () =
 let test_good_fixture_is_clean () =
   let r = scan () in
   Alcotest.(check (list string)) "sanctioned spellings produce nothing" []
-    (rules_hit "lib/apps/good_app.ml" r)
+    (rules_hit "lib/apps/good_app.ml" r);
+  Alcotest.(check (list string)) "atomic/local state produces nothing" []
+    (rules_hit "lib/sim/stateful_ok.ml" r)
+
+(* --- effect propagation (E001) --------------------------------------- *)
+
+let test_effect_propagation () =
+  let r = scan () in
+  Alcotest.(check (list string))
+    "direct source: D001 plus E001 on the one-deep wrapper"
+    [ "D001"; "E001" ]
+    (rules_hit "lib/sim/entropy_core.ml" r);
+  Alcotest.(check (list string))
+    "two-plus calls deep, cross-module: E001 only"
+    [ "E001" ]
+    (rules_hit "lib/apps/deep_entropy.ml" r);
+  let deep =
+    List.filter
+      (fun d -> String.equal d.Diagnostic.file "lib/apps/deep_entropy.ml")
+      r.Driver.diagnostics
+  in
+  Alcotest.(check int) "both deep wrappers flagged" 2 (List.length deep);
+  let chain_ok d =
+    (* The witness chain must run all the way back to the source. *)
+    contains ~sub:"Atum_sim.Entropy_core.raw_jitter" d.Diagnostic.message
+    && contains ~sub:"Random.float" d.Diagnostic.message
+  in
+  Alcotest.(check bool) "witness chain names source and spelling" true
+    (List.for_all chain_ok deep)
+
+let test_sanctioned_wrapper_silences_callers () =
+  (* Allowlisting the D001 source must also silence E001 in callers:
+     the sanctioned wrapper story of lib/sim/prof_clock.ml. *)
+  let allow, errs =
+    Allowlist.of_string
+      "D001:lib/sim/opt_clock.ml:8 # opt-in wall clock fixture, mirrors prof_clock"
+  in
+  Alcotest.(check (list string)) "allow parses" [] errs;
+  let r = scan ~allow () in
+  Alcotest.(check (list string)) "caller of sanctioned wrapper is silent" []
+    (rules_hit "lib/apps/uses_clock.ml" r);
+  Alcotest.(check (list string)) "wrapper's own D001 suppressed" []
+    (rules_hit ~only_open:true "lib/sim/opt_clock.ml" r);
+  (* Without the allow entry both fire. *)
+  let r0 = scan () in
+  Alcotest.(check (list string)) "unsanctioned: E001 on the caller" [ "E001" ]
+    (rules_hit "lib/apps/uses_clock.ml" r0);
+  Alcotest.(check (list string)) "unsanctioned: D001 at the source" [ "D001" ]
+    (rules_hit "lib/sim/opt_clock.ml" r0)
+
+(* --- domain safety (S001/S002) --------------------------------------- *)
+
+let test_domain_safety_rules () =
+  let r = scan () in
+  Alcotest.(check (list string))
+    "stateful fixture: S001 globals and an S002 task-reachable writer"
+    [ "S001"; "S002" ]
+    (rules_hit "lib/sim/stateful.ml" r);
+  let stateful =
+    List.filter
+      (fun d -> String.equal d.Diagnostic.file "lib/sim/stateful.ml")
+      r.Driver.diagnostics
+  in
+  let count rule =
+    List.length (List.filter (fun d -> String.equal d.Diagnostic.rule rule) stateful)
+  in
+  Alcotest.(check int) "two S001 globals (ref + table)" 2 (count "S001");
+  (* [bump] is task-reachable and writes [hits]; [record] writes
+     [cache] but is never scheduled, so exactly one S002. *)
+  Alcotest.(check int) "one S002 writer" 1 (count "S002")
+
+let test_s001_catches_prefix_hashtbl_ext () =
+  (* Regression for the seeded real-tree hit: the pre-fix
+     Atum_util.Hashtbl_ext kept a plain [ref] counter bumped by every
+     sorted traversal; sweeps call those helpers from engine tasks.
+     S001 must flag the global and S002 its task-reachable writer. *)
+  let sources =
+    [
+      ( "lib/util/hashtbl_ext.ml",
+        "let sorts = ref 0\n\
+         let sorts_performed () = !sorts\n\
+         let sorted_keys ~cmp tbl =\n\
+        \  incr sorts;\n\
+        \  List.sort cmp (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])\n" );
+      ( "lib/core/monitor.ml",
+        "let sweep tbl = Atum_util.Hashtbl_ext.sorted_keys ~cmp:Int.compare tbl\n\
+         let attach e tbl = Engine.every e ~period:1.0 (fun () -> ignore (sweep tbl); true)\n" );
+    ]
+  in
+  let r = Driver.scan_sources ~sources () in
+  Alcotest.(check (list string)) "no parse errors" [] (List.map fst r.Driver.parse_errors);
+  Alcotest.(check (list string))
+    "pre-fix tree: S001 on the counter, S002 on the task-reachable writer"
+    [ "S001"; "S002" ]
+    (rules_hit "lib/util/hashtbl_ext.ml" r);
+  let s001 =
+    List.find
+      (fun d -> String.equal d.Diagnostic.rule "S001")
+      r.Driver.diagnostics
+  in
+  Alcotest.(check int) "flagged at the counter's definition line" 1 s001.Diagnostic.line
+
+(* --- allowlist -------------------------------------------------------- *)
 
 let test_allowlist_suppresses () =
   (* Suppressing every finding turns the gate green; the unused entry
-     is reported as stale and the malformed one as an error. *)
+     is reported as stale and the malformed one as an error.  E001
+     findings disappear outright once their D001 source is suppressed
+     (the sanctioned-wrapper rule), so their entries go stale too. *)
   let base = scan () in
+  let e001s =
+    List.length
+      (List.filter
+         (fun d -> String.equal d.Diagnostic.rule "E001")
+         base.Driver.diagnostics)
+  in
   let entries =
     List.map
       (fun d ->
@@ -68,7 +192,10 @@ let test_allowlist_suppresses () =
   Alcotest.(check int) "one malformed line" 1 (List.length allow_errors);
   let r = Driver.scan ~allow ~root:fixture_root ~dirs:[ "lib" ] () in
   Alcotest.(check int) "all findings suppressed" 0 (List.length (Driver.unsuppressed r));
-  Alcotest.(check int) "one stale entry" 1 (List.length r.Driver.stale_allows);
+  Alcotest.(check int)
+    "stale: the deliberate entry plus every vanished E001"
+    (1 + e001s)
+    (List.length r.Driver.stale_allows);
   (* Stale entries and suppressed findings alone don't fail the gate;
      malformed allowlist lines do. *)
   Alcotest.(check bool) "gate red on malformed allow line" false
@@ -89,10 +216,47 @@ let test_wildcard_line () =
             else None)
           (Driver.unsuppressed r)))
 
+let test_duplicate_entries_are_errors () =
+  let allow_text =
+    "D003:lib/smr/bad_protocol.ml:8 # first\n\
+     D002:lib/apps/bad_app.ml:15 # fine\n\
+     D003:lib/smr/bad_protocol.ml:8 # duplicate of the first\n"
+  in
+  let entries, errs = Allowlist.of_string allow_text in
+  Alcotest.(check int) "all three entries parse" 3 (List.length entries);
+  Alcotest.(check int) "one duplicate error" 1 (List.length errs);
+  Alcotest.(check bool) "error names both lines" true
+    (match errs with
+    | [ e ] -> contains ~sub:"lint.allow:3" e && contains ~sub:"first at line 1" e
+    | _ -> false);
+  let r = Driver.scan ~allow:entries ~allow_errors:errs ~root:fixture_root ~dirs:[ "lib" ] () in
+  Alcotest.(check bool) "duplicates fail the gate" false (Driver.ok r)
+
+let test_strict_allow_promotes_stale () =
+  let allow, errs =
+    Allowlist.of_string "D001:lib/apps/no_such_file.ml:3 # stale on purpose"
+  in
+  Alcotest.(check (list string)) "parses" [] errs;
+  (* Suppress nothing real: every fixture finding stays open, so use a
+     tree slice with no findings to isolate the stale behaviour. *)
+  let sources = [ ("lib/apps/clean.ml", "let id x = x\n") ] in
+  let lenient = Driver.scan_sources ~allow ~sources () in
+  Alcotest.(check int) "entry is stale" 1 (List.length lenient.Driver.stale_allows);
+  Alcotest.(check bool) "lenient: stale alone keeps the gate green" true
+    (Driver.ok lenient);
+  let strict = Driver.scan_sources ~allow ~strict_allow:true ~sources () in
+  Alcotest.(check bool) "strict: stale fails the gate" false (Driver.ok strict)
+
+(* --- artifacts -------------------------------------------------------- *)
+
+let tmp_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  dir
+
 let test_json_artifact () =
   let r = scan () in
-  let dir = Filename.concat (Filename.get_temp_dir_name ()) "atum_lint_json_test" in
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let dir = tmp_dir "atum_lint_json_test" in
   let path = Driver.write_json ~dir r in
   Alcotest.(check string) "artifact name" (Filename.concat dir "ATUM_lint.json") path;
   match Atum_util.Json.of_string (In_channel.with_open_bin path In_channel.input_all) with
@@ -102,6 +266,58 @@ let test_json_artifact () =
     Alcotest.(check bool) "has violations" true (List.mem_assoc "violations" fields);
     Alcotest.(check bool) "has rules" true (List.mem_assoc "rules" fields)
   | Ok _ -> Alcotest.fail "ATUM_lint.json is not an object"
+
+let test_state_inventory_artifact () =
+  let r = scan () in
+  let dir = tmp_dir "atum_lint_state_test" in
+  let path = Driver.write_state_json ~dir r in
+  Alcotest.(check string) "artifact name"
+    (Filename.concat dir "ATUM_lint_state.json")
+    path;
+  let read () = In_channel.with_open_bin path In_channel.input_all in
+  let first = read () in
+  (* Byte-identical on re-emission: the inventory is a machine-read
+     work-list and must not depend on hash order. *)
+  let r2 = scan () in
+  ignore (Driver.write_state_json ~dir r2);
+  Alcotest.(check string) "deterministic across scans" first (read ());
+  match Atum_util.Json.of_string first with
+  | Error e -> Alcotest.failf "ATUM_lint_state.json is not valid JSON: %s" e
+  | Ok (Atum_util.Json.Obj fields) -> (
+    Alcotest.(check bool) "has schema_version" true (List.mem_assoc "schema_version" fields);
+    Alcotest.(check bool) "has task_roots" true (List.mem_assoc "task_roots" fields);
+    match List.assoc "globals" fields with
+    | Atum_util.Json.List globals ->
+      let find_global name =
+        List.find_opt
+          (fun g ->
+            match g with
+            | Atum_util.Json.Obj f -> (
+              match List.assoc_opt "name" f with
+              | Some (Atum_util.Json.String n) -> String.equal n name
+              | _ -> false)
+            | _ -> false)
+          globals
+      in
+      let field g key =
+        match g with Atum_util.Json.Obj f -> List.assoc_opt key f | _ -> None
+      in
+      (match find_global "Atum_sim.Stateful.hits" with
+      | None -> Alcotest.fail "inventory misses Stateful.hits"
+      | Some g ->
+        Alcotest.(check bool) "hits flagged" true
+          (field g "flagged" = Some (Atum_util.Json.Bool true));
+        Alcotest.(check bool) "hits task-reachable" true
+          (field g "task_reachable" = Some (Atum_util.Json.Bool true)));
+      (match find_global "Atum_sim.Stateful_ok.total" with
+      | None -> Alcotest.fail "inventory misses the atomic global"
+      | Some g ->
+        Alcotest.(check bool) "atomic exempt" true
+          (field g "flagged" = Some (Atum_util.Json.Bool false));
+        Alcotest.(check bool) "atomic kind recorded" true
+          (field g "kind" = Some (Atum_util.Json.String "atomic")))
+    | _ -> Alcotest.fail "globals is not a list")
+  | Ok _ -> Alcotest.fail "ATUM_lint_state.json is not an object"
 
 let test_sort_launders_traversal () =
   (* D002's core discrimination, straight from source strings: a
@@ -127,13 +343,36 @@ let () =
         [
           Alcotest.test_case "bad fixtures trip every rule" `Quick
             test_bad_fixtures_trip_every_rule;
-          Alcotest.test_case "good fixture is clean" `Quick test_good_fixture_is_clean;
+          Alcotest.test_case "good fixtures are clean" `Quick test_good_fixture_is_clean;
           Alcotest.test_case "sort launders traversal" `Quick test_sort_launders_traversal;
+        ] );
+      ( "effects",
+        [
+          Alcotest.test_case "entropy two calls deep is flagged" `Quick
+            test_effect_propagation;
+          Alcotest.test_case "sanctioned wrapper silences callers" `Quick
+            test_sanctioned_wrapper_silences_callers;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "S001/S002 on the stateful fixture" `Quick
+            test_domain_safety_rules;
+          Alcotest.test_case "pre-fix hashtbl_ext counter is caught" `Quick
+            test_s001_catches_prefix_hashtbl_ext;
         ] );
       ( "allowlist",
         [
           Alcotest.test_case "suppresses with reasons" `Quick test_allowlist_suppresses;
           Alcotest.test_case "wildcard line" `Quick test_wildcard_line;
+          Alcotest.test_case "duplicate entries are errors" `Quick
+            test_duplicate_entries_are_errors;
+          Alcotest.test_case "strict-allow promotes stale to failure" `Quick
+            test_strict_allow_promotes_stale;
         ] );
-      ("json", [ Alcotest.test_case "artifact shape" `Quick test_json_artifact ]);
+      ( "json",
+        [
+          Alcotest.test_case "artifact shape" `Quick test_json_artifact;
+          Alcotest.test_case "state inventory round-trips deterministically" `Quick
+            test_state_inventory_artifact;
+        ] );
     ]
