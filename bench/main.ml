@@ -4,7 +4,10 @@
    paper-vs-measured comparison.
 
    Usage:   dune exec bench/main.exe [-- fig4 fig6 ... micro] [--json] [--out-dir DIR]
+            [--trace-cap EVENTS]
    Scale:   ATUM_BENCH_SCALE=quick|default|full  (default: default)
+   Trace:   --trace-cap / ATUM_TRACE_CAP size the trace ring; default
+            auto-sizes by tier (Trace.capacity_for_scale)
 
    With [--json] (or ATUM_BENCH_JSON=DIR) every figure also writes a
    machine-readable BENCH_<fig>.json artifact into the out-dir
@@ -29,6 +32,21 @@ let scale_name =
   match scale with `Quick -> "quick" | `Default -> "default" | `Full -> "full"
 
 let json_dir = ref (Sys.getenv_opt "ATUM_BENCH_JSON")
+
+(* Trace ring sizing for traced benchmarks: --trace-cap flag, else
+   ATUM_TRACE_CAP, else auto-size by tier so 100k/1M runs don't wrap
+   the ring within their first simulated seconds. *)
+let trace_cap_flag = ref 0
+
+let trace_cap_for ~n =
+  if !trace_cap_flag > 0 then !trace_cap_flag
+  else
+    match Sys.getenv_opt "ATUM_TRACE_CAP" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some cap when cap > 0 -> cap
+      | _ -> Atum_sim.Trace.capacity_for_scale ~nodes:n)
+    | None -> Atum_sim.Trace.capacity_for_scale ~nodes:n
 
 (* Provenance for BENCH_*.json build_info; basename so artifacts don't
    depend on where the binary was invoked from. *)
@@ -611,7 +629,7 @@ let scale_bench () =
   let run_one ?(bcasts = 1) ~n ~legacy () =
     Gc.compact ();
     let params = Params.for_system_size ~seed n in
-    let sys = System.create params in
+    let sys = System.create ~trace_capacity:(trace_cap_for ~n) params in
     if legacy then begin
       System.set_fast_paths sys false;
       Network.set_batching (System.network sys) false;
@@ -788,6 +806,17 @@ let () =
       parse acc rest
     | "--out-dir" :: [] ->
       prerr_endline "--out-dir requires a directory argument";
+      exit 2
+    | "--trace-cap" :: cap :: rest -> (
+      match int_of_string_opt cap with
+      | Some c when c > 0 ->
+        trace_cap_flag := c;
+        parse acc rest
+      | _ ->
+        prerr_endline "--trace-cap requires a positive integer";
+        exit 2)
+    | "--trace-cap" :: [] ->
+      prerr_endline "--trace-cap requires a positive integer";
       exit 2
     | arg :: rest -> parse (arg :: acc) rest
   in

@@ -8,6 +8,8 @@
      simulate   free-run a deployment with churn and broadcasts
      chaos      run the fault-injection + recovery-verification experiment
      analyze    reconstruct causality from an ATUM_*.json artifact
+     export-trace  convert a traced artifact to Chrome trace_event JSON (Perfetto)
+     compare    diff two artifacts metric by metric, exit non-zero on regression
      report     render an ATUM_timeseries.json or ATUM_resilience.json artifact
      lint       run the determinism & protocol-safety linter (LINT.md) *)
 
@@ -52,6 +54,49 @@ let out_dir_arg =
     & info [ "out-dir" ] ~docv:"DIR"
         ~doc:"Directory for --json artifacts; created if missing.")
 
+let trace_cap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace-cap" ] ~docv:"EVENTS"
+        ~doc:
+          "Trace ring capacity in events.  0 (the default) auto-sizes by system \
+           scale (65536 up to 10k nodes, then 131072/524288/1048576 at the \
+           10k/100k/1M tiers); the ATUM_TRACE_CAP environment variable overrides \
+           the auto-sizing but not an explicit flag.")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "trace-sample" ] ~docv:"RATE"
+        ~doc:
+          "Fraction of hot trace kinds (bcast.hop, net.*) to record, in [0,1].  \
+           Sampling is deterministic by correlation id, so an admitted broadcast \
+           keeps its whole hop lineage; rare kinds (sagas, violations, faults) \
+           always record.")
+
+let dump_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-on-violation" ]
+        ~doc:
+          "Arm the flight recorder: the first monitor violation (or an unhealed \
+           fault span in chaos) dumps ATUM_postmortem.json — last trace events, \
+           telemetry rows, engine profile, metrics and the trigger — into the \
+           --out-dir.")
+
+(* Precedence: explicit --trace-cap flag, then ATUM_TRACE_CAP, then
+   auto-sizing by scale.  The env override exists so wrapper scripts
+   (CI, bench sweeps) can resize rings without threading a flag. *)
+let resolve_trace_cap ~flag ~n =
+  if flag > 0 then flag
+  else
+    match Sys.getenv_opt "ATUM_TRACE_CAP" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some cap when cap > 0 -> cap
+      | _ -> Atum_sim.Trace.capacity_for_scale ~nodes:n)
+    | None -> Atum_sim.Trace.capacity_for_scale ~nodes:n
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);
@@ -85,6 +130,9 @@ let write_json_artifact ~dir ~cmd ~seed atum summary =
       @ [
           ("metrics", Atum_sim.Metrics.to_json (Atum.metrics atum));
           ("trace", Atum_sim.Trace.to_json (Atum.trace atum));
+          (* The per-label engine profile rides along so export-trace
+             can build its timeline from this one file. *)
+          ("profile", Atum_sim.Engine.profile_json (Atum.engine atum));
         ])
   in
   let path = Filename.concat dir (Printf.sprintf "ATUM_%s.json" cmd) in
@@ -115,9 +163,20 @@ let protocol_arg =
    get the online invariant monitor: its monitor.violation.* counters
    land in the metrics snapshot the analyzer reads.  Telemetry is on
    by default in Builder.grow, so every run has gauge series. *)
-let build ?(trace = false) ~protocol ~n ~seed ~byzantine () =
+let build ?(trace = false) ?trace_cap ?sample_rate ?flight_dir ~protocol ~n ~seed
+    ~byzantine () =
   let params = { (Params.for_system_size ~protocol n) with Params.seed } in
-  W.Builder.grow ~params ~trace ~monitor:trace ~byzantine ~n:(n + byzantine) ~seed ()
+  let trace_capacity = resolve_trace_cap ~flag:(Option.value ~default:0 trace_cap) ~n in
+  W.Builder.grow ~params ~trace ~trace_capacity ?sample_rate ~monitor:trace ?flight_dir
+    ~byzantine ~n:(n + byzantine) ~seed ()
+
+let report_postmortem (built : W.Builder.built) =
+  match built.W.Builder.flight with
+  | Some fl -> (
+    match Atum_sim.Flight.last_path fl with
+    | Some path -> Printf.printf "postmortem       : wrote %s\n" path
+    | None -> ())
+  | None -> ()
 
 let report_build built =
   let atum = built.W.Builder.atum in
@@ -134,8 +193,12 @@ let report_build built =
   Printf.printf "simulated time   : %.0f s\n" (Atum.now atum)
 
 let grow_cmd =
-  let run protocol n seed json out_dir =
-    let built = build ~trace:json ~protocol ~n ~seed ~byzantine:0 () in
+  let run protocol n seed json out_dir trace_cap sample dump =
+    let built =
+      build ~trace:json ~trace_cap ~sample_rate:sample
+        ?flight_dir:(if dump then Some out_dir else None)
+        ~protocol ~n ~seed ~byzantine:0 ()
+    in
     report_build built;
     let atum = built.W.Builder.atum in
     let m = Atum.metrics atum in
@@ -152,11 +215,14 @@ let grow_cmd =
           ("messages_sent", Json.Int (Atum.messages_sent atum));
           ("bytes_sent", Json.Int (Atum.bytes_sent atum));
           ("sim_time_s", Json.Float (Atum.now atum));
-        ]
+        ];
+    report_postmortem built
   in
   Cmd.v
     (Cmd.info "grow" ~doc:"Grow a deployment and report overlay statistics.")
-    Term.(const run $ protocol_arg $ nodes_arg $ seed_arg $ json_arg $ out_dir_arg)
+    Term.(
+      const run $ protocol_arg $ nodes_arg $ seed_arg $ json_arg $ out_dir_arg
+      $ trace_cap_arg $ trace_sample_arg $ dump_arg)
 
 let broadcast_cmd =
   let messages_arg =
@@ -165,8 +231,12 @@ let broadcast_cmd =
   let byz_arg =
     Arg.(value & opt int 0 & info [ "byzantine" ] ~docv:"B" ~doc:"Byzantine nodes to add.")
   in
-  let run protocol n seed messages byzantine json out_dir =
-    let built = build ~trace:json ~protocol ~n ~seed ~byzantine () in
+  let run protocol n seed messages byzantine json out_dir trace_cap sample dump =
+    let built =
+      build ~trace:json ~trace_cap ~sample_rate:sample
+        ?flight_dir:(if dump then Some out_dir else None)
+        ~protocol ~n ~seed ~byzantine ()
+    in
     let r = W.Latency_exp.run built ~messages ~gap:2.0 ~seed in
     let p q = Atum_util.Stats.percentile r.W.Latency_exp.latencies q in
     Printf.printf "deliveries       : %d/%d (%.2f%%)\n" r.W.Latency_exp.observed_deliveries
@@ -181,13 +251,14 @@ let broadcast_cmd =
           ("byzantine", Json.Int byzantine);
           ("messages", Json.Int messages);
           ("latency", W.Report.latency_row ~label:"broadcast" r);
-        ]
+        ];
+    report_postmortem built
   in
   Cmd.v
     (Cmd.info "broadcast" ~doc:"Measure broadcast latency on a fresh deployment.")
     Term.(
       const run $ protocol_arg $ nodes_arg $ seed_arg $ messages_arg $ byz_arg $ json_arg
-      $ out_dir_arg)
+      $ out_dir_arg $ trace_cap_arg $ trace_sample_arg $ dump_arg)
 
 let churn_cmd =
   let rate_arg =
@@ -248,8 +319,12 @@ let simulate_cmd =
   let minutes_arg =
     Arg.(value & opt float 10.0 & info [ "minutes" ] ~docv:"MIN" ~doc:"Simulated minutes.")
   in
-  let run protocol n seed minutes json out_dir =
-    let built = build ~trace:json ~protocol ~n ~seed ~byzantine:0 () in
+  let run protocol n seed minutes json out_dir trace_cap sample dump =
+    let built =
+      build ~trace:json ~trace_cap ~sample_rate:sample
+        ?flight_dir:(if dump then Some out_dir else None)
+        ~protocol ~n ~seed ~byzantine:0 ()
+    in
     let atum = built.W.Builder.atum in
     Atum.start_heartbeats atum;
     let rng = Atum_util.Rng.create seed in
@@ -280,12 +355,14 @@ let simulate_cmd =
           ("size", Json.Int (Atum.size atum));
           ("vgroups", Json.Int (Atum.vgroup_count atum));
           ("sim_time_s", Json.Float (Atum.now atum));
-        ]
+        ];
+    report_postmortem built
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Free-run a deployment with churn and broadcasts.")
     Term.(
-      const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg $ out_dir_arg)
+      const run $ protocol_arg $ nodes_arg $ seed_arg $ minutes_arg $ json_arg $ out_dir_arg
+      $ trace_cap_arg $ trace_sample_arg $ dump_arg)
 
 let chaos_cmd =
   let attackers_arg =
@@ -301,14 +378,22 @@ let chaos_cmd =
       value & opt int 10
       & info [ "m"; "messages" ] ~docv:"M" ~doc:"Broadcasts per phase (before/after).")
   in
-  let run protocol n seed attackers messages json out_dir =
+  let run protocol n seed attackers messages json out_dir trace_cap sample dump =
     (* Resilience attaches its own monitor (the convergence checker
        polls its sweeps), so build without one; trace only with --json
        to keep the default run light. *)
     let params = { (Params.for_system_size ~protocol n) with Params.seed } in
-    let built = W.Builder.grow ~params ~trace:json ~monitor:false ~n ~seed () in
+    let built =
+      W.Builder.grow ~params ~trace:json
+        ~trace_capacity:(resolve_trace_cap ~flag:trace_cap ~n)
+        ~sample_rate:sample ~monitor:false ~n ~seed ()
+    in
     let atum = built.W.Builder.atum in
-    let r = W.Resilience.run ~messages_per_phase:messages ~attackers built ~seed () in
+    let r =
+      W.Resilience.run ~messages_per_phase:messages ~attackers
+        ?flight_dir:(if dump then Some out_dir else None)
+        built ~seed ()
+    in
     Printf.printf "system size      : %d (+%d attackers, target vgroup %d)\n"
       (Atum.size atum) r.W.Resilience.attackers r.target_vg;
     Printf.printf "fault schedule   : %d steps, %d applied\n" (List.length r.schedule)
@@ -331,6 +416,9 @@ let chaos_cmd =
     Printf.printf "consistency      : %s\n"
       (match r.consistency with Ok () -> "ok" | Error e -> e);
     Printf.printf "converged        : %b\n" r.converged;
+    (match r.W.Resilience.postmortem with
+    | Some path -> Printf.printf "postmortem       : wrote %s\n" path
+    | None -> ());
     if json then
       write_json_artifact ~dir:out_dir ~cmd:"resilience" ~seed atum
         [ ("resilience", W.Resilience.to_json r) ]
@@ -344,7 +432,7 @@ let chaos_cmd =
           after each heal.  With --json, writes ATUM_resilience.json.")
     Term.(
       const run $ protocol_arg $ nodes_arg $ seed_arg $ attackers_arg $ messages_arg
-      $ json_arg $ out_dir_arg)
+      $ json_arg $ out_dir_arg $ trace_cap_arg $ trace_sample_arg $ dump_arg)
 
 let analyze_cmd =
   let file_arg =
@@ -387,6 +475,114 @@ let analyze_cmd =
          "Reconstruct per-broadcast dissemination trees, saga durations and the \
           invariant-violation summary from an ATUM_*.json trace artifact.")
     Term.(const run $ file_arg $ json_arg $ out_dir_arg)
+
+let load_json_file file =
+  match
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | contents -> Json.of_string contents
+
+let export_trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A traced ATUM_*.json artifact (run with --json) or an \
+             ATUM_postmortem.json flight-recorder dump.")
+  in
+  let run file out_dir =
+    match Result.bind (load_json_file file) W.Perfetto.of_artifact with
+    | Error e ->
+      Printf.eprintf "export-trace: %s: %s\n" file e;
+      exit 1
+    | Ok doc ->
+      mkdir_p out_dir;
+      let path = W.Perfetto.write ~dir:out_dir ~source:file doc in
+      let events =
+        match Json.member "traceEvents" doc with
+        | Some (Json.List evs) -> List.length evs
+        | _ -> 0
+      in
+      Printf.printf "export-trace     : wrote %s (%d events)\n" path events;
+      Printf.printf
+        "open in https://ui.perfetto.dev or chrome://tracing (Load button)\n"
+  in
+  Cmd.v
+    (Cmd.info "export-trace"
+       ~doc:
+         "Convert a traced artifact into Chrome trace_event JSON loadable by \
+          Perfetto (ui.perfetto.dev) or chrome://tracing: saga spans, broadcast \
+          hop lineage, fault spans (unhealed ones tagged) and the per-label \
+          engine profile, on simulated-time microsecond timestamps.")
+    Term.(const run $ file_arg $ out_dir_arg)
+
+let compare_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline artifact (BENCH_*.json or ATUM_*.json).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate artifact to compare against the baseline.")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Relative change (percent) beyond which a directional metric counts as a \
+             regression or improvement.")
+  in
+  let run old_file new_file threshold json out_dir =
+    if threshold < 0.0 then begin
+      Printf.eprintf "compare: threshold must be non-negative\n";
+      exit 2
+    end;
+    match (load_json_file old_file, load_json_file new_file) with
+    | Error e, _ ->
+      Printf.eprintf "compare: %s: %s\n" old_file e;
+      exit 2
+    | _, Error e ->
+      Printf.eprintf "compare: %s: %s\n" new_file e;
+      exit 2
+    | Ok old_json, Ok new_json ->
+      let r = W.Compare.run ~threshold:(threshold /. 100.0) ~old_json ~new_json () in
+      Format.printf "@[<v>%a@]@." W.Compare.pp r;
+      if json then begin
+        mkdir_p out_dir;
+        let path = Filename.concat out_dir "ATUM_compare.json" in
+        Json.write_file ~path
+          (Json.Obj
+             [
+               ("schema_version", Json.Int W.Report.schema_version);
+               ("cmd", Json.String "compare");
+               ("old", Json.String old_file);
+               ("new", Json.String new_file);
+               ("compare", W.Compare.to_json r);
+             ]);
+        Printf.printf "json             : wrote %s\n" path
+      end;
+      if r.W.Compare.regressed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Diff two JSON artifacts metric by metric (throughputs higher-better, \
+          latencies and footprints lower-better, wall-clock informational) and exit \
+          non-zero if anything regressed past the threshold or a baseline metric \
+          disappeared.  The CI bench-baseline gate runs this against \
+          bench/baselines/.")
+    Term.(const run $ old_arg $ new_arg $ threshold_arg $ json_arg $ out_dir_arg)
 
 let report_cmd =
   let file_arg =
@@ -511,5 +707,5 @@ let () =
        (Cmd.group info
           [
             grow_cmd; broadcast_cmd; churn_cmd; guideline_cmd; simulate_cmd; chaos_cmd;
-            analyze_cmd; report_cmd; lint_cmd; dht_cmd;
+            analyze_cmd; export_trace_cmd; compare_cmd; report_cmd; lint_cmd; dht_cmd;
           ]))

@@ -2,7 +2,8 @@ type t = System.t
 
 type node_id = int
 
-let create ?(params = Params.default) ?net_config () = System.create ?net_config params
+let create ?(params = Params.default) ?net_config ?trace_capacity () =
+  System.create ?net_config ?trace_capacity params
 
 let bootstrap t = System.bootstrap t ()
 

@@ -15,9 +15,14 @@ type t
 type node_id = int
 
 val create :
-  ?params:Params.t -> ?net_config:Atum_sim.Network.config -> unit -> t
+  ?params:Params.t ->
+  ?net_config:Atum_sim.Network.config ->
+  ?trace_capacity:int ->
+  unit ->
+  t
 (** A fresh, empty deployment.  Defaults to {!Params.default} (Sync)
-    with the matching network model. *)
+    with the matching network model.  [trace_capacity] sizes the trace
+    ring (default {!Atum_sim.Trace.default_capacity}). *)
 
 val bootstrap : t -> node_id
 (** §3.3.1: create the instance — a single vgroup containing a single

@@ -40,6 +40,7 @@ type t = {
   mutable cursor : int; (* position in the system's dirty log *)
   retained : (int, unit) Hashtbl.t; (* vgroups violating at last check *)
   mutable active : bool;
+  flight : Atum_sim.Flight.t option; (* postmortem recorder to trip *)
 }
 
 let violations t =
@@ -58,6 +59,11 @@ let violate t kind ?node ?vgroup ?bid detail =
   let trace = System.trace t.sys in
   if Trace.enabled trace then
     Trace.emit trace ~time:(System.now t.sys) ~kind:name ?node ?vgroup ?bid ();
+  (* Trip the flight recorder before a fail-fast raise can unwind, so
+     the postmortem captures state at the moment of the violation. *)
+  (match t.flight with
+  | Some fl -> Atum_sim.Flight.trip fl ~reason:name ~detail ?node ?vgroup ?bid ()
+  | None -> ());
   if t.cfg.fail_fast then raise (Violation (kind ^ ": " ^ detail))
 
 (* Size envelope, Byzantine minority, and no-traffic-to-retired for one
@@ -185,7 +191,7 @@ let detach t =
     System.set_audit t.sys None
   end
 
-let attach ?config sys =
+let attach ?config ?flight sys =
   let cfg =
     match config with Some c -> c | None -> default_config (System.params sys)
   in
@@ -199,6 +205,7 @@ let attach ?config sys =
       cursor = 0;
       retained = Hashtbl.create 32;
       active = true;
+      flight;
     }
   in
   System.set_audit sys (Some (fun a -> if t.active then on_audit t a));

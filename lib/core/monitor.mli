@@ -39,11 +39,13 @@ exception Violation of string
 
 type t
 
-val attach : ?config:config -> System.t -> t
+val attach : ?config:config -> ?flight:Atum_sim.Flight.t -> System.t -> t
 (** Subscribe to the system's audit hook (displacing any previous
     auditor) and schedule the periodic sweep.  The monitor only reads
     simulation state, so attaching it never changes the behaviour of a
-    seeded run. *)
+    seeded run.  When [flight] is given, the first violation trips the
+    flight recorder (before any fail-fast raise unwinds), so the
+    postmortem captures the state at the moment of failure. *)
 
 val sweep : t -> int
 (** Check every vgroup now (the ground-truth full scan); returns the

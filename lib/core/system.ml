@@ -201,13 +201,13 @@ let flood_forward ~bid:_ ~from_vg:_ ~cycle:_ ~neighbor:_ = true
 let random_forward ~bid ~from_vg ~cycle ~neighbor =
   cycle = 0 || Hashtbl.hash (bid, from_vg, cycle, neighbor) land 1 = 0
 
-let create ?(net_config : Network.config option) (params : Params.t) =
+let create ?(net_config : Network.config option) ?trace_capacity (params : Params.t) =
   (match Params.validate params with
   | Ok () -> ()
   | Error e -> invalid_arg ("System.create: " ^ e));
   let engine = Engine.create () in
   let metrics = Metrics.create () in
-  let trace = Trace.create () in
+  let trace = Trace.create ?capacity:trace_capacity () in
   Engine.set_trace engine trace;
   let net_config =
     match net_config with

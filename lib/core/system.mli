@@ -99,7 +99,10 @@ type wire
 
 (* --- construction and simulation control ---------------------------- *)
 
-val create : ?net_config:Atum_sim.Network.config -> Params.t -> t
+val create : ?net_config:Atum_sim.Network.config -> ?trace_capacity:int -> Params.t -> t
+(** [trace_capacity] sizes the trace ring (default
+    {!Atum_sim.Trace.default_capacity}; see
+    {!Atum_sim.Trace.capacity_for_scale} for large runs). *)
 
 val engine : t -> Atum_sim.Engine.t
 val network : t -> wire Atum_sim.Network.t

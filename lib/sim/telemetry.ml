@@ -11,7 +11,7 @@ type t = {
   engine : Engine.t;
   period : float;
   cap : int;
-  mutable gauges : gauge list; (* reverse registration order until [start] *)
+  mutable gauges : gauge list; (* sorted by name; late registrations append *)
   mutable started : bool;
   mutable running : bool;
   (* Ring storage, allocated at [start]: one shared time axis plus one
@@ -44,7 +44,15 @@ let capacity t = t.cap
 let register t name read =
   if List.exists (fun g -> String.equal g.g_name name) t.gauges then
     invalid_arg (Printf.sprintf "Telemetry.register: duplicate gauge %S" name);
-  if not t.started then t.gauges <- { g_name = name; g_read = read } :: t.gauges
+  if not t.started then
+    (* Keep the pre-start list sorted by name at all times, so
+       [gauge_names], [to_json], [to_csv] and [series] agree on one
+       order whether or not [start] has run yet. *)
+    t.gauges <-
+      List.merge
+        (fun a b -> String.compare a.g_name b.g_name)
+        [ { g_name = name; g_read = read } ]
+        t.gauges
   else begin
     (* Late registration (e.g. a fault schedule installed mid-run):
        append after the sorted start-time gauges and give the new gauge
@@ -71,8 +79,7 @@ let start t =
   if not t.started then begin
     t.started <- true;
     t.running <- true;
-    t.gauges <-
-      List.sort (fun a b -> String.compare a.g_name b.g_name) t.gauges;
+    (* [register] keeps pre-start gauges sorted; nothing to reorder. *)
     t.times <- Array.make t.cap 0.0;
     t.values <- Array.init (List.length t.gauges) (fun _ -> Array.make t.cap 0.0);
     Engine.every ~label:"telemetry.sample" t.engine ~period:t.period (fun () ->
@@ -82,9 +89,7 @@ let start t =
 
 let stop t = t.running <- false
 
-let gauge_names t =
-  let names = List.map (fun g -> g.g_name) t.gauges in
-  if t.started then names else List.sort String.compare names
+let gauge_names t = List.map (fun g -> g.g_name) t.gauges
 
 let samples_total t = t.total
 let samples_kept t = min t.total t.cap

@@ -48,7 +48,9 @@ val stop : t -> unit
     readable. *)
 
 val gauge_names : t -> string list
-(** Sorted; fixed at {!start}. *)
+(** The export order, before and after {!start} alike: gauges
+    registered pre-start sorted by name, then any late registrations
+    in arrival order. *)
 
 val samples_total : t -> int
 (** Samples ever taken (>= kept; the ring overwrites the oldest). *)

@@ -58,6 +58,10 @@ type result = {
   events_seen : int;
   dropped_total : int;
   dropped_by_kind : (string * int) list;
+  sample_rate : float;
+  sampled_out_total : int;
+  sampled_out_by_kind : (string * int) list;
+  trace_truncated : bool;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -200,7 +204,8 @@ let feed acc (e : Trace.event) =
       | None -> (* begin dropped by ring wrap *) ())
     | _ -> ())
 
-let finish acc ~violations ~dropped_total ~dropped_by_kind =
+let finish acc ~violations ~dropped_total ~dropped_by_kind ?(sample_rate = 1.0)
+    ?(sampled_out_total = 0) ?(sampled_out_by_kind = []) () =
   Hashtbl.iter
     (fun _ (name, _) ->
       let r =
@@ -330,6 +335,10 @@ let finish acc ~violations ~dropped_total ~dropped_by_kind =
     events_seen = acc.seen;
     dropped_total;
     dropped_by_kind;
+    sample_rate;
+    sampled_out_total;
+    sampled_out_by_kind;
+    trace_truncated = dropped_total > 0 || sampled_out_total > 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -350,6 +359,8 @@ let of_trace trace ~metrics =
   in
   finish acc ~violations ~dropped_total:(Trace.dropped trace)
     ~dropped_by_kind:(Trace.dropped_by_kind trace)
+    ~sample_rate:(Trace.sample_rate trace) ~sampled_out_total:(Trace.sampled_out trace)
+    ~sampled_out_by_kind:(Trace.sampled_out_by_kind trace) ()
 
 (* Artifact parsing: the [ATUM_*.json] layout written by atum_cli
    (schema 2): {..., metrics: {counters; series}, trace: {capacity;
@@ -403,15 +414,27 @@ let of_artifact json =
         | _ -> []
       in
       let dropped_total = max 0 (int_member "dropped" trace_json ~default:0) in
-      let dropped_by_kind =
-        match Json.member "dropped_by_kind" trace_json with
+      let kind_counts key =
+        match Json.member key trace_json with
         | Some (Json.Obj kinds) ->
           List.filter_map
             (fun (k, v) -> match v with Json.Int n -> Some (k, n) | _ -> None)
             kinds
         | _ -> []
       in
-      Ok (finish acc ~violations ~dropped_total ~dropped_by_kind)
+      let dropped_by_kind = kind_counts "dropped_by_kind" in
+      (* Sampling counters landed in trace schema 5; older artifacts
+         simply lack them, which reads back as a complete trace. *)
+      let sample_rate =
+        match Json.member "sample_rate" trace_json with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int n) -> float_of_int n
+        | _ -> 1.0
+      in
+      let sampled_out_total = max 0 (int_member "sampled_out" trace_json ~default:0) in
+      Ok
+        (finish acc ~violations ~dropped_total ~dropped_by_kind ~sample_rate
+           ~sampled_out_total ~sampled_out_by_kind:(kind_counts "sampled_out_by_kind") ())
     | _ -> Error "artifact trace has no \"events\" array")
 
 let load_file path =
@@ -484,6 +507,18 @@ let to_json r =
       ("dropped_total", Json.Int r.dropped_total);
       ( "dropped_by_kind",
         Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.dropped_by_kind) );
+      ("trace_truncated", Json.Bool r.trace_truncated);
+      ( "sampling",
+        Json.Obj
+          [
+            ("rate", Json.Float r.sample_rate);
+            ("sampled_out", Json.Int r.sampled_out_total);
+            ( "sampled_out_by_kind",
+              Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.sampled_out_by_kind) );
+            (* When true, CDFs, hop histograms and redundancy above are
+               estimates over the surviving fraction, not exact counts. *)
+            ("estimates", Json.Bool r.trace_truncated);
+          ] );
     ]
 
 let pp ppf r =
@@ -538,4 +573,13 @@ let pp ppf r =
   if r.dropped_total > 0 then begin
     fprintf ppf "trace incomplete: %d events dropped by ring wrap@," r.dropped_total;
     List.iter (fun (k, n) -> fprintf ppf "  dropped %s: %d@," k n) r.dropped_by_kind
-  end
+  end;
+  if r.sampled_out_total > 0 then begin
+    fprintf ppf "trace sampled: %d events suppressed (rate %.3f)@," r.sampled_out_total
+      r.sample_rate;
+    List.iter (fun (k, n) -> fprintf ppf "  sampled out %s: %d@," k n)
+      r.sampled_out_by_kind
+  end;
+  if r.trace_truncated then
+    fprintf ppf
+      "NOTE: trace is lossy — CDFs, hop histogram and redundancy are estimates@,"

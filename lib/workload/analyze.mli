@@ -62,6 +62,13 @@ type result = {
   events_seen : int;
   dropped_total : int;
   dropped_by_kind : (string * int) list;
+  sample_rate : float;  (** trace sampling rate in force, 1.0 = everything *)
+  sampled_out_total : int;  (** events suppressed by sampling/level *)
+  sampled_out_by_kind : (string * int) list;
+  trace_truncated : bool;
+      (** ring wrapped or sampling suppressed events: CDFs, hop
+          histograms and redundancy are estimates over the surviving
+          fraction, not exact counts *)
 }
 
 val of_trace : Atum_sim.Trace.t -> metrics:Atum_sim.Metrics.t -> result
@@ -76,7 +83,20 @@ val load_file : string -> (result, string) Stdlib.result
 (** Read and parse an artifact file, then {!of_artifact}. *)
 
 val to_json : result -> Atum_util.Json.t
-(** Machine-readable form; see EXPERIMENTS.md for the schema. *)
+(** Machine-readable form; see EXPERIMENTS.md for the schema.
+    Includes a [trace_truncated] flag and a [sampling] section
+    ([{rate; sampled_out; sampled_out_by_kind; estimates}]) so lossy
+    analyses are labeled as estimates. *)
 
 val pp : Format.formatter -> result -> unit
 (** Human-readable multi-line summary. *)
+
+(** {2 Shared trace-parsing helpers} *)
+
+val event_of_json : Atum_util.Json.t -> Atum_sim.Trace.event option
+(** Parse one event object of an artifact's [trace.events] array
+    (negative-id fields restored from absence). *)
+
+val saga_of_kind : string -> (string * bool) option
+(** ["saga.<name>.begin"] -> [Some (<name>, true)],
+    ["saga.<name>.end"] -> [Some (<name>, false)], else [None]. *)

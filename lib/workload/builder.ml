@@ -5,23 +5,42 @@ type built = {
   atum : Atum.t;
   first : Atum.node_id;
   byzantine : Atum.node_id list;
+  flight : Atum_sim.Flight.t option;
 }
 
 let live_ids atum =
   List.map (fun (n : System.node) -> n.System.id) (System.live_nodes (Atum.system atum))
 
-let grow ?params ?net_config ?(trace = false) ?(monitor = false) ?(telemetry = true)
-    ?telemetry_period ?(byzantine = 0) ?(batch = 8) ?(settle = 90.0) ~n ~seed () =
+let grow ?params ?net_config ?(trace = false) ?trace_capacity ?sample_rate
+    ?(monitor = false) ?flight_dir ?(telemetry = true) ?telemetry_period ?(byzantine = 0)
+    ?(batch = 8) ?(settle = 90.0) ~n ~seed () =
   let params =
     match params with
     | Some p -> p
     | None -> Atum_core.Params.for_system_size ~seed n
   in
-  let atum = Atum.create ~params ?net_config () in
+  let atum = Atum.create ~params ?net_config ?trace_capacity () in
   if trace then Atum_sim.Trace.set_enabled (Atum.trace atum) true;
-  if monitor then ignore (Atum_core.Monitor.attach (Atum.system atum));
-  if telemetry then
-    ignore (Atum.attach_telemetry ?period:telemetry_period atum : Atum_sim.Telemetry.t);
+  (match sample_rate with
+  | Some r -> Atum_sim.Trace.set_sample_rate (Atum.trace atum) r
+  | None -> ());
+  (* The flight recorder rides along whenever a monitor can trip it, or
+     when a dump directory explicitly arms it (Resilience attaches its
+     own monitor later and reuses this recorder). *)
+  let flight =
+    if monitor || Option.is_some flight_dir then
+      Some
+        (Atum_sim.Flight.create ?dir:flight_dir ~engine:(Atum.engine atum)
+           ~trace:(Atum.trace atum) ~metrics:(Atum.metrics atum) ())
+    else None
+  in
+  if monitor then ignore (Atum_core.Monitor.attach ?flight (Atum.system atum));
+  if telemetry then begin
+    let tel = Atum.attach_telemetry ?period:telemetry_period atum in
+    match flight with
+    | Some fl -> Atum_sim.Flight.set_telemetry fl tel
+    | None -> ()
+  end;
   let rng = Atum_util.Rng.create (seed + 31) in
   let first = Atum.bootstrap atum in
   let stall = ref 0 in
@@ -44,7 +63,7 @@ let grow ?params ?net_config ?(trace = false) ?(monitor = false) ?(telemetry = t
   let candidates = List.filter (fun id -> id <> first) (live_ids atum) in
   let byz = Atum_util.Rng.sample_without_replacement rng byzantine candidates in
   List.iter (fun b -> System.make_byzantine sys b) byz;
-  { atum; first; byzantine = byz }
+  { atum; first; byzantine = byz; flight }
 
 let random_member built rng = Atum_util.Rng.pick rng (live_ids built.atum)
 

@@ -1,0 +1,261 @@
+(* Perf-regression diffing between two JSON artifacts (the `atum-cli
+   compare` subcommand and the CI bench-baseline gate).
+
+   Both artifacts are flattened to sorted (path, number) pairs —
+   objects recurse with dotted keys, lists of objects key their rows
+   by an identifying field (label/config/section/phase/protocol/n)
+   falling back to the index — then matched path by path.  Each key's
+   name decides which direction is good: throughputs up, latencies
+   and footprints down, everything else informational.  A metric
+   present in OLD but missing from NEW counts as a regression (a
+   silently vanished measurement must fail the gate). *)
+
+module Json = Atum_util.Json
+
+type direction = Higher_better | Lower_better | Info
+
+type status = Ok_within | Improved | Regressed | Missing | Added
+
+type delta = {
+  key : string;
+  old_v : float option;
+  new_v : float option;
+  rel : float;  (* (new - old) / |old|; 0.0 when both sides are 0 *)
+  dir : direction;
+  status : status;
+}
+
+type result = {
+  threshold : float;  (* relative, e.g. 0.10 = 10% *)
+  deltas : delta list;  (* sorted by key *)
+  regressed : int;
+  improved : int;
+  within : int;
+}
+
+(* --- key classification ---------------------------------------------- *)
+
+let leaf_of key =
+  match String.rindex_opt key '.' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ends_with ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+let higher_better_suffixes =
+  [
+    "per_sec";
+    "speedup";
+    "success";
+    "delivery_fraction";
+    "completion_rate";
+    "max_sustained_per_min";
+    "deliveries";
+    "delivered";
+    "final_size";
+  ]
+
+let lower_better_leaves =
+  [ "engine_events"; "peak_live_words"; "bytes"; "bytes_total"; "dropped"; "dups" ]
+
+let direction_of_key key =
+  let leaf = leaf_of key in
+  (* Wall-clock readings are nondeterministic run to run (and zeroed
+     under ATUM_BENCH_JSON_CANON), so never gate on them. *)
+  if contains ~sub:"wall" leaf then Info
+  else if List.exists (fun s -> ends_with ~suffix:s leaf) higher_better_suffixes then
+    Higher_better
+  else if List.mem leaf lower_better_leaves then Lower_better
+  else if ends_with ~suffix:"_s" leaf then Lower_better (* latencies / durations *)
+  else Info
+
+(* --- flattening ------------------------------------------------------ *)
+
+(* Provenance and bulky event payloads never participate in a diff. *)
+let skip_keys =
+  [ "build_info"; "schema_version"; "seed"; "trace"; "timeseries"; "telemetry";
+    "events"; "schedule"; "latency_cdf"; "curve"; "delay_hist" ]
+
+let row_id fields =
+  let find k = List.assoc_opt k fields in
+  let id_of = function
+    | Some (Json.String s) -> Some s
+    | Some (Json.Int n) -> Some (string_of_int n)
+    | _ -> None
+  in
+  let rec first = function
+    | [] -> None
+    | k :: rest -> (match id_of (find k) with Some s -> Some s | None -> first rest)
+  in
+  first [ "label"; "config"; "section"; "phase"; "protocol"; "fig"; "name"; "n" ]
+
+let flatten json =
+  let out = ref [] in
+  let rec go prefix j =
+    match j with
+    | Json.Obj fields ->
+      List.iter
+        (fun (k, v) ->
+          if not (List.mem k skip_keys) then
+            go (if prefix = "" then k else prefix ^ "." ^ k) v)
+        fields
+    | Json.List items ->
+      List.iteri
+        (fun i item ->
+          let key =
+            match item with
+            | Json.Obj fields -> (
+              match row_id fields with
+              | Some id -> prefix ^ "[" ^ id ^ "]"
+              | None -> prefix ^ "[" ^ string_of_int i ^ "]")
+            | _ -> prefix ^ "[" ^ string_of_int i ^ "]"
+          in
+          go key item)
+        items
+    | Json.Int n -> out := (prefix, float_of_int n) :: !out
+    | Json.Float f -> out := (prefix, f) :: !out
+    | Json.Bool _ | Json.String _ | Json.Null -> ()
+  in
+  go "" json;
+  List.sort compare !out
+
+(* --- diffing --------------------------------------------------------- *)
+
+let rel_change ~old_v ~new_v =
+  if Float.abs old_v < 1e-12 then if Float.abs new_v < 1e-12 then 0.0 else 1.0
+  else (new_v -. old_v) /. Float.abs old_v
+
+let classify ~threshold ~dir rel =
+  match dir with
+  | Info -> Ok_within
+  | Higher_better ->
+    if rel <= -.threshold then Regressed
+    else if rel >= threshold then Improved
+    else Ok_within
+  | Lower_better ->
+    if rel >= threshold then Regressed
+    else if rel <= -.threshold then Improved
+    else Ok_within
+
+let run ?(threshold = 0.10) ~old_json ~new_json () =
+  if threshold < 0.0 then invalid_arg "Compare.run: threshold must be non-negative";
+  let old_kv = flatten old_json and new_kv = flatten new_json in
+  let new_tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace new_tbl k v) new_kv;
+  let old_tbl = Hashtbl.create 256 in
+  List.iter (fun (k, v) -> Hashtbl.replace old_tbl k v) old_kv;
+  let deltas = ref [] in
+  List.iter
+    (fun (key, old_v) ->
+      let dir = direction_of_key key in
+      match Hashtbl.find_opt new_tbl key with
+      | Some new_v ->
+        let rel = rel_change ~old_v ~new_v in
+        deltas :=
+          {
+            key;
+            old_v = Some old_v;
+            new_v = Some new_v;
+            rel;
+            dir;
+            status = classify ~threshold ~dir rel;
+          }
+          :: !deltas
+      | None ->
+        (* A measurement that disappeared is a gate failure even if the
+           direction is informational: the baseline promises coverage. *)
+        deltas :=
+          { key; old_v = Some old_v; new_v = None; rel = 0.0; dir; status = Missing }
+          :: !deltas)
+    old_kv;
+  List.iter
+    (fun (key, new_v) ->
+      if not (Hashtbl.mem old_tbl key) then
+        deltas :=
+          {
+            key;
+            old_v = None;
+            new_v = Some new_v;
+            rel = 0.0;
+            dir = direction_of_key key;
+            status = Added;
+          }
+          :: !deltas)
+    new_kv;
+  let deltas = List.sort (fun a b -> String.compare a.key b.key) !deltas in
+  let count st = List.length (List.filter (fun d -> d.status = st) deltas) in
+  {
+    threshold;
+    deltas;
+    regressed = count Regressed + count Missing;
+    improved = count Improved;
+    within = count Ok_within;
+  }
+
+let regressions r =
+  List.filter (fun d -> d.status = Regressed || d.status = Missing) r.deltas
+
+(* --- output ---------------------------------------------------------- *)
+
+let status_str = function
+  | Ok_within -> "ok"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Missing -> "MISSING"
+  | Added -> "added"
+
+let dir_str = function
+  | Higher_better -> "higher_better"
+  | Lower_better -> "lower_better"
+  | Info -> "info"
+
+let delta_to_json d =
+  let num = function Some v -> Json.Float v | None -> Json.Null in
+  Json.Obj
+    [
+      ("key", Json.String d.key);
+      ("old", num d.old_v);
+      ("new", num d.new_v);
+      ("rel_change", Json.Float d.rel);
+      ("direction", Json.String (dir_str d.dir));
+      ("status", Json.String (status_str d.status));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("threshold", Json.Float r.threshold);
+      ("regressed", Json.Int r.regressed);
+      ("improved", Json.Int r.improved);
+      ("within_threshold", Json.Int r.within);
+      ("deltas", Json.List (List.map delta_to_json r.deltas));
+    ]
+
+let pp ppf r =
+  let open Format in
+  let pct x = x *. 100.0 in
+  let interesting =
+    List.filter (fun d -> d.status <> Ok_within && d.status <> Added) r.deltas
+  in
+  fprintf ppf "compared %d metrics (threshold %.1f%%): %d regressed, %d improved, %d within@,"
+    (List.length r.deltas) (pct r.threshold) r.regressed r.improved r.within;
+  List.iter
+    (fun d ->
+      match (d.old_v, d.new_v) with
+      | Some o, Some n ->
+        fprintf ppf "  %-9s %s: %s -> %s (%+.1f%%)@," (status_str d.status) d.key
+          (Json.float_to_string o) (Json.float_to_string n) (pct d.rel)
+      | Some o, None ->
+        fprintf ppf "  %-9s %s: %s -> (gone)@," (status_str d.status) d.key
+          (Json.float_to_string o)
+      | None, _ -> ())
+    interesting;
+  let added = List.filter (fun d -> d.status = Added) r.deltas in
+  if added <> [] then fprintf ppf "  %d new metrics not in baseline@," (List.length added)

@@ -9,8 +9,14 @@ module Json = Atum_util.Json
    4: the chaos layer — ATUM_resilience.json artifacts (fault
    schedule, per-phase delivery success, time-to-heal), fault.* and
    byzantine.* trace/metric namespaces, and byzantine_events /
-   fault_events sections in ATUM_analyze.json. *)
-let schema_version = 4
+   fault_events sections in ATUM_analyze.json.
+   5: the observability layer — trace objects gain sampling fields
+   (sample_rate, sampled_out, sampled_out_by_kind, admitted_by_kind),
+   ATUM_<cmd>.json artifacts gain a top-level profile section,
+   ATUM_resilience.json a postmortem member, ATUM_analyze.json a
+   trace_truncated flag and sampling section, plus the new
+   ATUM_postmortem.json and ATUM_compare.json artifact families. *)
+let schema_version = 5
 
 (* Wall-clock time is the only nondeterministic field in a benchmark
    artifact; zeroing it (ATUM_BENCH_JSON_CANON) makes same-seed runs

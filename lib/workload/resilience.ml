@@ -52,6 +52,7 @@ type result = {
   post_heal_deliveries : int;  (* net.deliver.post_heal counter *)
   consistency : (unit, string) Stdlib.result;  (* final check *)
   converged : bool;  (* clean consistency + sweep after the final heal *)
+  postmortem : string option;  (* path of the dumped ATUM_postmortem.json *)
 }
 
 let largest_vgroup sys =
@@ -118,16 +119,32 @@ let diff_violations later earlier =
     later
 
 let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
-    ?(heal_timeout = 600.0) ?(drain = 180.0) (built : Builder.built) ~seed () =
+    ?(heal_timeout = 600.0) ?(drain = 180.0) ?flight_dir (built : Builder.built) ~seed () =
   let atum = built.Builder.atum in
   let sys = Atum.system atum in
   let rng = Rng.create (seed + 77) in
   (* Latency-insensitive but delivery-critical: gossip on every cycle
      so a delivery miss means a fault, not an unlucky coin. *)
   Atum.on_forward atum System.flood_forward;
+  (* The flight recorder: reuse the one Builder.grow armed, else create
+     one here when a dump directory asks for it.  Violations during
+     faults are expected, so the first of them is exactly the evidence
+     a postmortem should pin down. *)
+  let flight =
+    match (built.Builder.flight, flight_dir) with
+    | (Some _ as fl), _ -> fl
+    | None, Some dir ->
+      Some
+        (Atum_sim.Flight.create ~dir ~engine:(Atum.engine atum)
+           ~trace:(Atum.trace atum) ~metrics:(Atum.metrics atum) ())
+    | None, None -> None
+  in
+  (match (flight, Atum.telemetry atum) with
+  | Some fl, Some tel -> Atum_sim.Flight.set_telemetry fl tel
+  | _ -> ());
   (* Our own monitor (displacing any earlier auditor): the convergence
      checker below polls its sweeps. *)
-  let mon = Monitor.attach sys in
+  let mon = Monitor.attach ?flight sys in
   let target_vg = match largest_vgroup sys with Some (vid, _) -> vid | None -> -1 in
   if attackers > 0 && target_vg >= 0 then
     for _ = 1 to attackers do
@@ -262,6 +279,21 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
     | last :: _ -> Option.is_some last.converged_at || final_converged
     | [] -> final_converged
   in
+  (* An unhealed fault span is a postmortem trigger in its own right:
+     if no violation tripped the recorder mid-run (e.g. monitoring was
+     quiet) but a heal never converged, capture the end state now. *)
+  let postmortem =
+    match flight with
+    | None -> None
+    | Some fl ->
+      let unhealed =
+        List.exists (fun h -> Option.is_none h.time_to_heal) heals && not converged
+      in
+      if unhealed && Option.is_none (Atum_sim.Flight.tripped fl) then
+        Atum_sim.Flight.trip fl ~reason:"fault.unhealed"
+          ~detail:"a heal step never converged within its window" ();
+      Atum_sim.Flight.last_path fl
+  in
   {
     n = Atum.size atum;
     seed;
@@ -278,6 +310,7 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
     post_heal_deliveries = Metrics.counter (Atum.metrics atum) "net.deliver.post_heal";
     consistency = System.check_consistency sys;
     converged;
+    postmortem;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -333,4 +366,10 @@ let to_json r =
         | Ok () -> Json.String "ok"
         | Error e -> Json.String e );
       ("converged", Json.Bool r.converged);
+      (* Basename only: the artifact must not vary with the output
+         directory (CI diffs same-seed runs from different dirs). *)
+      ( "postmortem",
+        match r.postmortem with
+        | Some p -> Json.String (Filename.basename p)
+        | None -> Json.Null );
     ]

@@ -48,6 +48,9 @@ type result = {
   converged : bool;
       (** the final heal's window reached a clean poll (or the
           end-of-run check was clean) *)
+  postmortem : string option;
+      (** path of the [ATUM_postmortem.json] the flight recorder
+          dumped, when one was armed and tripped *)
 }
 
 val default_schedule : Builder.built -> Atum_sim.Fault.schedule
@@ -63,6 +66,7 @@ val run :
   ?schedule:Atum_sim.Fault.schedule ->
   ?heal_timeout:float ->
   ?drain:float ->
+  ?flight_dir:string ->
   Builder.built ->
   seed:int ->
   unit ->
@@ -75,7 +79,13 @@ val run :
     (default 5s) through each phase.  Convergence polling after each
     heal is bounded by [heal_timeout] (default 600s) and by the next
     scheduled fault step; the run ends with a [drain] (default 180s)
-    quiet period before the final consistency check. *)
+    quiet period before the final consistency check.
+
+    When [flight_dir] is given (or the build carried an armed
+    recorder), an {!Atum_sim.Flight} recorder is wired into the
+    monitor: the first violation dumps [ATUM_postmortem.json] into
+    the directory, and a run that ends with an unconverged heal trips
+    the recorder with reason ["fault.unhealed"]. *)
 
 val to_json : result -> Atum_util.Json.t
 (** The ["resilience"] member of [ATUM_resilience.json] — schema
