@@ -378,7 +378,27 @@ let chaos_cmd =
       value & opt int 10
       & info [ "m"; "messages" ] ~docv:"M" ~doc:"Broadcasts per phase (before/after).")
   in
-  let run protocol n seed attackers messages json out_dir trace_cap sample dump =
+  let restart_arg =
+    Arg.(
+      value & flag
+      & info [ "restart" ]
+          ~doc:
+            "Durability scenario: attach a write-ahead-logged store and cold-restart \
+             the fault victims instead of crash/recover — each comes back through \
+             snapshot + WAL replay, rejoin and catch-up, measured as time-to-rejoin / \
+             time-to-catch-up.")
+  in
+  let corrupt_log_arg =
+    Arg.(
+      value & flag
+      & info [ "corrupt-log" ]
+          ~doc:
+            "With the restart scenario: flip one byte in the first victim's WAL while \
+             it is down, forcing its restart into the wipe-and-fresh-join fallback \
+             (implies --restart).")
+  in
+  let run protocol n seed attackers messages restart corrupt_log json out_dir trace_cap
+      sample dump =
     (* Resilience attaches its own monitor (the convergence checker
        polls its sweeps), so build without one; trace only with --json
        to keep the default run light. *)
@@ -392,7 +412,7 @@ let chaos_cmd =
     let r =
       W.Resilience.run ~messages_per_phase:messages ~attackers
         ?flight_dir:(if dump then Some out_dir else None)
-        built ~seed ()
+        ~restart:(restart || corrupt_log) ~corrupt_log built ~seed ()
     in
     Printf.printf "system size      : %d (+%d attackers, target vgroup %d)\n"
       (Atum.size atum) r.W.Resilience.attackers r.target_vg;
@@ -413,6 +433,20 @@ let chaos_cmd =
     let count vs = List.fold_left (fun acc (_, n) -> acc + n) 0 vs in
     Printf.printf "violations       : before=%d during=%d after=%d\n"
       (count r.violations_before) (count r.violations_during) (count r.violations_after);
+    List.iter
+      (fun (rr : Atum_core.System.restart_report) ->
+        Printf.printf "restart node %-4d: %s, %d WAL entries replayed%s%s\n"
+          rr.Atum_core.System.r_node
+          (if rr.Atum_core.System.r_fallback then "corrupt store, fresh join" else "durable recovery")
+          rr.Atum_core.System.r_replayed
+          (match rr.Atum_core.System.r_rejoined_at with
+          | Some j -> Printf.sprintf ", rejoined in %.0f s" (j -. rr.Atum_core.System.r_restarted_at)
+          | None -> ", never rejoined")
+          (match rr.Atum_core.System.r_caught_up_at with
+          | Some c ->
+            Printf.sprintf ", caught up in %.0f s" (c -. rr.Atum_core.System.r_restarted_at)
+          | None -> ""))
+      r.W.Resilience.restarts;
     Printf.printf "consistency      : %s\n"
       (match r.consistency with Ok () -> "ok" | Error e -> e);
     Printf.printf "converged        : %b\n" r.converged;
@@ -432,7 +466,8 @@ let chaos_cmd =
           after each heal.  With --json, writes ATUM_resilience.json.")
     Term.(
       const run $ protocol_arg $ nodes_arg $ seed_arg $ attackers_arg $ messages_arg
-      $ json_arg $ out_dir_arg $ trace_cap_arg $ trace_sample_arg $ dump_arg)
+      $ restart_arg $ corrupt_log_arg $ json_arg $ out_dir_arg $ trace_cap_arg
+      $ trace_sample_arg $ dump_arg)
 
 let analyze_cmd =
   let file_arg =

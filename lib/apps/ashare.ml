@@ -228,6 +228,99 @@ and handle_deliver t nid body =
     Hashtbl.remove t.digests fkey
   | _ -> ()
 
+(* --- durable state (snapshots + WAL replay) -------------------------- *)
+
+module Json = Atum_util.Json
+
+let entry_to_json (e : entry) =
+  Json.Obj
+    [
+      ("size_mb", Json.Float e.size_mb);
+      ("chunk_count", Json.Int e.chunk_count);
+      ("replicas", Json.List (List.map (fun r -> Json.Int r) (List.sort compare e.replicas)));
+    ]
+
+let entry_of_json j =
+  match (Json.member "size_mb" j, Json.member "chunk_count" j, Json.member "replicas" j) with
+  | Some (Json.Float size_mb), Some (Json.Int chunk_count), Some (Json.List rs) ->
+    let replicas = List.filter_map (function Json.Int r -> Some r | _ -> None) rs in
+    if List.length replicas = List.length rs then Some { size_mb; chunk_count; replicas }
+    else None
+  | _ -> None
+
+(* The per-node durable state is exactly what a cold restart loses: the
+   metadata index and the stored-replica set.  [contents]/[digests] are
+   simulation ground truth (the "disk blocks"), not replica soft state,
+   so they survive a restart and stay out of the snapshot. *)
+let export_state t nid =
+  let stored_keys =
+    List.sort Kv_index.compare_key
+      (Hashtbl.fold (fun k () acc -> k :: acc) (stored_of t nid) [])
+  in
+  Json.Obj
+    [
+      ("index", Kv_index.to_json entry_to_json (index_of t nid));
+      ( "stored",
+        Json.List
+          (List.map
+             (fun (k : Kv_index.key) ->
+               Json.Obj [ ("owner", Json.String k.owner); ("name", Json.String k.name) ])
+             stored_keys) );
+    ]
+
+let wipe_state t nid =
+  Hashtbl.remove t.indexes nid;
+  Hashtbl.remove t.stored nid
+
+let import_state t nid j =
+  match (Json.member "index" j, Json.member "stored" j) with
+  | Some ix_json, Some (Json.List stored) -> (
+    match Kv_index.of_json entry_of_json ix_json with
+    | Some ix ->
+      Hashtbl.replace t.indexes nid ix;
+      let s = Hashtbl.create 8 in
+      List.iter
+        (fun item ->
+          match (Json.member "owner" item, Json.member "name" item) with
+          | Some (Json.String owner), Some (Json.String name) ->
+            Hashtbl.replace s (key ~owner ~name) ()
+          | _ -> ())
+        stored;
+      Hashtbl.replace t.stored nid s
+    | None -> ())
+  | _ -> ()
+
+(* WAL replay applies a delivered broadcast to local state only: no
+   re-broadcast, no replication lottery — those already ran (and were
+   themselves logged) before the crash. *)
+let replay_deliver t nid body =
+  match decode body with
+  | [ "put"; owner; name; size_mb; chunks; owner_node ] -> (
+    match (float_of_string_opt size_mb, int_of_string_opt chunks, int_of_string_opt owner_node) with
+    | Some size_mb, Some chunk_count, Some owner_node ->
+      Kv_index.put (index_of t nid) (key ~owner ~name)
+        { size_mb; chunk_count; replicas = [ owner_node ] }
+    | _ -> ())
+  | [ "rep"; owner; name; holder ] -> (
+    match int_of_string_opt holder with
+    | Some holder -> (
+      match Kv_index.get (index_of t nid) (key ~owner ~name) with
+      | Some e -> if not (List.mem holder e.replicas) then e.replicas <- holder :: e.replicas
+      | None -> ())
+    | None -> ())
+  | [ "del"; owner; name ] ->
+    let fkey = key ~owner ~name in
+    Kv_index.remove (index_of t nid) fkey;
+    Hashtbl.remove (stored_of t nid) fkey
+  | _ -> ()
+
+let enable_persistence t =
+  System.set_app_state (Atum.system t.atum)
+    ~export:(fun nid -> export_state t nid)
+    ~wipe:(fun nid -> wipe_state t nid)
+    ~import:(fun nid j -> import_state t nid j)
+    ~replay:(fun nid ~bid:_ ~origin:_ body -> replay_deliver t nid body)
+
 let attach atum ~rho =
   if rho < 1 then invalid_arg "Ashare.attach: rho must be at least 1";
   let t =

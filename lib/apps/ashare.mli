@@ -75,3 +75,25 @@ val place_replicas : t -> owner:node_id -> name:string -> holders:node_id list -
 
 val owner_name : node_id -> string
 (** The namespace owner string for a node id. *)
+
+(* --- durable state (snapshots + WAL replay) -------------------------- *)
+
+val export_state : t -> node_id -> Atum_util.Json.t
+(** The node's restart-critical soft state — metadata index plus
+    stored-replica set — in deterministic (sorted) order. *)
+
+val wipe_state : t -> node_id -> unit
+(** Forget the node's in-memory state, as a cold restart would. *)
+
+val import_state : t -> node_id -> Atum_util.Json.t -> unit
+(** Inverse of {!export_state}; ignores malformed input. *)
+
+val replay_deliver : t -> node_id -> string -> unit
+(** Re-apply one logged broadcast body to local state only: no
+    re-broadcast, no replication lottery (those already ran before the
+    crash). *)
+
+val enable_persistence : t -> unit
+(** Register the four hooks above with [System.set_app_state] so an
+    attached durable store snapshots and replays AShare state across
+    {!Atum_core.System.restart}. *)

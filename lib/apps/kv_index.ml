@@ -41,6 +41,50 @@ let search t term =
          else acc)
        t [])
 
+(* --- snapshot codec -------------------------------------------------- *)
+
+module Json = Atum_util.Json
+
+(* Ascending key order (Btree.fold), so equal indexes serialize to
+   identical bytes — the property the determinism artifacts rely on. *)
+let to_json value_to_json t =
+  Json.List
+    (List.rev
+       (fold
+          (fun k v acc ->
+            Json.Obj
+              [
+                ("owner", Json.String k.owner);
+                ("name", Json.String k.name);
+                ("value", value_to_json v);
+              ]
+            :: acc)
+          t []))
+
+let of_json value_of_json j =
+  match j with
+  | Json.List items ->
+    let t = create () in
+    let ok =
+      List.for_all
+        (fun item ->
+          match
+            ( Json.member "owner" item,
+              Json.member "name" item,
+              Json.member "value" item )
+          with
+          | Some (Json.String owner), Some (Json.String name), Some v -> (
+            match value_of_json v with
+            | Some value ->
+              put t { owner; name } value;
+              true
+            | None -> false)
+          | _ -> false)
+        items
+    in
+    if ok then Some t else None
+  | _ -> None
+
 let owner_files t owner =
   (* Range scan over the owner's namespace: keys are ordered by owner
      first, so the whole namespace is one contiguous B-tree range. *)

@@ -37,3 +37,12 @@ val search : 'a t -> string -> (key * 'a) list
 
 val owner_files : 'a t -> string -> (key * 'a) list
 (** All files in one user's namespace — a contiguous range scan. *)
+
+(* --- snapshot codec -------------------------------------------------- *)
+
+val to_json : ('a -> Atum_util.Json.t) -> 'a t -> Atum_util.Json.t
+(** Serialize in ascending key order (equal indexes produce identical
+    bytes).  Used by the durability layer's snapshots. *)
+
+val of_json : (Atum_util.Json.t -> 'a option) -> Atum_util.Json.t -> 'a t option
+(** Inverse of {!to_json}; [None] on any malformed entry. *)

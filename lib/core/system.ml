@@ -110,7 +110,9 @@ type gm_state = {
   mutable gm_fired : bool;
 }
 
-type bcast_meta = { started : float }
+(* Origin and body ride along so restart catch-up can re-deliver any
+   broadcast a peer has and the restarted node missed. *)
+type bcast_meta = { started : float; b_origin : node_id; b_body : string }
 
 (* One (src_vg -> dst_vg) gossip round being assembled for the current
    engine instant: every member that delivers inside one event appends
@@ -134,6 +136,18 @@ type fanout_entry = {
 type audit =
   | Audit_deliver of { node : node_id; bid : int; known : bool }
   | Audit_reconfig of vg_id
+
+(* One completed-or-in-flight [restart]: when the node came back, when
+   its registry membership was re-established, when catch-up finished,
+   and what the durable store contributed. *)
+type restart_report = {
+  r_node : node_id;
+  r_restarted_at : float;
+  mutable r_rejoined_at : float option;
+  mutable r_caught_up_at : float option;
+  r_fallback : bool; (* corrupt store: wiped, recovered via fresh join *)
+  r_replayed : int; (* WAL entries applied during cold start *)
+}
 
 type t = {
   params : Params.t;
@@ -185,6 +199,14 @@ type t = {
   mutable heartbeats_since : float;
   mutable shuffling_enabled : bool;
   mutable telemetry : Telemetry.t option;
+  (* Durable per-replica state (WAL + snapshots) and the app-state
+     hooks the durability layer drives; None/empty until attached. *)
+  mutable store : Atum_store.Replica.t option;
+  mutable app_export : (node_id -> Atum_util.Json.t) option;
+  mutable app_wipe : (node_id -> unit) option;
+  mutable app_import : (node_id -> Atum_util.Json.t -> unit) option;
+  mutable app_replay : (node_id -> bid:int -> origin:node_id -> string -> unit) option;
+  mutable restarts : restart_report list; (* newest first *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -269,6 +291,12 @@ let create ?(net_config : Network.config option) ?trace_capacity (params : Param
     heartbeats_since = infinity;
     shuffling_enabled = true;
     telemetry = None;
+    store = None;
+    app_export = None;
+    app_wipe = None;
+    app_import = None;
+    app_replay = None;
+    restarts = [];
   }
 
 let engine t = t.engine
@@ -370,13 +398,47 @@ let count_live t n delta =
   t.live_count <- t.live_count + delta;
   if n.byzantine then t.live_byz_count <- t.live_byz_count + delta
 
+(* --- durable-state hooks (WAL append + snapshot fold) --------------- *)
+
+module Json = Atum_util.Json
+module Replica = Atum_store.Replica
+
+(* Everything a node needs to come back cold: its registry pointer,
+   its delivered-broadcast set, and whatever the application exports.
+   WAL records since the last snapshot replay on top of this. *)
+let node_snapshot t (n : node) =
+  Json.Obj
+    [
+      ("vid", (match n.vg with Some v -> Json.Int v | None -> Json.Null));
+      ( "delivered",
+        Json.List (List.map (fun b -> Json.Int b) (Atum_util.Bitset.to_list n.delivered)) );
+      ("app", (match t.app_export with Some f -> f n.id | None -> Json.Null));
+    ]
+
+let persist t (n : node) record =
+  match t.store with
+  | None -> ()
+  | Some store ->
+    Replica.append store ~node:n.id record;
+    if Replica.needs_snapshot store ~node:n.id then
+      Replica.save_snapshot store ~node:n.id (node_snapshot t n)
+
+let persist_vg t (n : node) =
+  persist t n
+    (Json.Obj
+       [
+         ("t", Json.String "vg");
+         ("vid", (match n.vg with Some v -> Json.Int v | None -> Json.Null));
+       ])
+
 let set_node_vg t n vg =
   (match n.vg with Some v -> mark_dirty t v | None -> ());
   (match vg with Some v -> mark_dirty t v | None -> ());
   let was = is_live n in
   n.vg <- vg;
   let is = is_live n in
-  if was && not is then count_live t n (-1) else if (not was) && is then count_live t n 1
+  if was && not is then count_live t n (-1) else if (not was) && is then count_live t n 1;
+  if Option.is_some t.store then persist_vg t n
 
 let set_node_alive t n alive =
   (match n.vg with Some v -> mark_dirty t v | None -> ());
@@ -1382,6 +1444,15 @@ let node_deliver t nid ~bid ~origin ~body =
   if (not (Atum_util.Bitset.mem n.delivered bid)) && is_correct n then begin
     Atum_util.Bitset.set n.delivered bid;
     audit t (Audit_deliver { node = nid; bid; known = Hashtbl.mem t.bcasts bid });
+    if Option.is_some t.store then
+      persist t n
+        (Json.Obj
+           [
+             ("t", Json.String "deliver");
+             ("bid", Json.Int bid);
+             ("origin", Json.Int origin);
+             ("body", Json.String body);
+           ]);
     (match Hashtbl.find_opt t.bcasts bid with
     | Some meta ->
       Atum_sim.Metrics.observe t.metrics "broadcast.latency" (now t -. meta.started)
@@ -1444,7 +1515,7 @@ let broadcast t ~from body =
     ensure_smr t vg;
     let bid = t.next_bid in
     t.next_bid <- bid + 1;
-    Hashtbl.replace t.bcasts bid { started = now t };
+    Hashtbl.replace t.bcasts bid { started = now t; b_origin = from; b_body = body };
     Metrics.incr t.metrics "broadcast.sent";
     trace_emit t ~kind:"broadcast.sent" ~node:from ~vgroup:vid ~size:(String.length body) ~bid ();
     (* Phase one: the raw bcast operation goes through the vgroup's
@@ -1905,6 +1976,186 @@ let recover t nid =
     trace_emit t ~kind:"node.recovered" ~node:nid ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Cold restart: durable recovery + rejoin + catch-up                  *)
+(* ------------------------------------------------------------------ *)
+
+(* After the node is back in a vgroup, pull the broadcasts it missed
+   while down from one correct live peer in its vgroup: one request /
+   response round-trip, then re-deliver each missed broadcast through
+   the normal path (which also re-persists and re-gossips it). *)
+let start_catchup t (report : restart_report) nid ~t0 =
+  let n = node t nid in
+  let peer =
+    match n.vg with
+    | None -> None
+    | Some vid -> (
+      match vgroup_opt t vid with
+      | Some vg when not vg.retired ->
+        List.find_opt (fun m -> m <> nid && is_correct (node t m)) vg.members
+      | _ -> None)
+  in
+  match peer with
+  | None ->
+    (* Nobody to ask (fresh singleton vgroup or no correct peer): the
+       node is as caught up as the system can make it. *)
+    report.r_caught_up_at <- Some (now t);
+    Metrics.incr t.metrics "recovery.catchup.empty"
+  | Some peer ->
+    trace_emit t ~kind:"recovery.catchup.begin" ~node:nid ~peer ();
+    direct_send t ~src:nid ~dst:peer ~label:"catchup-req"
+      ~k:(fun () ->
+        (* The peer diffs its delivered set against the request's;
+           origin and body come from the broadcast metadata. *)
+        let missed = ref [] in
+        Atum_util.Bitset.iter
+          (fun bid ->
+            if not (Atum_util.Bitset.mem n.delivered bid) then
+              match Hashtbl.find_opt t.bcasts bid with
+              | Some meta -> missed := (bid, meta.b_origin, meta.b_body) :: !missed
+              | None -> ())
+          (node t peer).delivered;
+        let missed = List.rev !missed in
+        direct_send t ~src:peer ~dst:nid ~label:"catchup-data"
+          ~k:(fun () ->
+            List.iter
+              (fun (bid, origin, body) ->
+                Metrics.incr t.metrics "recovery.catchup.delivered";
+                node_deliver t nid ~bid ~origin ~body)
+              missed;
+            report.r_caught_up_at <- Some (now t);
+            Atum_sim.Metrics.observe t.metrics "recovery.catchup.duration" (now t -. t0);
+            trace_emit t ~kind:"recovery.catchup.end" ~node:nid ~size:(List.length missed) ())
+          ())
+      ()
+
+(* Apply one WAL record to the cold node's in-memory state.  Replay is
+   local-only: no gossip, no [on_deliver] (the workload's counters
+   would double-count) — the application sees it through the dedicated
+   replay hook. *)
+let apply_wal_record t (n : node) record =
+  match Json.member "t" record with
+  | Some (Json.String "deliver") -> (
+    match (Json.member "bid" record, Json.member "origin" record, Json.member "body" record) with
+    | Some (Json.Int bid), Some (Json.Int origin), Some (Json.String body) ->
+      Atum_util.Bitset.set n.delivered bid;
+      (match t.app_replay with Some f -> f n.id ~bid ~origin body | None -> ())
+    | _ -> ())
+  | _ -> () (* "vg" records: the registry is ground truth, nothing to apply *)
+
+(* Cold restart of a crashed node from its durable store: wipe the
+   in-memory state (a real process restart loses it all), rebuild from
+   snapshot + WAL, then either resume in place (still in the registry)
+   or fresh-join through a contact, and finally catch up on missed
+   broadcasts.  A corrupt store (bad WAL record or snapshot that fails
+   authentication) falls back to wiping it and fresh-joining — counted
+   under [recovery.fallback]. *)
+let restart ?contact t nid =
+  let n = node t nid in
+  if n.alive then invalid_arg "System.restart: node is alive";
+  let t0 = now t in
+  let span = span_begin t ~saga:"restart" ~node:nid () in
+  Metrics.incr t.metrics "recovery.restart";
+  trace_emit t ~kind:"recovery.restart" ~node:nid ();
+  (* Everything in memory is gone. *)
+  Atum_util.Bitset.clear n.delivered;
+  (match t.app_wipe with Some f -> f nid | None -> ());
+  let replayed = ref 0 in
+  let fallback = ref false in
+  (match t.store with
+  | None -> ()
+  | Some store ->
+    let r = Replica.recover store ~node:nid in
+    if Replica.corrupt r then begin
+      fallback := true;
+      Metrics.incr t.metrics "recovery.fallback";
+      trace_emit t ~kind:"recovery.fallback" ~node:nid ();
+      Replica.wipe store ~node:nid
+    end
+    else begin
+      (match r.Replica.wal_status with
+      | Atum_store.Wal.Truncated { dropped_bytes } ->
+        Metrics.incr t.metrics "recovery.wal.truncated";
+        trace_emit t ~kind:"recovery.wal.truncated" ~node:nid ~size:dropped_bytes ()
+      | _ -> ());
+      (match r.Replica.snapshot with
+      | Some snap ->
+        (match Json.member "delivered" snap with
+        | Some (Json.List bids) ->
+          List.iter
+            (function Json.Int b -> Atum_util.Bitset.set n.delivered b | _ -> ())
+            bids
+        | _ -> ());
+        (match (t.app_import, Json.member "app" snap) with
+        | Some f, Some (Json.Obj _ as app) -> f nid app
+        | _ -> ())
+      | None -> ());
+      List.iter
+        (fun record ->
+          incr replayed;
+          Metrics.incr t.metrics "recovery.replay.entries";
+          apply_wal_record t n record)
+        r.Replica.entries
+    end);
+  set_node_alive t n true;
+  Network.recover t.net nid;
+  Metrics.incr t.metrics "node.recovered";
+  trace_emit t ~kind:"recovery.up" ~node:nid ~size:!replayed ();
+  let report =
+    {
+      r_node = nid;
+      r_restarted_at = t0;
+      r_rejoined_at = None;
+      r_caught_up_at = None;
+      r_fallback = !fallback;
+      r_replayed = !replayed;
+    }
+  in
+  t.restarts <- report :: t.restarts;
+  let rejoined () =
+    report.r_rejoined_at <- Some (now t);
+    Atum_sim.Metrics.observe t.metrics "recovery.rejoin.duration" (now t -. t0);
+    trace_emit t ~kind:"recovery.rejoined" ~node:nid ();
+    span_end t ~saga:"restart" ~node:nid span;
+    start_catchup t report nid ~t0
+  in
+  let still_member =
+    match n.vg with
+    | Some vid -> (
+      match vgroup_opt t vid with
+      | Some vg -> (not vg.retired) && List.mem nid vg.members
+      | None -> false)
+    | None -> false
+  in
+  if still_member then begin
+    (* The registry never evicted it: resume in place. *)
+    Metrics.incr t.metrics "recovery.resume";
+    rejoined ()
+  end
+  else begin
+    if Option.is_some n.vg then set_node_vg t n None;
+    Metrics.incr t.metrics "recovery.rejoin";
+    let contact =
+      match contact with
+      | Some c
+        when (match node_opt t c with Some cn -> is_correct cn && Option.is_some cn.vg | None -> false)
+        ->
+        Some c
+      | _ -> (
+        match List.filter (fun (m : node) -> m.id <> nid && is_correct m) (live_nodes t) with
+        | [] -> None
+        | m :: _ -> Some m.id)
+    in
+    match contact with
+    | None ->
+      (* A one-node system with a corrupt store: nothing to join. *)
+      Metrics.incr t.metrics "recovery.no_contact";
+      span_end t ~saga:"restart" ~node:nid span
+    | Some contact -> join t ~joiner:nid ~contact ~k:(fun _ -> rejoined ()) ()
+  end
+
+let restart_reports t = List.rev t.restarts
+
 (* --- periodic drivers for the active Byzantine strategies ----------- *)
 
 let byz_pick_live t ~but =
@@ -2113,6 +2364,16 @@ let run_for t dt = Engine.run ~until:(now t +. dt) t.engine
 (* Telemetry: the standard gauge set                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Store gauges read the durability layer's counters; registered from
+   whichever of [attach_telemetry] / [attach_store] comes second. *)
+let register_store_gauges tel store =
+  let reg = Telemetry.register tel in
+  reg "store.log.bytes" (fun () -> float_of_int (Replica.log_bytes store));
+  reg "store.fsync.count" (fun () -> float_of_int (Replica.fsyncs store));
+  reg "store.appends" (fun () -> float_of_int (Replica.appends store));
+  reg "store.snapshots" (fun () -> float_of_int (Replica.snapshots store));
+  reg "store.replay.entries" (fun () -> float_of_int (Replica.replayed store))
+
 (* Every gauge only *reads* simulation state — no RNG draw, no message,
    no registry mutation — so attaching telemetry cannot perturb a
    seeded run beyond interleaving pure sampling events. *)
@@ -2163,8 +2424,32 @@ let attach_telemetry ?period ?capacity t =
           - Metrics.counter t.metrics "saga.end.total"));
     delta "monitor.violation.delta" (fun () ->
         Metrics.prefix_total t.metrics "monitor.violation.");
+    (match t.store with Some store -> register_store_gauges tel store | None -> ());
     Telemetry.start tel;
     t.telemetry <- Some tel;
     tel
 
 let telemetry t = t.telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Durable store attachment                                            *)
+(* ------------------------------------------------------------------ *)
+
+let attach_store ?snapshot_every t backend =
+  if Option.is_some t.store then invalid_arg "System.attach_store: store already attached";
+  let store =
+    Replica.create ?snapshot_every
+      ~key:("atum-store-" ^ string_of_int t.params.seed)
+      backend
+  in
+  t.store <- Some store;
+  (match t.telemetry with Some tel -> register_store_gauges tel store | None -> ());
+  store
+
+let store t = t.store
+
+let set_app_state t ~export ~wipe ~import ~replay =
+  t.app_export <- Some export;
+  t.app_wipe <- Some wipe;
+  t.app_import <- Some import;
+  t.app_replay <- Some replay

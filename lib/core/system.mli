@@ -181,6 +181,62 @@ val recover : t -> node_id -> unit
     traffic where it left off.  No-op on a live node.  Counted under
     ["node.recovered"]. *)
 
+(* --- durable replica state and crash-restart recovery ---------------- *)
+
+type restart_report = {
+  r_node : node_id;
+  r_restarted_at : float;
+  mutable r_rejoined_at : float option;
+      (** when registry membership was re-established *)
+  mutable r_caught_up_at : float option;
+      (** when missed-broadcast catch-up completed *)
+  r_fallback : bool;
+      (** the store was corrupt: wiped, recovered via fresh join *)
+  r_replayed : int;  (** WAL entries applied during the cold start *)
+}
+
+val attach_store :
+  ?snapshot_every:int -> t -> Atum_store.Backend.t -> Atum_store.Replica.t
+(** Attach a durable per-replica store (WAL + snapshots over
+    [backend]).  From then on every broadcast delivery and registry
+    pointer change is appended to the owning node's WAL, folding into
+    a snapshot every [snapshot_every] (default 64) appends.  The
+    snapshot HMAC key is derived from the run's seed.  Registers the
+    [store.*] telemetry gauges when telemetry is (or later becomes)
+    attached.  Raises [Invalid_argument] if a store is already
+    attached. *)
+
+val store : t -> Atum_store.Replica.t option
+
+val set_app_state :
+  t ->
+  export:(node_id -> Atum_util.Json.t) ->
+  wipe:(node_id -> unit) ->
+  import:(node_id -> Atum_util.Json.t -> unit) ->
+  replay:(node_id -> bid:int -> origin:node_id -> string -> unit) ->
+  unit
+(** Let the application above the GCS (e.g. AShare) participate in
+    durability: [export] folds its per-node state into snapshots,
+    [wipe]/[import] reset and restore it during {!restart}, and
+    [replay] applies one logged broadcast locally (no re-broadcast, no
+    [set_deliver] callback — workload counters must not double-count
+    replay). *)
+
+val restart : ?contact:node_id -> t -> node_id -> unit
+(** Cold-restart a crashed node from its durable store: wipe its
+    in-memory state, rebuild from snapshot + WAL (tolerating a
+    truncated tail), then resume in place if the registry still lists
+    it or fresh-join via [contact] (default: lowest-id live correct
+    node) if it was evicted — and finally catch up on missed
+    broadcasts from a correct vgroup peer.  A corrupt store (bad WAL
+    record, snapshot failing authentication) is wiped and the node
+    fresh-joins, counted under ["recovery.fallback"].  Raises
+    [Invalid_argument] on a live node.  Instruments ["recovery.*"]
+    metrics and trace events and appends a {!restart_report}. *)
+
+val restart_reports : t -> restart_report list
+(** Oldest first. *)
+
 val make_byzantine : t -> ?strategy:byz_strategy -> node_id -> unit
 (** Turn a node adversarial; [strategy] defaults to [Mute]
     (§6.1.3).  Active strategies install a periodic driver task that

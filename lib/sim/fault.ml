@@ -20,6 +20,8 @@ type step =
   | Loss_burst of { p : float; duration : float }
   | Latency_spike of { factor : float; duration : float }
   | Capacity_degrade of { factor : float; duration : float }
+  | Restart of { nodes : int list; down : float }
+      (* crash at [after], cold-restart automatically [down] seconds later *)
 
 type entry = { after : float; step : step }
 
@@ -33,6 +35,7 @@ let step_name = function
   | Loss_burst _ -> "loss_burst"
   | Latency_spike _ -> "latency_spike"
   | Capacity_degrade _ -> "capacity_degrade"
+  | Restart _ -> "restart"
 
 let validate_step = function
   | Partition groups ->
@@ -50,13 +53,42 @@ let validate_step = function
   | Capacity_degrade { factor; duration } ->
     if factor <= 0.0 then invalid_arg "Fault: Capacity_degrade factor must be positive";
     if duration <= 0.0 then invalid_arg "Fault: Capacity_degrade duration must be positive"
+  | Restart { nodes; down } ->
+    if nodes = [] then invalid_arg "Fault: Restart with no nodes";
+    if down <= 0.0 then invalid_arg "Fault: Restart down time must be positive"
 
 let validate schedule =
   List.iter
     (fun e ->
       if e.after < 0.0 then invalid_arg "Fault: negative schedule offset";
       validate_step e.step)
-    schedule
+    schedule;
+  (* Cross-step ordering: an inverse step must have something to undo.
+     A Recover of a node never crashed, or a Heal with no partition in
+     force, silently did nothing before this check existed — a schedule
+     typo that made chaos runs look healthier than they were. *)
+  let by_time = List.stable_sort (fun a b -> Float.compare a.after b.after) schedule in
+  let crashed = Hashtbl.create 8 in
+  let partitioned = ref false in
+  List.iter
+    (fun e ->
+      match e.step with
+      | Partition _ -> partitioned := true
+      | Heal ->
+        if not !partitioned then invalid_arg "Fault: Heal with no preceding Partition";
+        partitioned := false
+      | Crash nodes -> List.iter (fun n -> Hashtbl.replace crashed n ()) nodes
+      | Recover nodes ->
+        List.iter
+          (fun n ->
+            if not (Hashtbl.mem crashed n) then
+              invalid_arg
+                (Printf.sprintf "Fault: Recover of node %d with no preceding Crash" n);
+            Hashtbl.remove crashed n)
+          nodes
+      | Restart _ (* crashes and revives its own nodes *)
+      | Loss_burst _ | Latency_spike _ | Capacity_degrade _ -> ())
+    by_time
 
 let span schedule =
   List.fold_left
@@ -67,6 +99,7 @@ let span schedule =
         | Latency_spike { duration; _ }
         | Capacity_degrade { duration; _ } ->
           e.after +. duration
+        | Restart { down; _ } -> e.after +. down
         | Partition _ | Heal | Crash _ | Recover _ -> e.after
       in
       Float.max acc until)
@@ -74,7 +107,11 @@ let span schedule =
 
 let heal_offsets schedule =
   List.filter_map
-    (fun e -> match e.step with Heal | Recover _ -> Some e.after | _ -> None)
+    (fun e ->
+      match e.step with
+      | Heal | Recover _ -> Some e.after
+      | Restart { down; _ } -> Some (e.after +. down)
+      | _ -> None)
     schedule
 
 type t = {
@@ -92,7 +129,7 @@ let active t = (if t.partitioned then 1 else 0) + t.crashed + t.bursts
 (* Execution                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let install ?on_crash ?on_recover (net : 'msg Network.t) schedule =
+let install ?on_crash ?on_recover ?on_restart (net : 'msg Network.t) schedule =
   validate schedule;
   let engine = Network.engine net in
   let metrics = Network.metrics net in
@@ -106,6 +143,7 @@ let install ?on_crash ?on_recover (net : 'msg Network.t) schedule =
   in
   let crash_node = match on_crash with Some f -> f | None -> Network.crash net in
   let recover_node = match on_recover with Some f -> f | None -> Network.recover net in
+  let restart_node = match on_restart with Some f -> f | None -> recover_node in
   let apply step =
     t.applied <- t.applied + 1;
     match step with
@@ -159,6 +197,20 @@ let install ?on_crash ?on_recover (net : 'msg Network.t) schedule =
           Network.set_capacity_factor net 1.0;
           t.bursts <- t.bursts - 1;
           emit ~kind:"fault.capacity_degrade.end" ())
+    | Restart { nodes; down } ->
+      List.iter
+        (fun node ->
+          crash_node node;
+          t.crashed <- t.crashed + 1;
+          emit ~kind:"fault.restart.down" ~node ())
+        nodes;
+      Engine.schedule ~label:"fault.restart.up" engine ~delay:down (fun () ->
+          List.iter
+            (fun node ->
+              restart_node node;
+              if t.crashed > 0 then t.crashed <- t.crashed - 1;
+              emit ~kind:"fault.restart.up" ~node ())
+            nodes)
   in
   List.iter
     (fun e ->
@@ -193,7 +245,12 @@ let step_to_json step =
     | Loss_burst { p; duration } ->
       [ ("p", Json.Float p); ("duration_s", Json.Float duration) ]
     | Latency_spike { factor; duration } | Capacity_degrade { factor; duration } ->
-      [ ("factor", Json.Float factor); ("duration_s", Json.Float duration) ])
+      [ ("factor", Json.Float factor); ("duration_s", Json.Float duration) ]
+    | Restart { nodes; down } ->
+      [
+        ("nodes", Json.List (List.map (fun n -> Json.Int n) nodes));
+        ("down_s", Json.Float down);
+      ])
 
 let to_json schedule =
   Json.List

@@ -31,6 +31,10 @@ type step =
   | Capacity_degrade of { factor : float; duration : float }
       (** Scale per-node delivery capacity by [factor] (> 0) for
           [duration] seconds. *)
+  | Restart of { nodes : int list; down : float }
+      (** Crash each node at [after], then cold-restart it [down] (> 0)
+          seconds later via the [on_restart] hook (default
+          [on_recover]) — the crash→durable-recovery→rejoin loop. *)
 
 type entry = { after : float; step : step }
 (** One scheduled step, [after] seconds (>= 0) from install time. *)
@@ -43,17 +47,23 @@ val step_name : step -> string
 
 val validate : schedule -> unit
 (** Raise [Invalid_argument] on empty partition groups, empty
-    crash/recover node lists, [p] outside [0, 1], non-positive factors
-    or durations, or negative offsets.  {!install} calls this. *)
+    crash/recover/restart node lists, [p] outside [0, 1], non-positive
+    factors, durations or down times, or negative offsets — and, in
+    time order, on a [Recover] of a node with no preceding [Crash] or
+    a [Heal] with no partition in force (such inverse steps silently
+    did nothing).  [Restart] crashes and revives its own nodes, so it
+    neither satisfies nor needs a later [Recover].  {!install} calls
+    this. *)
 
 val span : schedule -> float
 (** Latest moment the schedule is still acting: the max over entries
-    of [after] (plus [duration] for transient steps). *)
+    of [after] (plus [duration] for transient steps, [down] for
+    restarts). *)
 
 val heal_offsets : schedule -> float list
-(** Offsets of the {!Heal} and {!Recover} steps, in schedule order —
-    the points after which a recovery checker should start polling for
-    convergence. *)
+(** Offsets of the {!Heal} and {!Recover} steps (and [after + down]
+    for {!Restart}), in schedule order — the points after which a
+    recovery checker should start polling for convergence. *)
 
 type t
 (** A live installed schedule. *)
@@ -61,15 +71,18 @@ type t
 val install :
   ?on_crash:(int -> unit) ->
   ?on_recover:(int -> unit) ->
+  ?on_restart:(int -> unit) ->
   'msg Network.t ->
   schedule ->
   t
 (** Validate the schedule and register one labeled engine task per
     entry ([fault.<step>] at [+after]; transient steps also get their
-    own [fault.<step>.end] expiry task).  The hooks let a higher layer
-    substitute registry-aware crash/recover (e.g. [System.crash] /
-    [System.recover]) for the network-level defaults without this
-    module depending on it. *)
+    own [fault.<step>.end] expiry task; [Restart] crashes via
+    [on_crash] at [+after] and revives via [on_restart] at
+    [+after+down]).  The hooks let a higher layer substitute
+    registry-aware crash/recover/restart (e.g. [System.crash] /
+    [System.recover] / [System.restart]) for the network-level
+    defaults without this module depending on it. *)
 
 val applied : t -> int
 (** Steps executed so far. *)

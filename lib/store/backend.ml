@@ -1,0 +1,7 @@
+type t = {
+  load : node:int -> name:string -> string option;
+  save : node:int -> name:string -> string -> unit;
+  append : node:int -> name:string -> string -> unit;
+  remove : node:int -> name:string -> unit;
+  sync_count : unit -> int;
+}

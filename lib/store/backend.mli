@@ -1,0 +1,21 @@
+(** Storage backend signature for the durability layer.
+
+    A backend is a record of functions over a per-node flat namespace:
+    each node id owns a handful of named files (a write-ahead log, a
+    snapshot).  Two implementations exist — {!Vfs}, an in-simulation
+    virtual filesystem whose contents are plain deterministic bytes,
+    and {!File_backend}, a thin real-directory backend used outside
+    the simulation — so the WAL/snapshot machinery above never knows
+    which world it is writing to. *)
+
+type t = {
+  load : node:int -> name:string -> string option;
+      (** Whole-file read; [None] when the file does not exist. *)
+  save : node:int -> name:string -> string -> unit;
+      (** Whole-file replace (and durably sync). *)
+  append : node:int -> name:string -> string -> unit;
+      (** Append bytes (and durably sync); creates the file. *)
+  remove : node:int -> name:string -> unit;  (** No-op when absent. *)
+  sync_count : unit -> int;
+      (** Durable writes performed so far — the fsync-count gauge. *)
+}

@@ -1,0 +1,68 @@
+(* Thin real-directory backend: dir/node-<id>/<name>.
+
+   This is the only store implementation that touches the OS — it
+   exists for running a replica's durability layer outside the
+   simulation (and for inspecting store contents on disk).  Simulated
+   runs use Vfs; nothing on the deterministic artifact path reaches
+   this module.  Durability is modeled with flush + a wall-clock mtime
+   stamp per sync, mirroring what a production fsync path would do. *)
+
+(* Process-wide durable-write counter across every directory backend —
+   the store.fsync gauge when running against real files. *)
+let fsyncs = ref 0
+
+(* Wall-clock stamp of the last durable write, recorded like a real
+   store would for its manifest; never read back on any deterministic
+   path. *)
+let last_sync = ref 0.0
+
+let sync () =
+  incr fsyncs;
+  last_sync := Unix.gettimeofday ()
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let path ~dir ~node ~name =
+  Filename.concat (Filename.concat dir ("node-" ^ string_of_int node)) name
+
+let load ~dir ~node ~name =
+  let p = path ~dir ~node ~name in
+  if Sys.file_exists p then begin
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+  else None
+
+let write ~dir ~node ~name ~append data =
+  let p = path ~dir ~node ~name in
+  mkdir_p (Filename.dirname p);
+  let oc =
+    open_out_gen
+      (if append then [ Open_wronly; Open_creat; Open_append; Open_binary ]
+       else [ Open_wronly; Open_creat; Open_trunc; Open_binary ])
+      0o644 p
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc data;
+      flush oc;
+      sync ())
+
+let create ~dir =
+  {
+    Backend.load = (fun ~node ~name -> load ~dir ~node ~name);
+    save = (fun ~node ~name data -> write ~dir ~node ~name ~append:false data);
+    append = (fun ~node ~name data -> write ~dir ~node ~name ~append:true data);
+    remove =
+      (fun ~node ~name ->
+        let p = path ~dir ~node ~name in
+        if Sys.file_exists p then try Sys.remove p with Sys_error _ -> ());
+    sync_count = (fun () -> !fsyncs);
+  }

@@ -1,0 +1,12 @@
+(** Real-directory {!Backend}: [dir/node-<id>/<name>].
+
+    For running a replica's durability layer against actual files —
+    nothing on the deterministic simulation path uses it ({!Vfs} does
+    that job); lint allowlist entries pin its wall-clock stamp and its
+    process-wide sync counter.  Writes flush eagerly, standing in for
+    a production fsync. *)
+
+val create : dir:string -> Backend.t
+
+val fsyncs : int ref
+(** Process-wide durable-write count across every directory backend. *)

@@ -1,0 +1,94 @@
+(* Per-replica durable state manager: one WAL + one snapshot per node,
+   over any Backend.
+
+   The write path is append-only; every [snapshot_every] appends the
+   caller is told to fold its state into a fresh snapshot, after which
+   the WAL is truncated.  Recovery loads snapshot + WAL prefix and
+   reports exactly how much survived and in what shape, leaving the
+   fall-back policy (fresh join on corruption) to the caller. *)
+
+module Json = Atum_util.Json
+
+let wal_name = "wal.log"
+let snapshot_name = "snapshot.bin"
+
+type t = {
+  backend : Backend.t;
+  key : string;
+  snapshot_every : int;
+  (* Appends since the node's last snapshot — the snapshot trigger. *)
+  pending : (int, int) Hashtbl.t;
+  (* Live WAL + snapshot bytes per node (rebuilt on truncate). *)
+  bytes : (int, int) Hashtbl.t;
+  mutable appends : int;
+  mutable snapshots : int;
+  mutable replayed : int;
+}
+
+type recovery = {
+  snapshot : Json.t option;
+  entries : Json.t list;
+  wal_status : Wal.status;
+  snapshot_error : string option;
+}
+
+let corrupt r =
+  (match r.wal_status with Wal.Corrupt _ -> true | _ -> false)
+  || Option.is_some r.snapshot_error
+
+let create ?(snapshot_every = 64) ~key backend =
+  if snapshot_every < 1 then invalid_arg "Replica.create: snapshot_every must be >= 1";
+  {
+    backend;
+    key;
+    snapshot_every;
+    pending = Hashtbl.create 64;
+    bytes = Hashtbl.create 64;
+    appends = 0;
+    snapshots = 0;
+    replayed = 0;
+  }
+
+let backend t = t.backend
+
+let bump tbl node delta =
+  Hashtbl.replace tbl node (delta + Option.value ~default:0 (Hashtbl.find_opt tbl node))
+
+let append t ~node record =
+  let n = Wal.append t.backend ~node ~name:wal_name record in
+  t.appends <- t.appends + 1;
+  bump t.pending node 1;
+  bump t.bytes node n
+
+let needs_snapshot t ~node =
+  Option.value ~default:0 (Hashtbl.find_opt t.pending node) >= t.snapshot_every
+
+let save_snapshot t ~node doc =
+  let n = Snapshot.save t.backend ~key:t.key ~node ~name:snapshot_name doc in
+  Wal.reset t.backend ~node ~name:wal_name;
+  t.snapshots <- t.snapshots + 1;
+  Hashtbl.replace t.pending node 0;
+  Hashtbl.replace t.bytes node n
+
+let recover t ~node =
+  let snapshot, snapshot_error =
+    match Snapshot.load t.backend ~key:t.key ~node ~name:snapshot_name with
+    | Ok s -> (s, None)
+    | Error e -> (None, Some e)
+  in
+  let entries, wal_status = Wal.replay t.backend ~node ~name:wal_name in
+  t.replayed <- t.replayed + List.length entries;
+  { snapshot; entries; wal_status; snapshot_error }
+
+let wipe t ~node =
+  Wal.reset t.backend ~node ~name:wal_name;
+  Snapshot.remove t.backend ~node ~name:snapshot_name;
+  Hashtbl.replace t.pending node 0;
+  Hashtbl.replace t.bytes node 0
+
+let appends t = t.appends
+let snapshots t = t.snapshots
+let replayed t = t.replayed
+let fsyncs t = t.backend.Backend.sync_count ()
+
+let log_bytes t = Hashtbl.fold (fun _ n acc -> acc + n) t.bytes 0

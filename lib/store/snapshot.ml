@@ -1,0 +1,51 @@
+(* Versioned, authenticated snapshots.
+
+   Layout:  magic "ATUMSNAP" | version (1 byte) | HMAC-SHA256 tag
+   (32 bytes, over version byte + payload) | payload (compact JSON).
+
+   The tag (keyed per deployment) catches both bit rot and a log from
+   a different deployment being replayed into this one; either reads
+   back as [Error], which the recovery path treats like a corrupt
+   WAL. *)
+
+module Json = Atum_util.Json
+module Hmac = Atum_crypto.Hmac
+
+let magic = "ATUMSNAP"
+let version = 1
+
+let save (b : Backend.t) ~key ~node ~name doc =
+  let payload = Json.to_string ~pretty:false doc in
+  let vbyte = String.make 1 (Char.chr version) in
+  let tag = Hmac.mac ~key (vbyte ^ payload) in
+  let blob = magic ^ vbyte ^ tag ^ payload in
+  b.Backend.save ~node ~name blob;
+  String.length blob
+
+let header_bytes = String.length magic + 1 + 32
+
+let load (b : Backend.t) ~key ~node ~name =
+  match b.Backend.load ~node ~name with
+  | None -> Ok None
+  | Some blob ->
+    let n = String.length blob in
+    if n < header_bytes then Error "snapshot too short"
+    else if not (String.equal (String.sub blob 0 (String.length magic)) magic) then
+      Error "bad snapshot magic"
+    else begin
+      let v = Char.code blob.[String.length magic] in
+      if v <> version then Error (Printf.sprintf "unsupported snapshot version %d" v)
+      else begin
+        let tag = String.sub blob (String.length magic + 1) 32 in
+        let payload = String.sub blob header_bytes (n - header_bytes) in
+        let vbyte = String.make 1 (Char.chr v) in
+        if not (Hmac.verify ~key ~msg:(vbyte ^ payload) ~tag) then
+          Error "snapshot authentication failed"
+        else
+          match Json.of_string payload with
+          | Ok doc -> Ok (Some doc)
+          | Error e -> Error ("snapshot decode: " ^ e)
+      end
+    end
+
+let remove (b : Backend.t) ~node ~name = b.Backend.remove ~node ~name

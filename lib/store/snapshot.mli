@@ -1,0 +1,22 @@
+(** Versioned, HMAC-authenticated state snapshots.
+
+    Layout: magic ["ATUMSNAP"], a version byte, an HMAC-SHA256 tag
+    over (version byte + payload) with the deployment key, then the
+    compact-JSON payload.  A failed magic/version/tag/decode check
+    loads as [Error] — treated by recovery exactly like a corrupt
+    WAL record (fresh-join fallback). *)
+
+val magic : string
+val version : int
+
+val header_bytes : int
+
+val save : Backend.t -> key:string -> node:int -> name:string -> Atum_util.Json.t -> int
+(** Write (replacing any previous snapshot); returns blob size. *)
+
+val load :
+  Backend.t -> key:string -> node:int -> name:string ->
+  (Atum_util.Json.t option, string) result
+(** [Ok None] when no snapshot exists. *)
+
+val remove : Backend.t -> node:int -> name:string -> unit

@@ -1,0 +1,67 @@
+(* In-simulation virtual filesystem.
+
+   The durable bytes of every node live in one hash table keyed by
+   (node, name); timestamps come from the [now] closure the caller
+   provides (simulation time), so a seeded run touches no wall clock
+   and two same-seed runs hold byte-identical store contents.  The
+   fault-injection helpers ([corrupt_byte], [truncate]) exist so chaos
+   scenarios can damage a node's log deterministically before a
+   restart. *)
+
+type file = { mutable data : string; mutable mtime : float }
+
+type t = {
+  files : (int * string, file) Hashtbl.t;
+  now : unit -> float;
+  mutable syncs : int;
+}
+
+let create ?(now = fun () -> 0.0) () = { files = Hashtbl.create 64; now; syncs = 0 }
+
+let find t ~node ~name = Hashtbl.find_opt t.files (node, name)
+
+let read t ~node ~name = Option.map (fun f -> f.data) (find t ~node ~name)
+
+let mtime t ~node ~name = Option.map (fun f -> f.mtime) (find t ~node ~name)
+
+let total_bytes t =
+  Hashtbl.fold (fun _ f acc -> acc + String.length f.data) t.files 0
+
+let file_count t = Hashtbl.length t.files
+
+let backend t =
+  {
+    Backend.load = (fun ~node ~name -> read t ~node ~name);
+    save =
+      (fun ~node ~name data ->
+        t.syncs <- t.syncs + 1;
+        Hashtbl.replace t.files (node, name) { data; mtime = t.now () });
+    append =
+      (fun ~node ~name data ->
+        t.syncs <- t.syncs + 1;
+        match find t ~node ~name with
+        | Some f ->
+          f.data <- f.data ^ data;
+          f.mtime <- t.now ()
+        | None -> Hashtbl.replace t.files (node, name) { data; mtime = t.now () });
+    remove = (fun ~node ~name -> Hashtbl.remove t.files (node, name));
+    sync_count = (fun () -> t.syncs);
+  }
+
+(* --- deterministic damage, for chaos scenarios ---------------------- *)
+
+let corrupt_byte t ~node ~name ~at =
+  match find t ~node ~name with
+  | Some f when at >= 0 && at < String.length f.data ->
+    let b = Bytes.of_string f.data in
+    Bytes.set b at (Char.chr (Char.code (Bytes.get b at) lxor 0xFF));
+    f.data <- Bytes.to_string b;
+    true
+  | _ -> false
+
+let truncate t ~node ~name ~keep =
+  match find t ~node ~name with
+  | Some f when keep >= 0 && keep < String.length f.data ->
+    f.data <- String.sub f.data 0 keep;
+    true
+  | _ -> false

@@ -1,0 +1,88 @@
+(* Append-only write-ahead log.
+
+   Record framing, per entry:
+
+     +------------+------------------+------------------+
+     | length (4B | SHA-256(payload) | payload          |
+     | big-endian)| (32 bytes, raw)  | (compact JSON)   |
+     +------------+------------------+------------------+
+
+   Replay walks the frames front to back, stopping at the first frame
+   that does not check out.  A short tail (crash mid-append) yields
+   [Truncated] and the valid prefix survives; a checksum or decode
+   mismatch yields [Corrupt] — the caller decides whether the prefix
+   is still trustworthy (System falls back to a fresh join). *)
+
+module Json = Atum_util.Json
+module Sha256 = Atum_crypto.Sha256
+
+let header_bytes = 4 + 32
+
+(* Upper bound on a single record: a length prefix beyond this is
+   treated as corruption, not as a 2 GB allocation request. *)
+let max_record_bytes = 1 lsl 26
+
+type status =
+  | Complete
+  | Truncated of { dropped_bytes : int }
+  | Corrupt of { at_record : int }
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (n land 0xFF));
+  Bytes.to_string b
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let frame payload = be32 (String.length payload) ^ Sha256.digest payload ^ payload
+
+let append (b : Backend.t) ~node ~name record =
+  let payload = Json.to_string ~pretty:false record in
+  if String.length payload > max_record_bytes then
+    invalid_arg "Wal.append: record too large";
+  let f = frame payload in
+  b.Backend.append ~node ~name f;
+  String.length f
+
+let decode data =
+  let n = String.length data in
+  let entries = ref [] in
+  let rec scan off idx =
+    if off = n then (List.rev !entries, Complete)
+    else if off + header_bytes > n then
+      (List.rev !entries, Truncated { dropped_bytes = n - off })
+    else begin
+      let len = read_be32 data off in
+      if len < 0 || len > max_record_bytes then
+        (List.rev !entries, Corrupt { at_record = idx })
+      else if off + header_bytes + len > n then
+        (List.rev !entries, Truncated { dropped_bytes = n - off })
+      else begin
+        let sum = String.sub data (off + 4) 32 in
+        let payload = String.sub data (off + header_bytes) len in
+        if not (String.equal sum (Sha256.digest payload)) then
+          (List.rev !entries, Corrupt { at_record = idx })
+        else
+          match Json.of_string payload with
+          | Error _ -> (List.rev !entries, Corrupt { at_record = idx })
+          | Ok v ->
+            entries := v :: !entries;
+            scan (off + header_bytes + len) (idx + 1)
+      end
+    end
+  in
+  scan 0 0
+
+let replay (b : Backend.t) ~node ~name =
+  match b.Backend.load ~node ~name with
+  | None -> ([], Complete)
+  | Some data -> decode data
+
+let reset (b : Backend.t) ~node ~name = b.Backend.remove ~node ~name

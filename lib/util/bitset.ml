@@ -48,3 +48,17 @@ let popcount w =
   go w 0
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let iter f t =
+  Array.iteri
+    (fun wi w ->
+      if w <> 0 then
+        for b = 0 to bits_per_word - 1 do
+          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
+        done)
+    t.words
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc

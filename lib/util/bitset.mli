@@ -21,3 +21,10 @@ val clear : t -> unit
 (** Drop every member and release the backing storage. *)
 
 val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Members in ascending order — the durability layer snapshots
+    delivered-broadcast sets and diffs them during restart catch-up. *)
+
+val to_list : t -> int list
+(** Ascending. *)

@@ -96,6 +96,11 @@ let write_file ?pretty ~path t =
 
 exception Parse_error of string
 
+(* Recursion bound for the parser: deeper nesting raises a typed
+   [Parse_error] instead of blowing the OCaml stack.  512 is far above
+   anything the writer emits and far below stack exhaustion. *)
+let max_depth = 512
+
 let of_string s =
   let n = String.length s in
   let pos = ref 0 in
@@ -186,7 +191,8 @@ let of_string s =
       | Some i -> Int i
       | None -> fail "bad number"
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -199,11 +205,11 @@ let of_string s =
       skip_ws ();
       if peek () = Some ']' then begin advance (); List [] end
       else begin
-        let items = ref [ parse_value () ] in
+        let items = ref [ parse_value (depth + 1) ] in
         let rec loop () =
           skip_ws ();
           match peek () with
-          | Some ',' -> advance (); items := parse_value () :: !items; loop ()
+          | Some ',' -> advance (); items := parse_value (depth + 1) :: !items; loop ()
           | Some ']' -> advance ()
           | _ -> fail "expected , or ]"
         in
@@ -215,12 +221,15 @@ let of_string s =
       skip_ws ();
       if peek () = Some '}' then begin advance (); Obj [] end
       else begin
+        let seen = Hashtbl.create 8 in
         let parse_member () =
           skip_ws ();
           let k = parse_string () in
+          if Hashtbl.mem seen k then fail (Printf.sprintf "duplicate key %S" k);
+          Hashtbl.replace seen k ();
           skip_ws ();
           expect ':';
-          (k, parse_value ())
+          (k, parse_value (depth + 1))
         in
         let items = ref [ parse_member () ] in
         let rec loop () =
@@ -236,7 +245,7 @@ let of_string s =
     | Some _ -> parse_number ()
   in
   try
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     Ok v

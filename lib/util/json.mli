@@ -33,7 +33,13 @@ val of_string : string -> (t, string) result
 (** Parse a JSON document.  Accepts exactly the values the writer
     emits (plus standard escapes and whitespace); numbers without
     [.], [e] or [E] parse as [Int].  The error string contains a
-    character offset. *)
+    character offset.
+
+    Hardened for the WAL-recovery decode path: truncated or garbage
+    input always returns [Error] (no exception escapes), nesting
+    deeper than an internal bound (512) is rejected instead of
+    overflowing the stack, and objects with duplicate keys are
+    rejected rather than silently shadowed. *)
 
 val of_string_exn : string -> t
 (** @raise Invalid_argument on parse errors. *)

@@ -46,6 +46,10 @@ type result = {
   phases : phase_stats list;
   heals : heal_record list;
   tth_percentiles : (string * float) list;  (* over converged heals *)
+  restarts : System.restart_report list;  (* cold restarts, oldest first *)
+  ttr_percentiles : (string * float) list;  (* time-to-rejoin *)
+  ttc_percentiles : (string * float) list;  (* time-to-catch-up *)
+  recovery_fallbacks : int;  (* corrupt stores recovered via fresh join *)
   violations_before : (string * int) list;
   violations_during : (string * int) list;
   violations_after : (string * int) list;
@@ -109,6 +113,21 @@ let default_schedule (built : Builder.built) =
        else [ { Fault.after = 170.0; step = Fault.Recover victims } ]);
     ]
 
+(* The durability acceptance scenario: same partition as
+   [default_schedule], but the two victims are cold-*restarted* rather
+   than crashed-and-recovered — down through the heal, back up at the
+   same t+170s via [System.restart], which replays their durable store
+   and catches them up.  Victim selection is identical, so the two
+   scenarios stress the same replicas. *)
+let default_restart_schedule (built : Builder.built) =
+  List.concat_map
+    (fun (e : Fault.entry) ->
+      match e.Fault.step with
+      | Fault.Crash victims -> [ { e with Fault.step = Fault.Restart { nodes = victims; down = 140.0 } } ]
+      | Fault.Recover _ -> []
+      | _ -> [ e ])
+    (default_schedule built)
+
 (* New violations in [later] relative to the earlier snapshot (both
    are cumulative per-kind counts, sorted by kind). *)
 let diff_violations later earlier =
@@ -119,10 +138,22 @@ let diff_violations later earlier =
     later
 
 let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
-    ?(heal_timeout = 600.0) ?(drain = 180.0) ?flight_dir (built : Builder.built) ~seed () =
+    ?(heal_timeout = 600.0) ?(drain = 180.0) ?flight_dir ?(restart = false)
+    ?(corrupt_log = false) (built : Builder.built) ~seed () =
   let atum = built.Builder.atum in
   let sys = Atum.system atum in
   let rng = Rng.create (seed + 77) in
+  (* Restart mode: an in-sim durable store (WAL + snapshots on a VFS
+     stamped with simulation time) so cold restarts have something to
+     recover from. *)
+  let vfs =
+    if restart || corrupt_log then begin
+      let vfs = Atum_store.Vfs.create ~now:(fun () -> Atum.now atum) () in
+      ignore (System.attach_store sys (Atum_store.Vfs.backend vfs));
+      Some vfs
+    end
+    else None
+  in
   (* Latency-insensitive but delivery-critical: gossip on every cycle
      so a delivery miss means a fault, not an unlucky coin. *)
   Atum.on_forward atum System.flood_forward;
@@ -153,7 +184,13 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
         ~strategy:(System.Target_vgroup { vg = target_vg; inner = System.Equivocate })
         nid
     done;
-  let schedule = match schedule with Some s -> s | None -> default_schedule built in
+  let schedule =
+    match schedule with
+    | Some s -> s
+    | None ->
+      if restart || corrupt_log then default_restart_schedule built
+      else default_schedule built
+  in
   (* Per-phase delivery accounting, attributed by broadcast id: a
      message sent during a fault counts against "during" even if its
      stragglers arrive later. *)
@@ -186,8 +223,27 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
   let t_fault = Atum.now atum in
   let fq =
     Fault.install ~on_crash:(System.crash sys) ~on_recover:(System.recover sys)
+      ~on_restart:(fun nid -> System.restart sys nid)
       (System.network sys) schedule
   in
+  (* Corrupt-log case: while the first restart victim is down, flip one
+     byte inside its WAL, so its restart must detect the damage and
+     fall back to wiping the store and fresh-joining. *)
+  (match vfs with
+  | Some vfs when corrupt_log ->
+    List.iter
+      (fun (e : Fault.entry) ->
+        match e.Fault.step with
+        | Fault.Restart { nodes = victim :: _; down } ->
+          Atum_sim.Engine.schedule ~label:"chaos.corrupt_log" (Atum.engine atum)
+            ~delay:(e.Fault.after +. (down /. 2.0))
+            (fun () ->
+              ignore
+                (Atum_store.Vfs.corrupt_byte vfs ~node:victim
+                   ~name:Atum_store.Replica.wal_name ~at:40))
+        | _ -> ())
+      schedule
+  | _ -> ());
   (match Atum.telemetry atum with
   | Some tel -> Fault.attach_gauges fq tel
   | None -> ());
@@ -200,7 +256,15 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
     && (match System.check_consistency sys with Ok () -> true | Error _ -> false)
   in
   let all_offsets =
-    List.sort Float.compare (List.map (fun (e : Fault.entry) -> e.Fault.after) schedule)
+    List.sort Float.compare
+      (List.concat_map
+         (fun (e : Fault.entry) ->
+           e.Fault.after
+           ::
+           (match e.Fault.step with
+           | Fault.Restart { down; _ } -> [ e.Fault.after +. down ]
+           | _ -> []))
+         schedule)
   in
   let heals =
     List.map
@@ -265,14 +329,33 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
       [ "before"; "during"; "after" ] [ 0; 1; 2 ]
   in
   let tths = List.filter_map (fun h -> h.time_to_heal) heals in
-  let tth_percentiles =
-    if tths = [] then []
+  let pctl samples =
+    if samples = [] then []
     else
       [
-        ("p50", Stats.percentile tths 50.0);
-        ("p90", Stats.percentile tths 90.0);
-        ("max", Stats.percentile tths 100.0);
+        ("p50", Stats.percentile samples 50.0);
+        ("p90", Stats.percentile samples 90.0);
+        ("max", Stats.percentile samples 100.0);
       ]
+  in
+  let tth_percentiles = pctl tths in
+  let restarts = System.restart_reports sys in
+  let ttr_percentiles =
+    pctl
+      (List.filter_map
+         (fun (r : System.restart_report) ->
+           Option.map (fun j -> j -. r.System.r_restarted_at) r.System.r_rejoined_at)
+         restarts)
+  in
+  let ttc_percentiles =
+    pctl
+      (List.filter_map
+         (fun (r : System.restart_report) ->
+           Option.map (fun c -> c -. r.System.r_restarted_at) r.System.r_caught_up_at)
+         restarts)
+  in
+  let recovery_fallbacks =
+    List.length (List.filter (fun (r : System.restart_report) -> r.System.r_fallback) restarts)
   in
   let converged =
     match List.rev heals with
@@ -304,6 +387,10 @@ let run ?(messages_per_phase = 10) ?(gap = 5.0) ?(attackers = 0) ?schedule
     phases;
     heals;
     tth_percentiles;
+    restarts;
+    ttr_percentiles;
+    ttc_percentiles;
+    recovery_fallbacks;
     violations_before = v_before;
     violations_during = diff_violations v_mid v_before;
     violations_after = diff_violations v_after v_mid;
@@ -337,6 +424,18 @@ let heal_to_json h =
         match h.time_to_heal with Some d -> Json.Float d | None -> Json.Null );
     ]
 
+let restart_to_json (r : System.restart_report) =
+  let opt_time = function Some v -> Json.Float v | None -> Json.Null in
+  Json.Obj
+    [
+      ("node", Json.Int r.System.r_node);
+      ("restarted_at_s", Json.Float r.System.r_restarted_at);
+      ("rejoined_at_s", opt_time r.System.r_rejoined_at);
+      ("caught_up_at_s", opt_time r.System.r_caught_up_at);
+      ("fallback", Json.Bool r.System.r_fallback);
+      ("replayed_entries", Json.Int r.System.r_replayed);
+    ]
+
 let to_json r =
   Json.Obj
     [
@@ -350,6 +449,12 @@ let to_json r =
       ("heals", Json.List (List.map heal_to_json r.heals));
       ( "time_to_heal_percentiles",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.tth_percentiles) );
+      ("restarts", Json.List (List.map restart_to_json r.restarts));
+      ( "time_to_rejoin_percentiles",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.ttr_percentiles) );
+      ( "time_to_catchup_percentiles",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.ttc_percentiles) );
+      ("recovery_fallbacks", Json.Int r.recovery_fallbacks);
       ( "violations",
         Json.Obj
           (List.map

@@ -40,6 +40,15 @@ type result = {
   phases : phase_stats list;
   heals : heal_record list;  (** one per heal/recover step, in schedule order *)
   tth_percentiles : (string * float) list;  (** p50/p90/max over converged heals *)
+  restarts : Atum_core.System.restart_report list;
+      (** one per {!Atum_core.System.restart}, oldest first *)
+  ttr_percentiles : (string * float) list;
+      (** p50/p90/max time-to-rejoin (restart to registry membership) *)
+  ttc_percentiles : (string * float) list;
+      (** p50/p90/max time-to-catch-up (restart to missed broadcasts
+          re-delivered) *)
+  recovery_fallbacks : int;
+      (** restarts whose store was corrupt and fell back to a fresh join *)
   violations_before : (string * int) list;
   violations_during : (string * int) list;  (** new violations while faults ran *)
   violations_after : (string * int) list;  (** new violations after the last heal window *)
@@ -59,6 +68,11 @@ val default_schedule : Builder.built -> Atum_sim.Fault.schedule
     one correct member in each of two other vgroups at t+30s, heal at
     t+150s, recover at t+170s. *)
 
+val default_restart_schedule : Builder.built -> Atum_sim.Fault.schedule
+(** {!default_schedule} with the two crash victims cold-restarted
+    instead of crashed-and-recovered: down at t+30s, back at t+170s
+    through [System.restart] (durable recovery, rejoin, catch-up). *)
+
 val run :
   ?messages_per_phase:int ->
   ?gap:float ->
@@ -67,6 +81,8 @@ val run :
   ?heal_timeout:float ->
   ?drain:float ->
   ?flight_dir:string ->
+  ?restart:bool ->
+  ?corrupt_log:bool ->
   Builder.built ->
   seed:int ->
   unit ->
@@ -85,7 +101,18 @@ val run :
     recorder), an {!Atum_sim.Flight} recorder is wired into the
     monitor: the first violation dumps [ATUM_postmortem.json] into
     the directory, and a run that ends with an unconverged heal trips
-    the recorder with reason ["fault.unhealed"]. *)
+    the recorder with reason ["fault.unhealed"].
+
+    [restart] (default false) attaches an in-sim durable store and
+    swaps the default schedule for {!default_restart_schedule}, so the
+    victims come back through cold restart + WAL replay + catch-up.
+    [corrupt_log] (default false, implies the store) additionally
+    flips one byte in the first victim's WAL while it is down, forcing
+    its restart into the wipe-and-fresh-join fallback (counted in
+    [recovery_fallbacks]).  Note a restarted node's catch-up
+    re-delivers broadcasts it already delivered before going down when
+    its delivered-set was lost (fallback case), so phase success can
+    exceed 1.0 — evidence of catch-up, not a bug. *)
 
 val to_json : result -> Atum_util.Json.t
 (** The ["resilience"] member of [ATUM_resilience.json] — schema

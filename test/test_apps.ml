@@ -82,6 +82,49 @@ let prop_index_model =
         model true
       && Kv_index.size ix = Hashtbl.length model)
 
+(* Snapshot-codec round-trip: an index rebuilt from its durable JSON
+   form must be indistinguishable from the original. *)
+let prop_index_snapshot_roundtrip =
+  let module Json = Atum_util.Json in
+  QCheck.Test.make ~name:"kv_index snapshot codec roundtrips" ~count:200
+    QCheck.(list (pair bool (pair (pair small_string small_string) small_int)))
+    (fun ops ->
+      let ix = Kv_index.create () in
+      List.iter
+        (fun (add, ((o, n), v)) ->
+          if add then Kv_index.put ix (k o n) v else Kv_index.remove ix (k o n))
+        ops;
+      let blob = Kv_index.to_json (fun v -> Json.Int v) ix in
+      match
+        Kv_index.of_json (function Json.Int v -> Some v | _ -> None) blob
+      with
+      | None -> false
+      | Some ix' ->
+        let dump t = Kv_index.fold (fun key v acc -> (key, v) :: acc) t [] in
+        dump ix' = dump ix
+        (* and the serialized form itself is stable *)
+        && Json.equal blob (Kv_index.to_json (fun v -> Json.Int v) ix'))
+
+let test_index_of_json_rejects_malformed () =
+  let module Json = Atum_util.Json in
+  let dec = function Json.Int v -> Some v | _ -> None in
+  List.iter
+    (fun j ->
+      match Kv_index.of_json dec j with
+      | None -> ()
+      | Some _ -> Alcotest.failf "accepted malformed snapshot %s" (Json.to_string j))
+    [
+      Json.Int 3;
+      Json.List [ Json.Int 1 ];
+      Json.List [ Json.Obj [ ("owner", Json.String "a") ] ];
+      Json.List
+        [
+          Json.Obj
+            [ ("owner", Json.String "a"); ("name", Json.String "f");
+              ("value", Json.String "not an int") ];
+        ];
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* ASub                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -586,7 +629,10 @@ let () =
           Alcotest.test_case "search" `Quick test_index_search;
           Alcotest.test_case "keys sorted" `Quick test_index_keys_sorted;
           Alcotest.test_case "owner range scan" `Quick test_index_owner_files_range;
+          Alcotest.test_case "of_json rejects malformed" `Quick
+            test_index_of_json_rejects_malformed;
           QCheck_alcotest.to_alcotest prop_index_model;
+          QCheck_alcotest.to_alcotest prop_index_snapshot_roundtrip;
         ] );
       ( "asub",
         [

@@ -115,17 +115,46 @@ let test_fault_schedule_validation () =
     (bad [ { Fault.after = 0.0; step = Fault.Latency_spike { factor = 2.0; duration = 0.0 } } ]);
   Alcotest.(check bool) "negative offset" true
     (bad [ { Fault.after = -1.0; step = Fault.Heal } ]);
+  Alcotest.(check bool) "empty restart list" true
+    (bad [ { Fault.after = 0.0; step = Fault.Restart { nodes = []; down = 5.0 } } ]);
+  Alcotest.(check bool) "non-positive restart down" true
+    (bad [ { Fault.after = 0.0; step = Fault.Restart { nodes = [ 1 ]; down = 0.0 } } ]);
+  (* The ordering bug this validate pass fixes: inverse steps with
+     nothing to undo used to pass silently and then do nothing. *)
+  Alcotest.(check bool) "recover with no preceding crash" true
+    (bad [ { Fault.after = 1.0; step = Fault.Recover [ 3 ] } ]);
+  Alcotest.(check bool) "heal with no preceding partition" true
+    (bad [ { Fault.after = 1.0; step = Fault.Heal } ]);
+  Alcotest.(check bool) "recover precedes its crash in time" true
+    (bad
+       [
+         { Fault.after = 5.0; step = Fault.Recover [ 3 ] };
+         { Fault.after = 9.0; step = Fault.Crash [ 3 ] };
+       ]);
+  (* Restart auto-revives its nodes, so it does not license a Recover. *)
+  Alcotest.(check bool) "recover of a restart victim" true
+    (bad
+       [
+         { Fault.after = 1.0; step = Fault.Restart { nodes = [ 3 ]; down = 2.0 } };
+         { Fault.after = 9.0; step = Fault.Recover [ 3 ] };
+       ]);
   let ok =
     [
       { Fault.after = 1.0; step = Fault.Partition [ [ 1; 2 ] ] };
       { Fault.after = 2.0; step = Fault.Loss_burst { p = 0.5; duration = 10.0 } };
+      { Fault.after = 3.0; step = Fault.Crash [ 3 ] };
       { Fault.after = 5.0; step = Fault.Heal };
       { Fault.after = 6.0; step = Fault.Recover [ 3 ] };
     ]
   in
   Fault.validate ok;
   Alcotest.(check (float 1e-9)) "span covers burst tails" 12.0 (Fault.span ok);
-  Alcotest.(check (list (float 1e-9))) "heal offsets" [ 5.0; 6.0 ] (Fault.heal_offsets ok)
+  Alcotest.(check (list (float 1e-9))) "heal offsets" [ 5.0; 6.0 ] (Fault.heal_offsets ok);
+  let restart = [ { Fault.after = 4.0; step = Fault.Restart { nodes = [ 7 ]; down = 6.0 } } ] in
+  Fault.validate restart;
+  Alcotest.(check (float 1e-9)) "span covers restart down time" 10.0 (Fault.span restart);
+  Alcotest.(check (list (float 1e-9)))
+    "restart up time is a heal offset" [ 10.0 ] (Fault.heal_offsets restart)
 
 let test_fault_schedule_execution () =
   let built = build () in

@@ -1,0 +1,276 @@
+(* The durability layer (Atum_store): WAL framing, snapshot
+   authentication, per-replica recovery — and System.restart on top of
+   it, the crash→cold-restart→rejoin loop.
+
+   Damage tolerance is the point: a truncated WAL tail is survivable
+   (the valid prefix replays), a corrupted record or forged snapshot
+   is not (the replica falls back to wiping the store and
+   fresh-joining), and both paths must leave the registry consistent. *)
+
+module Atum = Atum_core.Atum
+module System = Atum_core.System
+module Monitor = Atum_core.Monitor
+module Backend = Atum_store.Backend
+module Vfs = Atum_store.Vfs
+module Wal = Atum_store.Wal
+module Snapshot = Atum_store.Snapshot
+module Replica = Atum_store.Replica
+module Json = Atum_util.Json
+module W = Atum_workload
+
+let obj i = Json.Obj [ ("t", Json.String "deliver"); ("bid", Json.Int i) ]
+
+let json = Alcotest.testable (fun fmt j -> Format.pp_print_string fmt (Json.to_string j)) Json.equal
+
+let wal_status =
+  Alcotest.testable
+    (fun fmt -> function
+      | Wal.Complete -> Format.pp_print_string fmt "Complete"
+      | Wal.Truncated { dropped_bytes } -> Format.fprintf fmt "Truncated %d" dropped_bytes
+      | Wal.Corrupt { at_record } -> Format.fprintf fmt "Corrupt %d" at_record)
+    ( = )
+
+(* ------------------------------------------------------------------ *)
+(* WAL framing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_roundtrip () =
+  let vfs = Vfs.create () in
+  let b = Vfs.backend vfs in
+  let records = List.init 20 obj in
+  List.iter (fun r -> ignore (Wal.append b ~node:3 ~name:"wal" r)) records;
+  let entries, status = Wal.replay b ~node:3 ~name:"wal" in
+  Alcotest.check wal_status "complete" Wal.Complete status;
+  Alcotest.(check (list json)) "all records back, in order" records entries;
+  (* A different node's WAL is independent (and missing = empty). *)
+  let entries, status = Wal.replay b ~node:4 ~name:"wal" in
+  Alcotest.check wal_status "missing file is complete" Wal.Complete status;
+  Alcotest.(check int) "missing file is empty" 0 (List.length entries)
+
+let test_wal_truncated_tail () =
+  let vfs = Vfs.create () in
+  let b = Vfs.backend vfs in
+  let sizes = List.map (fun r -> Wal.append b ~node:0 ~name:"wal" r) (List.init 5 obj) in
+  let keep = List.fold_left ( + ) 0 sizes - 7 in
+  Alcotest.(check bool) "truncate applied" true (Vfs.truncate vfs ~node:0 ~name:"wal" ~keep);
+  let entries, status = Wal.replay b ~node:0 ~name:"wal" in
+  (* The half-written last frame is dropped; the prefix survives. *)
+  Alcotest.(check (list json)) "prefix survives" (List.init 4 obj) entries;
+  match status with
+  | Wal.Truncated { dropped_bytes } ->
+    Alcotest.(check bool) "dropped tail measured" true (dropped_bytes > 0)
+  | s -> Alcotest.check wal_status "expected Truncated" (Wal.Truncated { dropped_bytes = 1 }) s
+
+let test_wal_corrupt_record () =
+  let vfs = Vfs.create () in
+  let b = Vfs.backend vfs in
+  let s0 = Wal.append b ~node:0 ~name:"wal" (obj 0) in
+  ignore (Wal.append b ~node:0 ~name:"wal" (obj 1));
+  ignore (Wal.append b ~node:0 ~name:"wal" (obj 2));
+  (* Flip a byte inside record 1's payload: its checksum must fail. *)
+  Alcotest.(check bool) "corruption applied" true
+    (Vfs.corrupt_byte vfs ~node:0 ~name:"wal" ~at:(s0 + Wal.header_bytes + 2));
+  let entries, status = Wal.replay b ~node:0 ~name:"wal" in
+  Alcotest.check wal_status "corrupt at record 1" (Wal.Corrupt { at_record = 1 }) status;
+  Alcotest.(check (list json)) "prefix before the damage survives" [ obj 0 ] entries
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_roundtrip_and_auth () =
+  let vfs = Vfs.create () in
+  let b = Vfs.backend vfs in
+  let state = Json.Obj [ ("vid", Json.Int 2); ("delivered", Json.List [ Json.Int 1 ]) ] in
+  ignore (Snapshot.save b ~key:"k" ~node:5 ~name:"snap" state);
+  (match Snapshot.load b ~key:"k" ~node:5 ~name:"snap" with
+  | Ok (Some j) -> Alcotest.check json "round-trips" state j
+  | Ok None -> Alcotest.fail "snapshot vanished"
+  | Error e -> Alcotest.fail e);
+  (* Wrong key = forged snapshot: authentication must fail. *)
+  (match Snapshot.load b ~key:"other" ~node:5 ~name:"snap" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forged snapshot accepted");
+  (* One flipped payload byte must also fail the HMAC. *)
+  ignore (Vfs.corrupt_byte vfs ~node:5 ~name:"snap" ~at:(Snapshot.header_bytes + 1));
+  (match Snapshot.load b ~key:"k" ~node:5 ~name:"snap" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted snapshot accepted");
+  (* Missing file is not an error — just no snapshot. *)
+  match Snapshot.load b ~key:"k" ~node:6 ~name:"snap" with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "phantom snapshot"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Replica manager                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_replica_snapshot_cycle () =
+  let vfs = Vfs.create () in
+  let r = Replica.create ~snapshot_every:4 ~key:"k" (Vfs.backend vfs) in
+  List.iter (fun i -> Replica.append r ~node:1 (obj i)) [ 0; 1; 2 ];
+  Alcotest.(check bool) "below threshold" false (Replica.needs_snapshot r ~node:1);
+  Replica.append r ~node:1 (obj 3);
+  Alcotest.(check bool) "at threshold" true (Replica.needs_snapshot r ~node:1);
+  Replica.save_snapshot r ~node:1 (Json.Obj [ ("state", Json.Int 42) ]);
+  Alcotest.(check bool) "snapshot resets the counter" false (Replica.needs_snapshot r ~node:1);
+  Replica.append r ~node:1 (obj 4);
+  let rec_ = Replica.recover r ~node:1 in
+  Alcotest.(check bool) "not corrupt" false (Replica.corrupt rec_);
+  Alcotest.check json "snapshot back"
+    (Json.Obj [ ("state", Json.Int 42) ])
+    (match rec_.Replica.snapshot with Some s -> s | None -> Json.Null);
+  Alcotest.(check (list json)) "only post-snapshot WAL entries" [ obj 4 ] rec_.Replica.entries;
+  Alcotest.(check int) "appends counted" 5 (Replica.appends r);
+  Alcotest.(check int) "snapshots counted" 1 (Replica.snapshots r);
+  Alcotest.(check bool) "log bytes tracked" true (Replica.log_bytes r > 0);
+  Alcotest.(check bool) "vfs counted syncs" true (Replica.fsyncs r > 0);
+  Replica.wipe r ~node:1;
+  let rec_ = Replica.recover r ~node:1 in
+  Alcotest.(check bool) "wiped: no snapshot" true (Option.is_none rec_.Replica.snapshot);
+  Alcotest.(check int) "wiped: no entries" 0 (List.length rec_.Replica.entries)
+
+let test_replica_corrupt_detection () =
+  let vfs = Vfs.create () in
+  let r = Replica.create ~key:"k" (Vfs.backend vfs) in
+  Replica.append r ~node:2 (obj 0);
+  ignore (Vfs.corrupt_byte vfs ~node:2 ~name:Replica.wal_name ~at:(Wal.header_bytes + 1));
+  Alcotest.(check bool) "corrupt WAL detected" true (Replica.corrupt (Replica.recover r ~node:2))
+
+(* ------------------------------------------------------------------ *)
+(* System.restart: the full crash → cold-restart → rejoin loop         *)
+(* ------------------------------------------------------------------ *)
+
+let build ?(n = 24) ?(seed = 11) () = W.Builder.grow ~n ~seed ()
+
+let restart_setup () =
+  let built = build () in
+  let atum = built.W.Builder.atum in
+  let sys = Atum.system atum in
+  Atum.on_forward atum System.flood_forward;
+  let vfs = Vfs.create ~now:(fun () -> Atum.now atum) () in
+  ignore (System.attach_store sys (Vfs.backend vfs));
+  let victim =
+    match List.filter (fun m -> m <> built.W.Builder.first) (W.Builder.correct_members built) with
+    | m :: _ -> m
+    | [] -> Alcotest.fail "no victim available"
+  in
+  (built, atum, sys, vfs, victim)
+
+let broadcast_settle built atum body =
+  (match W.Builder.correct_members built with
+  | from :: _ -> ignore (Atum.broadcast atum ~from body)
+  | [] -> ());
+  Atum.run_for atum 60.0
+
+let test_restart_recovers_durable_state () =
+  let built, atum, sys, _vfs, victim = restart_setup () in
+  broadcast_settle built atum "pre-crash";
+  let n = System.node sys victim in
+  let delivered_before = Atum_util.Bitset.cardinal n.System.delivered in
+  Alcotest.(check bool) "victim delivered the broadcast" true (delivered_before > 0);
+  System.crash sys victim;
+  Atum.run_for atum 30.0;
+  System.restart sys victim;
+  Atum.run_for atum 120.0;
+  (match System.restart_reports sys with
+  | [ r ] ->
+    Alcotest.(check bool) "no fallback" false r.System.r_fallback;
+    Alcotest.(check bool) "WAL entries replayed" true (r.System.r_replayed > 0);
+    Alcotest.(check bool) "rejoined" true (Option.is_some r.System.r_rejoined_at);
+    Alcotest.(check bool) "caught up" true (Option.is_some r.System.r_caught_up_at)
+  | rs -> Alcotest.failf "expected one restart report, got %d" (List.length rs));
+  Alcotest.(check int) "delivered set rebuilt from the store" delivered_before
+    (Atum_util.Bitset.cardinal n.System.delivered);
+  (* The restarted node keeps working: it delivers fresh broadcasts. *)
+  broadcast_settle built atum "post-restart";
+  Alcotest.(check bool) "delivers after restart" true
+    (Atum_util.Bitset.cardinal n.System.delivered > delivered_before);
+  (match System.check_consistency sys with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let mon = Monitor.attach sys in
+  Alcotest.(check int) "monitor clean after restart" 0 (Monitor.sweep mon)
+
+let test_restart_catchup_redelivers_missed () =
+  let built, atum, sys, _vfs, victim = restart_setup () in
+  broadcast_settle built atum "pre-crash";
+  System.crash sys victim;
+  (* Broadcasts the victim misses while down. *)
+  broadcast_settle built atum "missed-1";
+  broadcast_settle built atum "missed-2";
+  let n = System.node sys victim in
+  let before = Atum_util.Bitset.cardinal n.System.delivered in
+  System.restart sys victim;
+  Atum.run_for atum 120.0;
+  Alcotest.(check bool) "catch-up delivered the missed broadcasts" true
+    (Atum_util.Bitset.cardinal n.System.delivered > before);
+  Alcotest.(check bool) "catch-up counted" true
+    (Atum_sim.Metrics.counter (Atum.metrics atum) "recovery.catchup.delivered" > 0)
+
+let test_restart_corrupt_store_falls_back () =
+  let built, atum, sys, vfs, victim = restart_setup () in
+  broadcast_settle built atum "pre-crash";
+  System.crash sys victim;
+  Atum.run_for atum 10.0;
+  Alcotest.(check bool) "WAL damaged" true
+    (Vfs.corrupt_byte vfs ~node:victim ~name:Replica.wal_name ~at:40);
+  System.restart sys victim;
+  Atum.run_for atum 300.0;
+  (match System.restart_reports sys with
+  | [ r ] ->
+    Alcotest.(check bool) "fallback taken" true r.System.r_fallback;
+    Alcotest.(check int) "nothing replayed from a corrupt store" 0 r.System.r_replayed;
+    Alcotest.(check bool) "still rejoined" true (Option.is_some r.System.r_rejoined_at)
+  | rs -> Alcotest.failf "expected one restart report, got %d" (List.length rs));
+  Alcotest.(check int) "fallback counted" 1
+    (Atum_sim.Metrics.counter (Atum.metrics atum) "recovery.fallback");
+  (match System.check_consistency sys with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let mon = Monitor.attach sys in
+  Alcotest.(check int) "monitor clean after fallback recovery" 0 (Monitor.sweep mon)
+
+let test_restart_requires_crashed_node () =
+  let _built, _atum, sys, _vfs, victim = restart_setup () in
+  match System.restart sys victim with
+  | () -> Alcotest.fail "restart of a live node must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* Same seed, same damage, byte-identical restart scenario artifacts. *)
+let test_restart_scenario_deterministic () =
+  let run () =
+    let built = W.Builder.grow ~n:40 ~seed:5 ~monitor:false () in
+    let r = W.Resilience.run ~messages_per_phase:4 ~attackers:0 ~restart:true built ~seed:5 () in
+    Json.to_string (W.Resilience.to_json r)
+  in
+  Alcotest.(check string) "byte-identical restart runs" (run ()) (run ())
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "truncated tail" `Quick test_wal_truncated_tail;
+          Alcotest.test_case "corrupt record" `Quick test_wal_corrupt_record;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "roundtrip + auth" `Quick test_snapshot_roundtrip_and_auth ] );
+      ( "replica",
+        [
+          Alcotest.test_case "snapshot cycle" `Quick test_replica_snapshot_cycle;
+          Alcotest.test_case "corrupt detection" `Quick test_replica_corrupt_detection;
+        ] );
+      ( "restart",
+        [
+          Alcotest.test_case "recovers durable state" `Quick test_restart_recovers_durable_state;
+          Alcotest.test_case "catch-up redelivers missed" `Quick
+            test_restart_catchup_redelivers_missed;
+          Alcotest.test_case "corrupt store falls back" `Quick
+            test_restart_corrupt_store_falls_back;
+          Alcotest.test_case "rejects live node" `Quick test_restart_requires_crashed_node;
+          Alcotest.test_case "scenario deterministic" `Slow test_restart_scenario_deterministic;
+        ] );
+    ]

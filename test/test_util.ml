@@ -339,6 +339,41 @@ let prop_btree_iteration_sorted =
       let out = List.map fst (Btree.to_list bt) in
       out = List.sort_uniq compare keys)
 
+(* Batched mixed workload with range queries: apply a whole batch of
+   inserts/deletes, then check the invariants once per batch (the
+   snapshot-codec usage pattern: bulk load, then serve reads) and
+   cross-check a random range query against a sorted model. *)
+let prop_btree_batches_and_ranges =
+  QCheck.Test.make ~name:"btree ranges stay correct across insert/delete batches" ~count:80
+    QCheck.(
+      pair (int_range 2 6)
+        (small_list (triple (small_list (pair bool (int_range 0 80))) (int_range 0 80)
+           (int_range 0 80))))
+    (fun (degree, batches) ->
+      let bt = Btree.create ~degree ~cmp:compare () in
+      let model = Hashtbl.create 32 in
+      List.for_all
+        (fun (ops, a, b) ->
+          List.iter
+            (fun (is_insert, k) ->
+              if is_insert then begin
+                Btree.insert bt k (k + 1);
+                Hashtbl.replace model k (k + 1)
+              end
+              else begin
+                Btree.remove bt k;
+                Hashtbl.remove model k
+              end)
+            ops;
+          let lo = min a b and hi = max a b in
+          let expect =
+            List.sort compare
+              (Hashtbl.fold (fun k v acc -> if k >= lo && k <= hi then (k, v) :: acc else acc)
+                 model [])
+          in
+          Btree.check_invariants bt = Ok () && Btree.range bt ~lo ~hi = expect)
+        batches)
+
 (* ------------------------------------------------------------------ *)
 (* Stats                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -497,6 +532,55 @@ let test_json_parse_errors () =
       | Error _ -> ())
     [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
 
+(* WAL-recovery hardening: truncated prefixes of valid documents must
+   come back as [Error], never raise or loop. *)
+let test_json_truncated_prefixes () =
+  let doc = Json.to_string ~pretty:false (Json.Obj [
+      ("t", Json.String "deliver");
+      ("bid", Json.Int 17);
+      ("body", Json.String "xy\"z\\");
+      ("nested", Json.List [ Json.Obj [ ("f", Json.Float 1.5) ]; Json.Null; Json.Bool true ]);
+    ])
+  in
+  for keep = 0 to String.length doc - 1 do
+    match Json.of_string (String.sub doc 0 keep) with
+    | Ok _ -> Alcotest.failf "accepted truncated prefix of length %d" keep
+    | Error _ -> ()
+  done;
+  match Json.of_string doc with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected the full document: %s" e
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_json_duplicate_keys_rejected () =
+  (match Json.of_string "{\"a\": 1, \"a\": 2}" with
+  | Ok _ -> Alcotest.fail "accepted duplicate keys"
+  | Error e ->
+    Alcotest.(check bool) "error names the cause" true (contains_sub e "duplicate"));
+  (* Same key in sibling objects is fine. *)
+  match Json.of_string "[{\"a\": 1}, {\"a\": 2}]" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected sibling keys: %s" e
+
+let test_json_deep_nesting_bounded () =
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (* Far past the bound: must be a typed error, not a stack overflow. *)
+  (match Json.of_string (deep 100_000) with
+  | Ok _ -> Alcotest.fail "accepted pathological nesting"
+  | Error _ -> ());
+  (* Unclosed deep nesting (the truncated-garbage shape). *)
+  (match Json.of_string (String.make 100_000 '[') with
+  | Ok _ -> Alcotest.fail "accepted unclosed nesting"
+  | Error _ -> ());
+  (* Reasonable nesting still parses. *)
+  match Json.of_string (deep 100) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "rejected 100-deep nesting: %s" e
+
 let prop_json_roundtrip =
   let gen =
     QCheck.Gen.(
@@ -518,8 +602,17 @@ let prop_json_roundtrip =
                 (3, leaf);
                 (1, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
                 ( 1,
+                  (* the parser rejects duplicate keys, so generate
+                     objects with each key at most once *)
                   map
-                    (fun kvs -> Json.Obj kvs)
+                    (fun kvs ->
+                      let seen = Hashtbl.create 8 in
+                      Json.Obj
+                        (List.filter
+                           (fun (k, _) ->
+                             if Hashtbl.mem seen k then false
+                             else (Hashtbl.add seen k (); true))
+                           kvs))
                     (list_size (0 -- 4)
                        (pair (string_size (0 -- 6)) (self (n / 2)))) );
               ]))
@@ -546,6 +639,55 @@ let prop_mean_bounds =
       let m = Stats.mean xs in
       let mn = List.fold_left min infinity xs and mx = List.fold_left max neg_infinity xs in
       m >= mn -. 1e-9 && m <= mx +. 1e-9)
+
+(* --- Bitset ------------------------------------------------------------ *)
+
+let test_bitset_basics () =
+  let b = Bitset.create () in
+  Alcotest.(check int) "empty cardinal" 0 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "empty to_list" [] (Bitset.to_list b);
+  List.iter (Bitset.set b) [ 5; 0; 129; 5; 64 ];
+  Alcotest.(check int) "cardinal dedups" 4 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "ascending" [ 0; 5; 64; 129 ] (Bitset.to_list b);
+  Alcotest.(check bool) "mem set" true (Bitset.mem b 64);
+  Alcotest.(check bool) "mem unset" false (Bitset.mem b 63);
+  Bitset.unset b 64;
+  Bitset.unset b 4096 (* beyond backing storage: no-op *);
+  Alcotest.(check (list int)) "after unset" [ 0; 5; 129 ] (Bitset.to_list b);
+  Alcotest.check_raises "negative set"
+    (Invalid_argument "Bitset.set: negative index") (fun () -> Bitset.set b (-1))
+
+let test_bitset_iter_matches_to_list () =
+  let b = Bitset.create () in
+  List.iter (Bitset.set b) [ 300; 2; 77; 31; 32; 33 ];
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  Alcotest.(check (list int)) "iter order" (Bitset.to_list b) (List.rev !seen)
+
+let test_bitset_clear () =
+  let b = Bitset.create () in
+  List.iter (Bitset.set b) [ 1; 2; 3 ];
+  Bitset.clear b;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "cleared list" [] (Bitset.to_list b);
+  Bitset.set b 9;
+  Alcotest.(check (list int)) "usable after clear" [ 9 ] (Bitset.to_list b)
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset matches set model" ~count:200
+    QCheck.(small_list (pair bool (int_range 0 500)))
+    (fun ops ->
+      let b = Bitset.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (add, i) ->
+          if add then (Bitset.set b i; Hashtbl.replace model i ())
+          else (Bitset.unset b i; Hashtbl.remove model i))
+        ops;
+      let expect =
+        Hashtbl.fold (fun k () acc -> k :: acc) model [] |> List.sort compare
+      in
+      Bitset.to_list b = expect && Bitset.cardinal b = List.length expect)
 
 let () =
   Alcotest.run "util"
@@ -593,6 +735,14 @@ let () =
           Alcotest.test_case "range bounds" `Quick test_btree_empty_range_bounds;
           QCheck_alcotest.to_alcotest prop_btree_model;
           QCheck_alcotest.to_alcotest prop_btree_iteration_sorted;
+          QCheck_alcotest.to_alcotest prop_btree_batches_and_ranges;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "iter matches to_list" `Quick test_bitset_iter_matches_to_list;
+          Alcotest.test_case "clear" `Quick test_bitset_clear;
+          QCheck_alcotest.to_alcotest prop_bitset_model;
         ] );
       ( "stats",
         [
@@ -622,6 +772,9 @@ let () =
           Alcotest.test_case "float format" `Quick test_json_float_format;
           Alcotest.test_case "member" `Quick test_json_member;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "truncated prefixes" `Quick test_json_truncated_prefixes;
+          Alcotest.test_case "duplicate keys" `Quick test_json_duplicate_keys_rejected;
+          Alcotest.test_case "deep nesting bounded" `Quick test_json_deep_nesting_bounded;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
     ]
